@@ -1,0 +1,41 @@
+//===- bench/BenchUtil.h - Shared helpers for the bench harnesses ----------==//
+
+#ifndef JRPM_BENCH_BENCHUTIL_H
+#define JRPM_BENCH_BENCHUTIL_H
+
+#include "jrpm/Pipeline.h"
+#include "support/Format.h"
+#include "support/Table.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <string>
+
+namespace jrpm {
+namespace benchutil {
+
+inline void printBanner(const char *Title, const char *PaperRef) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", Title);
+  std::printf("(reproduces %s of Chen & Olukotun, \"TEST: A Tracer for\n"
+              " Extracting Speculative Threads\", CGO 2003)\n",
+              PaperRef);
+  std::printf("================================================================\n\n");
+}
+
+/// Runs the full pipeline for one workload with the given configuration.
+inline pipeline::PipelineResult
+runPipeline(const workloads::Workload &W,
+            const pipeline::PipelineConfig &Cfg = {}) {
+  pipeline::Jrpm J(W.Build(), Cfg);
+  return J.runAll();
+}
+
+inline std::string fmt(double V, int Decimals = 2) {
+  return formatString("%.*f", Decimals, V);
+}
+
+} // namespace benchutil
+} // namespace jrpm
+
+#endif // JRPM_BENCH_BENCHUTIL_H

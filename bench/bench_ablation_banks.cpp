@@ -1,0 +1,48 @@
+//===- bench/bench_ablation_banks.cpp - Comparator bank count ablation -----==//
+//
+// Section 5.2 sizes the comparator array at eight banks and argues deep
+// nests can still be analyzed by dynamically disabling converged loops.
+// This ablation sweeps the bank count and reports how much of the analysis
+// survives: traced entries, selected STLs, and the predicted speedup.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace jrpm;
+using namespace jrpm::benchutil;
+
+int main() {
+  printBanner("Ablation - number of comparator banks",
+              "Section 5.2 design choice (8 banks)");
+  TextTable T;
+  T.setHeader({"Benchmark", "banks", "peak", "untraced entries",
+               "selected", "pred speedup"});
+  for (const char *Name : {"Assignment", "jess", "decJpeg", "mp3"}) {
+    const workloads::Workload *W = workloads::findWorkload(Name);
+    for (std::uint32_t Banks : {1u, 2u, 4u, 8u}) {
+      pipeline::PipelineConfig Cfg;
+      Cfg.Hw.ComparatorBanks = Banks;
+      // Deep analysis relies on converged loops being disabled.
+      Cfg.DisableLoopAfterThreads = Banks < 8 ? 2000 : 0;
+      pipeline::Jrpm J(W->Build(), Cfg);
+      auto P = J.profileAndSelect();
+      std::uint64_t Untraced = 0;
+      for (const auto &Rep : P.Selection.Loops)
+        Untraced += Rep.Stats.UntracedEntries;
+      T.addRow({Name, formatString("%u", Banks),
+                formatString("%u", P.PeakBanksInUse),
+                formatString("%llu", static_cast<unsigned long long>(
+                                         Untraced)),
+                formatString("%zu", P.Selection.SelectedLoops.size()),
+                fmt(P.Selection.PredictedSpeedup)});
+    }
+    T.addSeparator();
+  }
+  T.print();
+  std::printf("\nWith eight banks virtually nothing goes untraced (the\n"
+              "paper: 'eight comparator banks are sufficient to analyze\n"
+              "most of the benchmark programs'); starving the array loses\n"
+              "inner decompositions unless dynamic disabling frees banks.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+//===- bench/bench_ablation_history.cpp - Store-history depth ablation -----==//
+//
+// Section 5.3 partitions the idle write buffers so that 192 cache lines of
+// heap write history are available, and Section 6.2 notes the limited
+// history bounds how distant a dependency the tracer can see. This bench
+// sweeps the FIFO depth and reports the arcs found and the resulting
+// estimates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace jrpm;
+using namespace jrpm::benchutil;
+
+int main() {
+  printBanner("Ablation - heap store-timestamp history depth",
+              "Section 5.3 (192-line FIFO) / Section 6.2");
+  TextTable T;
+  T.setHeader({"Benchmark", "history lines", "arcs(t-1)", "arcs(<t-1)",
+               "pred speedup", "actual speedup"});
+  for (const char *Name : {"Huffman", "compress", "MipsSimulator"}) {
+    const workloads::Workload *W = workloads::findWorkload(Name);
+    for (std::uint32_t Depth : {8u, 48u, 192u, 768u}) {
+      pipeline::PipelineConfig Cfg;
+      Cfg.Hw.HeapTimestampFifoLines = Depth;
+      pipeline::Jrpm J(W->Build(), Cfg);
+      auto R = J.runAll();
+      std::uint64_t ArcsPrev = 0, ArcsEarlier = 0;
+      for (const auto &Rep : R.Selection.Loops) {
+        ArcsPrev += Rep.Stats.CritArcsPrev;
+        ArcsEarlier += Rep.Stats.CritArcsEarlier;
+      }
+      T.addRow({Name, formatString("%u", Depth),
+                formatString("%llu",
+                             static_cast<unsigned long long>(ArcsPrev)),
+                formatString("%llu",
+                             static_cast<unsigned long long>(ArcsEarlier)),
+                fmt(R.Selection.PredictedSpeedup), fmt(R.actualSpeedup())});
+    }
+    T.addSeparator();
+  }
+  T.print();
+  std::printf("\nA shallow history misses dependencies (fewer arcs, rosier\n"
+              "estimates that actual execution then misses); beyond the\n"
+              "paper's 192 lines the added visibility changes little,\n"
+              "matching Section 6.2's observation that available\n"
+              "parallelism is determined by recent, not distant, threads.\n");
+  return 0;
+}

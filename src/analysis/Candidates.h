@@ -1,0 +1,86 @@
+//===- analysis/Candidates.h - Candidate STL selection ---------------------==//
+//
+// Bundles the per-function CFG analyses and produces the module-wide list
+// of potential speculative thread loops (STLs). Loops are chosen
+// optimistically (Section 4.1): only loops whose carried scalar pattern
+// obviously serializes execution ("end-of-loop store and start-of-loop
+// load") are rejected; inductors and reductions are ignored because the
+// compiler eliminates them.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_ANALYSIS_CANDIDATES_H
+#define JRPM_ANALYSIS_CANDIDATES_H
+
+#include "analysis/Dominators.h"
+#include "analysis/InductionInfo.h"
+#include "analysis/Liveness.h"
+#include "analysis/LoopInfo.h"
+#include "ir/IR.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jrpm {
+namespace analysis {
+
+/// All CFG analyses of one function.
+struct FunctionAnalysis {
+  explicit FunctionAnalysis(const ir::Function &F);
+
+  DominatorTree DT;
+  LoopInfo LI;
+  Liveness LV;
+  /// Scalar classification per loop (parallel to LI.loops()).
+  std::vector<InductionInfo> LoopScalars;
+};
+
+/// One potential STL (or a rejected loop, kept for reporting).
+struct CandidateStl {
+  std::uint32_t FuncIndex = 0;
+  std::uint32_t LoopIdx = 0; // index into the function's LoopInfo
+  std::uint32_t LoopId = 0;  // module-global id, used by annotations
+  bool Rejected = false;
+  std::string RejectReason;
+  /// Carried named locals needing `lwl`/`swl` annotations, in slot order.
+  std::vector<std::uint16_t> AnnotatedLocals;
+};
+
+/// Module-wide analysis results and candidate list.
+class ModuleAnalysis {
+public:
+  explicit ModuleAnalysis(const ir::Module &M);
+
+  const FunctionAnalysis &func(std::uint32_t F) const { return *Funcs[F]; }
+  const std::vector<CandidateStl> &candidates() const { return Candidates; }
+
+  const CandidateStl &candidate(std::uint32_t LoopId) const {
+    return Candidates[LoopId];
+  }
+
+  const Loop &loopOf(const CandidateStl &C) const {
+    return Funcs[C.FuncIndex]->LI.loops()[C.LoopIdx];
+  }
+
+  const InductionInfo &scalarsOf(const CandidateStl &C) const {
+    return Funcs[C.FuncIndex]->LoopScalars[C.LoopIdx];
+  }
+
+  /// Total number of natural loops in the module (Table 6 column c).
+  std::uint32_t loopCount() const;
+
+  /// Maximum static loop nesting depth (Table 6 column d is the dynamic
+  /// depth; this static bound is reported alongside it).
+  std::uint32_t maxStaticLoopDepth() const;
+
+private:
+  const ir::Module &M;
+  std::vector<std::unique_ptr<FunctionAnalysis>> Funcs;
+  std::vector<CandidateStl> Candidates;
+};
+
+} // namespace analysis
+} // namespace jrpm
+
+#endif // JRPM_ANALYSIS_CANDIDATES_H

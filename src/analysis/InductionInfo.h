@@ -1,0 +1,49 @@
+//===- analysis/InductionInfo.h - Inductors, reductions, carried scalars ---==//
+//
+// Scalar analysis of one loop (Section 4.1): recognises loop inductors
+// (`r = r + c` once per iteration) and sum reductions, and classifies the
+// remaining loop-carried scalars. "Loop inductors, which are dependencies
+// that can be eliminated by the compiler, are ignored so that potentially
+// parallel loops are not overlooked."
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_ANALYSIS_INDUCTIONINFO_H
+#define JRPM_ANALYSIS_INDUCTIONINFO_H
+
+#include "analysis/Dominators.h"
+#include "analysis/Liveness.h"
+#include "analysis/LoopInfo.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace jrpm {
+namespace analysis {
+
+/// The kind of reduction a register participates in.
+enum class ReductionKind { SumInt, SumFloat };
+
+/// Scalar classification of one loop's registers.
+struct InductionInfo {
+  /// Basic inductors: register -> per-iteration step.
+  std::map<std::uint16_t, std::int64_t> Inductors;
+  /// Sum reductions: register -> kind.
+  std::map<std::uint16_t, ReductionKind> Reductions;
+  /// Loop-carried registers that are neither inductors nor reductions.
+  std::vector<std::uint16_t> OtherCarried;
+  /// Registers live into the loop header but never defined inside the loop
+  /// (loop invariants; register-allocated by the TLS compiler).
+  std::vector<std::uint16_t> Invariants;
+};
+
+/// Computes the scalar classification of loop \p L.
+InductionInfo analyzeLoopScalars(const ir::Function &F, const Loop &L,
+                                 const DominatorTree &DT,
+                                 const Liveness &LV);
+
+} // namespace analysis
+} // namespace jrpm
+
+#endif // JRPM_ANALYSIS_INDUCTIONINFO_H

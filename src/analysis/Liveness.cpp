@@ -1,0 +1,53 @@
+//===- analysis/Liveness.cpp ----------------------------------------------==//
+
+#include "analysis/Liveness.h"
+
+#include "analysis/RegUse.h"
+
+using namespace jrpm;
+using namespace jrpm::analysis;
+
+Liveness::Liveness(const ir::Function &F) {
+  std::uint32_t N = F.numBlocks();
+  std::uint32_t Regs = F.NumRegs;
+  LiveIn.assign(N, BitVector(Regs));
+  LiveOut.assign(N, BitVector(Regs));
+
+  // Per-block USE (read before any write) and DEF sets.
+  std::vector<BitVector> Use(N, BitVector(Regs));
+  std::vector<BitVector> Def(N, BitVector(Regs));
+  for (std::uint32_t B = 0; B < N; ++B) {
+    for (const ir::Instruction &I : F.Blocks[B].Instructions) {
+      forEachUsedReg(I, [&](std::uint16_t R) {
+        if (!Def[B].test(R))
+          Use[B].set(R);
+      });
+      std::uint16_t D = definedReg(I);
+      if (D != ir::NoReg)
+        Def[B].set(D);
+    }
+  }
+
+  std::vector<std::uint32_t> Succs;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Iterate in reverse block order as a cheap approximation of reverse
+    // topological order; the fixpoint loop handles the rest.
+    for (std::uint32_t BI = N; BI-- > 0;) {
+      Succs.clear();
+      F.Blocks[BI].appendSuccessors(Succs);
+      BitVector NewOut(Regs);
+      for (std::uint32_t S : Succs)
+        NewOut.unionWith(LiveIn[S]);
+      BitVector NewIn = NewOut;
+      NewIn.subtract(Def[BI]);
+      NewIn.unionWith(Use[BI]);
+      if (!(NewOut == LiveOut[BI]) || !(NewIn == LiveIn[BI])) {
+        LiveOut[BI] = std::move(NewOut);
+        LiveIn[BI] = std::move(NewIn);
+        Changed = true;
+      }
+    }
+  }
+}

@@ -1,0 +1,66 @@
+//===- analysis/LoopInfo.h - Natural loop discovery ------------------------==//
+//
+// Finds all natural loops of a function (Section 4.1: "the compiler chooses
+// potential STLs by examining a method's control-flow graph to identify all
+// natural loops") and arranges them into a nesting forest.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_ANALYSIS_LOOPINFO_H
+#define JRPM_ANALYSIS_LOOPINFO_H
+
+#include "analysis/Dominators.h"
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jrpm {
+namespace analysis {
+
+/// One natural loop. Loops sharing a header are merged.
+struct Loop {
+  std::uint32_t Header = 0;
+  /// Sorted block indices belonging to the loop (header included).
+  std::vector<std::uint32_t> Blocks;
+  /// Source blocks of backedges into the header.
+  std::vector<std::uint32_t> Latches;
+  /// Blocks outside the loop reached by an edge leaving the loop.
+  std::vector<std::uint32_t> ExitTargets;
+  /// Index of the enclosing loop in the forest, or -1 for a top-level loop.
+  int Parent = -1;
+  std::vector<std::uint32_t> Children;
+  /// Nesting depth: 1 for top-level loops.
+  std::uint32_t Depth = 1;
+
+  bool contains(std::uint32_t Block) const;
+};
+
+/// The loop forest of one function.
+class LoopInfo {
+public:
+  LoopInfo(const ir::Function &F, const DominatorTree &DT);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// Returns the innermost loop containing \p Block, or -1.
+  int innermostLoop(std::uint32_t Block) const {
+    return BlockToLoop[Block];
+  }
+
+  /// Maximum nesting depth across the function (0 when there are no loops).
+  std::uint32_t maxDepth() const;
+
+  /// Number of loop levels between \p LoopIdx and its innermost descendant
+  /// (1 when the loop has no children), i.e. the paper's "loop height".
+  std::uint32_t heightOf(std::uint32_t LoopIdx) const;
+
+private:
+  std::vector<Loop> Loops;
+  std::vector<int> BlockToLoop;
+};
+
+} // namespace analysis
+} // namespace jrpm
+
+#endif // JRPM_ANALYSIS_LOOPINFO_H

@@ -1,0 +1,20 @@
+//===- frontend/Lower.h - AST to IR lowering -------------------------------==//
+
+#ifndef JRPM_FRONTEND_LOWER_H
+#define JRPM_FRONTEND_LOWER_H
+
+#include "frontend/Ast.h"
+#include "ir/IR.h"
+
+namespace jrpm {
+namespace front {
+
+/// Lowers \p Program into a finalized, verified IR module. Aborts with a
+/// diagnostic on malformed input (unknown local/function, break outside a
+/// loop); workload definitions are compiled-in and must be well formed.
+ir::Module lowerProgram(const ProgramDef &Program);
+
+} // namespace front
+} // namespace jrpm
+
+#endif // JRPM_FRONTEND_LOWER_H

@@ -1,0 +1,85 @@
+//===- hwcost/TransistorModel.cpp -----------------------------------------==//
+
+#include "hwcost/TransistorModel.h"
+
+using namespace jrpm;
+using namespace jrpm::hwcost;
+
+std::uint64_t CostBreakdown::total() const {
+  std::uint64_t T = 0;
+  for (const StructureCost &S : Structures)
+    T += S.total();
+  return T;
+}
+
+double CostBreakdown::fractionOf(const std::string &NameSubstring) const {
+  std::uint64_t T = total();
+  if (!T)
+    return 0.0;
+  std::uint64_t Part = 0;
+  for (const StructureCost &S : Structures)
+    if (S.Name.find(NameSubstring) != std::string::npos)
+      Part += S.total();
+  return static_cast<double>(Part) / static_cast<double>(T);
+}
+
+std::uint64_t hwcost::comparatorBankTransistors(const CostParams &P) {
+  // Figure 7 inventory, all datapaths 32 bits wide:
+  constexpr std::uint64_t Width = 32;
+  // Registers: thread start timestamps (t, t-1, entry), last LD/ST
+  // timestamps, critical arc lengths (t-1, < t-1) and their PCs.
+  constexpr std::uint64_t Registers = 9;
+  // Comparators: dependency-arc identification (2), critical-arc minimum
+  // (2), buffer-limit checks (2), cache-line timestamp checks (2).
+  constexpr std::uint64_t Comparators = 8;
+  // Counters: cycles, threads, entries, arcs/lengths for two bins, new
+  // load/store lines, overflows.
+  constexpr std::uint64_t Counters = 10;
+  // One adder for arc-length accumulation.
+  constexpr std::uint64_t Adders = 1;
+  // A counter is an incrementer plus its register; decode/mux/control adds
+  // roughly 40% on top of the raw datapath.
+  std::uint64_t Datapath =
+      Registers * Width * P.FlopTransistorsPerBit +
+      Comparators * Width * P.ComparatorTransistorsPerBit +
+      Counters * Width * (P.AdderTransistorsPerBit + P.FlopTransistorsPerBit) +
+      Adders * Width * P.AdderTransistorsPerBit;
+  return Datapath + (Datapath * 2) / 5;
+}
+
+CostBreakdown hwcost::estimateHydraCost(const sim::HydraConfig &Cfg,
+                                        const CostParams &P) {
+  CostBreakdown B;
+  auto SramBits = [&](std::uint64_t Bytes) {
+    return Bytes * 8 * P.SramTransistorsPerBit;
+  };
+
+  // CPU cores with FP units.
+  B.Structures.push_back({"CPU + FP core", Cfg.NumCores,
+                          P.CpuCoreTransistors});
+
+  // Per-core 16kB I + 16kB D caches (32kB of SRAM each core).
+  std::uint64_t L1Bytes = 2ull * Cfg.L1Lines * Cfg.WordsPerLine * 8;
+  B.Structures.push_back({"16kB I / 16kB D cache", Cfg.NumCores,
+                          SramBits(L1Bytes)});
+
+  // 2MB shared L2.
+  B.Structures.push_back({"2MB L2 cache", 1, SramBits(2ull * 1024 * 1024)});
+
+  // Five speculation write buffers: 2kB data each plus fully associative
+  // CAM tags (one 27-bit line tag per 32B line).
+  std::uint64_t BufBytes = Cfg.SpecStoreLines * Cfg.WordsPerLine * 8;
+  std::uint64_t BufCamBits = static_cast<std::uint64_t>(Cfg.SpecStoreLines) *
+                             27 * P.CamTransistorsPerBit;
+  // Per-line control: word valid/modified bits, priority/forwarding match
+  // logic, plus the drain state machine (sized to land near the paper's
+  // 172K per buffer).
+  std::uint64_t BufControl = Cfg.SpecStoreLines * 850 + 12000;
+  B.Structures.push_back({"Write buffer", 5,
+                          SramBits(BufBytes) + BufCamBits + BufControl});
+
+  // TEST: the comparator bank array.
+  B.Structures.push_back({"Comparator bank", Cfg.ComparatorBanks,
+                          comparatorBankTransistors(P)});
+  return B;
+}

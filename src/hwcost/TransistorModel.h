@@ -1,0 +1,61 @@
+//===- hwcost/TransistorModel.h - Table 5 transistor estimates -------------==//
+//
+// Analytic transistor-count model reproducing Table 5: SRAM arrays at six
+// transistors per bit, CAM tag bits at ten, and a gate-level estimate for
+// one comparator bank's registers, comparators, counters, and adder
+// (Figure 7). The headline claim: TEST adds < 1% to the CMP's transistors.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_HWCOST_TRANSISTORMODEL_H
+#define JRPM_HWCOST_TRANSISTORMODEL_H
+
+#include "sim/Config.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jrpm {
+namespace hwcost {
+
+struct StructureCost {
+  std::string Name;
+  std::uint32_t Count = 1;      ///< instances on the die
+  std::uint64_t Each = 0;       ///< transistors per instance
+  std::uint64_t total() const { return Count * Each; }
+};
+
+struct CostBreakdown {
+  std::vector<StructureCost> Structures;
+  std::uint64_t total() const;
+  /// Fraction of the total contributed by structures whose name matches
+  /// \p NameSubstring.
+  double fractionOf(const std::string &NameSubstring) const;
+};
+
+/// Transistor model parameters.
+struct CostParams {
+  std::uint64_t SramTransistorsPerBit = 6;
+  std::uint64_t CamTransistorsPerBit = 10;
+  /// One CPU integer+FP core (the paper uses 2500K).
+  std::uint64_t CpuCoreTransistors = 2500 * 1000;
+  /// Flip-flop cost per register bit and gates per comparator/counter bit.
+  std::uint64_t FlopTransistorsPerBit = 8;
+  std::uint64_t ComparatorTransistorsPerBit = 14;
+  std::uint64_t AdderTransistorsPerBit = 28;
+};
+
+/// Builds the full Hydra + TLS + TEST cost breakdown for \p Cfg.
+CostBreakdown estimateHydraCost(const sim::HydraConfig &Cfg,
+                                const CostParams &P = CostParams());
+
+/// Transistors for one comparator bank (Figure 7): thread-start registers,
+/// arc-length comparators, buffer-limit comparators, accumulation counters
+/// and the arc-length adder.
+std::uint64_t comparatorBankTransistors(const CostParams &P);
+
+} // namespace hwcost
+} // namespace jrpm
+
+#endif // JRPM_HWCOST_TRANSISTORMODEL_H

@@ -1,0 +1,34 @@
+//===- hydra/TlsCodegen.h - Globalizing carried locals ---------------------==//
+//
+// The speculative recompilation step (Section 3.2): "inter-thread local
+// variable dependencies are globalized". The loop body is rewritten so that
+// every carried non-inductor scalar is communicated through a heap spill
+// slot — loaded before its first use in each block, stored after every
+// definition — which lets the TLS hardware's dependency detection and
+// forwarding apply to local variables exactly as it does to heap data.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_HYDRA_TLSCODEGEN_H
+#define JRPM_HYDRA_TLSCODEGEN_H
+
+#include "ir/IR.h"
+#include "jit/TlsPlan.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jrpm {
+namespace hydra {
+
+/// Returns a copy of \p F with the blocks of \p Plan's loop globalized.
+/// \p SpillAddrs holds one heap word address per Plan.CarriedLocals entry.
+/// Block indices and register numbering are preserved.
+ir::Function globalizeLoopBody(const ir::Function &F,
+                               const jit::TlsLoopPlan &Plan,
+                               const std::vector<std::uint32_t> &SpillAddrs);
+
+} // namespace hydra
+} // namespace jrpm
+
+#endif // JRPM_HYDRA_TLSCODEGEN_H

@@ -1,0 +1,427 @@
+//===- hydra/TlsEngine.cpp ------------------------------------------------==//
+
+#include "hydra/TlsEngine.h"
+
+#include "hydra/TlsCodegen.h"
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+using namespace jrpm;
+using namespace jrpm::hydra;
+
+TlsEngine::TlsEngine(const ir::Module &M, const sim::HydraConfig &Cfg,
+                     std::vector<jit::TlsLoopPlan> Plans)
+    : Cfg(Cfg), EngineModule(M) {
+  Loops.reserve(Plans.size());
+  for (jit::TlsLoopPlan &Plan : Plans) {
+    PreparedLoop PL;
+    PL.Plan = std::move(Plan);
+    HeaderIndex[{PL.Plan.Func, PL.Plan.Header}] =
+        static_cast<std::uint32_t>(Loops.size());
+    Loops.push_back(std::move(PL));
+  }
+  Threads.resize(Cfg.NumCores);
+  for (std::uint32_t C = 0; C < Cfg.NumCores; ++C) {
+    Threads[C].Ctx = std::make_unique<interp::ExecContext>(EngineModule, Cfg);
+    Threads[C].L1 = std::make_unique<sim::L1CacheModel>(Cfg);
+    Ports.push_back(std::make_unique<SpecPort>(*this, C));
+  }
+}
+
+std::uint32_t TlsEngine::SpecPort::allocWords(std::uint32_t Count) {
+  (void)Count;
+  JRPM_FATAL("heap allocation inside a speculative thread (the candidate "
+             "screen should have rejected this loop)");
+}
+
+TlsLoopRunStats TlsEngine::totals() const {
+  TlsLoopRunStats T;
+  for (const auto &[LoopId, S] : Stats) {
+    T.Invocations += S.Invocations;
+    T.CommittedThreads += S.CommittedThreads;
+    T.Violations += S.Violations;
+    T.Restarts += S.Restarts;
+    T.OverflowStalls += S.OverflowStalls;
+    T.SyncStalls += S.SyncStalls;
+    T.SpecCycles += S.SpecCycles;
+  }
+  return T;
+}
+
+void TlsEngine::prepareLoop(PreparedLoop &PL, interp::Machine &M) {
+  if (PL.Ready)
+    return;
+  PL.SpillAddrs.clear();
+  for (std::size_t K = 0; K < PL.Plan.CarriedLocals.size(); ++K)
+    PL.SpillAddrs.push_back(M.heap().allocWords(1));
+  std::sort(PL.SpillAddrs.begin(), PL.SpillAddrs.end());
+  ir::Function Clone = globalizeLoopBody(
+      EngineModule.Functions[PL.Plan.Func], PL.Plan, PL.SpillAddrs);
+  EngineModule.Functions.push_back(std::move(Clone));
+  PL.TlsFunc = static_cast<std::uint32_t>(EngineModule.Functions.size() - 1);
+  EngineModule.finalize();
+  PL.Ready = true;
+}
+
+bool TlsEngine::onBlockStart(interp::ExecContext &Ctx, interp::Machine &M) {
+  auto It = HeaderIndex.find({Ctx.currentFunc(), Ctx.currentBlock()});
+  if (It == HeaderIndex.end())
+    return false;
+  PreparedLoop &PL = Loops[It->second];
+  prepareLoop(PL, M);
+  runLoop(PL, Ctx, M);
+  return true;
+}
+
+std::uint32_t TlsEngine::violationKey(std::uint32_t Addr) const {
+  return Cfg.ViolationGrain == sim::ViolationGranularity::Word
+             ? Addr
+             : Addr / Cfg.WordsPerLine;
+}
+
+std::vector<std::uint64_t> TlsEngine::spawnRegs(std::uint64_t Iter) const {
+  std::vector<std::uint64_t> Regs = EntryRegs;
+  for (const auto &[Reg, Step] : Cur->Plan.Inductors)
+    Regs[Reg] = EntryRegs[Reg] +
+                Iter * static_cast<std::uint64_t>(Step);
+  for (const auto &[Reg, Kind] : Cur->Plan.Reductions) {
+    (void)Kind; // both integer 0 and +0.0 are the zero bit pattern
+    Regs[Reg] = 0;
+  }
+  return Regs;
+}
+
+void TlsEngine::spawnThread(std::uint32_t Core, std::uint64_t Iter) {
+  SpecThread &T = Threads[Core];
+  T.Active = true;
+  T.State = SpecThread::St::Running;
+  T.Iter = Iter;
+  T.StoreBuf.clear();
+  T.StoreLines.clear();
+  T.ReadSet.clear();
+  T.ReadLines.clear();
+  T.Ctx->startAt(Cur->TlsFunc, Cur->Plan.Header, spawnRegs(Iter));
+}
+
+void TlsEngine::squashThread(std::uint32_t Core) {
+  SpecThread &T = Threads[Core];
+  ++CurStats->Restarts;
+  std::uint64_t Iter = T.Iter;
+  spawnThread(Core, Iter);
+  T.ReadyAt = Cycle + Cfg.ViolationRestartCycles + Cur->Plan.NumInvariants;
+}
+
+void TlsEngine::flushStoreBuffer(SpecThread &T) {
+  for (const auto &[Addr, Value] : T.StoreBuf)
+    CurHeap->store(Addr, Value);
+  T.StoreBuf.clear();
+  T.StoreLines.clear();
+}
+
+void TlsEngine::accumulateReductions(SpecThread &T) {
+  const std::vector<std::uint64_t> &Regs = T.Ctx->topRegs();
+  for (std::size_t K = 0; K < Cur->Plan.Reductions.size(); ++K) {
+    auto [Reg, Kind] = Cur->Plan.Reductions[K];
+    if (Kind == analysis::ReductionKind::SumFloat) {
+      double Sum = std::bit_cast<double>(ReductionAcc[K]) +
+                   std::bit_cast<double>(Regs[Reg]);
+      ReductionAcc[K] = std::bit_cast<std::uint64_t>(Sum);
+    } else {
+      ReductionAcc[K] += Regs[Reg];
+    }
+  }
+}
+
+void TlsEngine::resumeSyncWaiters() {
+  for (SpecThread &T : Threads) {
+    if (!T.Active || T.State != SpecThread::St::WaitSync)
+      continue;
+    SpecThread *Pred = nullptr;
+    for (SpecThread &U : Threads)
+      if (U.Active && U.Iter + 1 == T.Iter)
+        Pred = &U;
+    bool Ready = !Pred || Pred->State == SpecThread::St::IterDone ||
+                 Pred->State == SpecThread::St::Exited ||
+                 Pred->StoreBuf.count(T.SyncAddr);
+    if (Ready) {
+      T.State = SpecThread::St::Running;
+      T.ReadyAt = std::max(T.ReadyAt, Cycle);
+    }
+  }
+}
+
+void TlsEngine::recomputeExitCap() {
+  ExitCap.reset();
+  for (const SpecThread &T : Threads)
+    if (T.Active && T.State == SpecThread::St::Exited)
+      ExitCap = ExitCap ? std::min(*ExitCap, T.Iter) : T.Iter;
+}
+
+void TlsEngine::commitThread(std::uint32_t Core) {
+  SpecThread &T = Threads[Core];
+  flushStoreBuffer(T);
+  accumulateReductions(T);
+  T.ReadSet.clear();
+  T.ReadLines.clear();
+  ++CurStats->CommittedThreads;
+  ++HeadIter;
+  // The core picks up the next iteration after the end-of-iteration
+  // handling overhead.
+  if (!ExitCap || NextIter < *ExitCap) {
+    spawnThread(Core, NextIter++);
+    T.ReadyAt = Cycle + Cfg.EndOfIterationCycles;
+  } else {
+    T.Active = false;
+    T.State = SpecThread::St::Idle;
+  }
+}
+
+std::uint64_t TlsEngine::specLoad(std::uint32_t Core, std::uint32_t Addr,
+                                  std::uint32_t &Extra) {
+  SpecThread &T = Threads[Core];
+  // Own speculative store buffer first.
+  auto Own = T.StoreBuf.find(Addr);
+  if (Own != T.StoreBuf.end())
+    return Own->second;
+
+  // Synchronized carried locals (Section 3.2): spin until the predecessor
+  // thread has produced the value instead of speculating through it.
+  if (Cfg.SyncCarriedLocals && T.Iter != HeadIter && Cur->isSpillAddr(Addr)) {
+    for (SpecThread &Pred : Threads) {
+      if (!Pred.Active || Pred.Iter + 1 != T.Iter)
+        continue;
+      bool Produced = Pred.State == SpecThread::St::IterDone ||
+                      Pred.State == SpecThread::St::Exited ||
+                      Pred.StoreBuf.count(Addr);
+      if (!Produced) {
+        T.State = SpecThread::St::WaitSync;
+        T.SyncAddr = Addr;
+        SyncRewindPending = true;
+        ++CurStats->SyncStalls;
+        return 0; // dummy; the load re-issues after the producer stores
+      }
+      break;
+    }
+  }
+
+  // Forward from the nearest earlier uncommitted thread holding the word.
+  const SpecThread *Source = nullptr;
+  for (const SpecThread &U : Threads) {
+    if (!U.Active || &U == &T || U.Iter >= T.Iter)
+      continue;
+    if (!U.StoreBuf.count(Addr))
+      continue;
+    if (!Source || U.Iter > Source->Iter)
+      Source = &U;
+  }
+
+  std::uint64_t Value;
+  if (Source) {
+    Extra += Cfg.StoreLoadCommCycles;
+    Value = Source->StoreBuf.at(Addr);
+  } else {
+    if (!T.L1->access(Addr))
+      Extra += Cfg.L2HitExtraCycles;
+    Value = CurHeap->load(Addr);
+  }
+
+  // Track speculative read state for violation detection and overflow.
+  T.ReadSet.insert(violationKey(Addr));
+  T.ReadLines.insert(Addr / Cfg.WordsPerLine);
+  if (T.ReadLines.size() > Cfg.SpecLoadLines && T.Iter != HeadIter) {
+    T.State = SpecThread::St::WaitHead;
+    ++CurStats->OverflowStalls;
+  }
+  return Value;
+}
+
+void TlsEngine::specStore(std::uint32_t Core, std::uint32_t Addr,
+                          std::uint64_t Value, std::uint32_t &Extra) {
+  (void)Extra;
+  SpecThread &T = Threads[Core];
+  T.StoreBuf[Addr] = Value;
+  T.StoreLines.insert(Addr / Cfg.WordsPerLine);
+  if (T.StoreLines.size() > Cfg.SpecStoreLines) {
+    if (T.Iter == HeadIter) {
+      // The head thread can always drain its buffer safely.
+      flushStoreBuffer(T);
+    } else {
+      T.State = SpecThread::St::WaitHead;
+      ++CurStats->OverflowStalls;
+    }
+  }
+
+  // RAW violation detection: any later thread that already consumed this
+  // word restarts, together with everything more speculative than it.
+  std::uint32_t Key = violationKey(Addr);
+  std::optional<std::uint64_t> MinViolated;
+  for (const SpecThread &U : Threads) {
+    if (!U.Active || U.Iter <= T.Iter)
+      continue;
+    if (U.ReadSet.count(Key))
+      MinViolated = MinViolated ? std::min(*MinViolated, U.Iter) : U.Iter;
+  }
+  if (!MinViolated)
+    return;
+  ++CurStats->Violations;
+  bool HadExit = ExitCap.has_value();
+  for (std::uint32_t C = 0; C < Threads.size(); ++C)
+    if (Threads[C].Active && Threads[C].Iter >= *MinViolated)
+      squashThread(C);
+  if (HadExit)
+    recomputeExitCap();
+}
+
+void TlsEngine::runLoop(PreparedLoop &PL, interp::ExecContext &Ctx,
+                        interp::Machine &M) {
+  Cur = &PL;
+  CurHeap = &M.heap();
+  CurStats = &Stats[PL.Plan.LoopId];
+  ++CurStats->Invocations;
+
+  EntryRegs = Ctx.topRegs();
+  assert(EntryRegs.size() >=
+             EngineModule.Functions[PL.Plan.Func].NumRegs &&
+         "entry registers too small");
+
+  // Loop startup (Table 2): initialize loop locals in the spill area and
+  // snapshot reduction accumulators.
+  for (std::size_t K = 0; K < PL.Plan.CarriedLocals.size(); ++K)
+    CurHeap->store(PL.SpillAddrs[K], EntryRegs[PL.Plan.CarriedLocals[K]]);
+  ReductionAcc.clear();
+  for (const auto &[Reg, Kind] : PL.Plan.Reductions) {
+    (void)Kind;
+    ReductionAcc.push_back(EntryRegs[Reg]);
+  }
+
+  Cycle = Cfg.LoopStartupCycles;
+  HeadIter = 0;
+  NextIter = 0;
+  ExitCap.reset();
+  for (std::uint32_t C = 0; C < Cfg.NumCores; ++C) {
+    spawnThread(C, NextIter++);
+    Threads[C].ReadyAt = Cycle;
+  }
+
+  SpecThread *ExitThread = nullptr;
+  // Guards against engine bugs; generous for the largest loops.
+  constexpr std::uint64_t MaxLoopCycles = 20ull * 1000 * 1000 * 1000;
+  while (true) {
+    // Head-state transitions first: resume, commit, or finish.
+    bool HeadHandled = false;
+    for (std::uint32_t C = 0; C < Threads.size(); ++C) {
+      SpecThread &T = Threads[C];
+      if (!T.Active || T.Iter != HeadIter)
+        continue;
+      if (T.State == SpecThread::St::WaitHead) {
+        T.State = SpecThread::St::Running;
+        T.ReadyAt = std::max(T.ReadyAt, Cycle);
+      } else if (T.State == SpecThread::St::IterDone) {
+        commitThread(C);
+        HeadHandled = true;
+      } else if (T.State == SpecThread::St::Exited) {
+        ExitThread = &T;
+      }
+      break; // exactly one head thread exists
+    }
+    if (ExitThread)
+      break;
+    if (HeadHandled)
+      continue;
+
+    resumeSyncWaiters();
+
+    // Refill idle cores when iterations are available (iterations past a
+    // speculatively-exited thread would only be squashed).
+    for (std::uint32_t C = 0; C < Threads.size(); ++C) {
+      if (Threads[C].Active)
+        continue;
+      if (ExitCap && NextIter >= *ExitCap)
+        continue;
+      spawnThread(C, NextIter++);
+      Threads[C].ReadyAt = Cycle;
+    }
+
+    // Step every running thread whose core is free this cycle.
+    bool AnyStep = false;
+    for (std::uint32_t C = 0; C < Threads.size(); ++C) {
+      SpecThread &T = Threads[C];
+      if (!T.Active || T.State != SpecThread::St::Running ||
+          T.ReadyAt > Cycle)
+        continue;
+      AnyStep = true;
+      std::uint32_t Cost = T.Ctx->step(*Ports[C], nullptr, Cycle);
+      T.ReadyAt = Cycle + Cost;
+      if (SyncRewindPending) {
+        // The load could not be satisfied yet: undo it; it re-issues when
+        // resumeSyncWaiters() releases the thread.
+        SyncRewindPending = false;
+        T.Ctx->rewindTop();
+        continue;
+      }
+      if (T.Ctx->finished())
+        JRPM_FATAL("speculative thread returned out of the STL's function");
+      // specLoad/specStore may have stalled the thread; control transfers
+      // are inspected only at the loop's own call depth.
+      if (T.State == SpecThread::St::Running && T.Ctx->callDepth() == 1 &&
+          T.Ctx->atBlockStart()) {
+        std::uint32_t B = T.Ctx->currentBlock();
+        if (B == PL.Plan.Header) {
+          T.State = SpecThread::St::IterDone;
+        } else if (!PL.Plan.containsBlock(B)) {
+          T.State = SpecThread::St::Exited;
+          T.ExitBlock = B;
+          recomputeExitCap();
+        }
+      }
+    }
+
+    if (AnyStep) {
+      ++Cycle;
+    } else {
+      // Jump to the next time a core becomes ready.
+      std::uint64_t Next = ~std::uint64_t(0);
+      for (const SpecThread &T : Threads)
+        if (T.Active && T.State == SpecThread::St::Running)
+          Next = std::min(Next, T.ReadyAt);
+      if (Next == ~std::uint64_t(0))
+        ++Cycle; // everyone is waiting on the head; transitions above apply
+      else
+        Cycle = std::max(Cycle + 1, Next);
+    }
+    if (Cycle > MaxLoopCycles)
+      JRPM_FATAL("TLS loop exceeded the cycle watchdog (engine livelock?)");
+  }
+
+  // Loop shutdown: adopt the exiting thread's state into the sequential
+  // context, complete reductions, and reload carried locals from memory.
+  SpecThread &T = *ExitThread;
+  flushStoreBuffer(T);
+  accumulateReductions(T);
+  std::vector<std::uint64_t> FinalRegs = T.Ctx->topRegs();
+  for (std::size_t K = 0; K < PL.Plan.CarriedLocals.size(); ++K)
+    FinalRegs[PL.Plan.CarriedLocals[K]] = CurHeap->load(PL.SpillAddrs[K]);
+  for (std::size_t K = 0; K < PL.Plan.Reductions.size(); ++K)
+    FinalRegs[PL.Plan.Reductions[K].first] = ReductionAcc[K];
+
+  std::uint32_t ExitBlock = T.ExitBlock;
+  for (SpecThread &U : Threads) {
+    U.Active = false;
+    U.State = SpecThread::St::Idle;
+    U.StoreBuf.clear();
+    U.StoreLines.clear();
+    U.ReadSet.clear();
+    U.ReadLines.clear();
+  }
+
+  Cycle += Cfg.LoopShutdownCycles;
+  CurStats->SpecCycles += Cycle;
+  M.addCycles(Cycle);
+  Ctx.repositionTop(ExitBlock, std::move(FinalRegs));
+  Cur = nullptr;
+  CurHeap = nullptr;
+  CurStats = nullptr;
+}

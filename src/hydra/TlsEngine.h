@@ -1,0 +1,160 @@
+//===- hydra/TlsEngine.h - Speculative execution of selected STLs ----------==//
+//
+// Cycle-level model of Hydra's four-core thread-level speculation. When
+// sequential execution reaches the header of a selected STL, the engine
+// takes over: loop iterations are assigned to cores in sequential order,
+// stores are buffered per thread (Table 1 limits), loads forward from the
+// nearest earlier uncommitted thread, a store by an earlier thread to data
+// a later thread already read violates and restarts the later thread (and
+// everything more speculative), buffer overflows stall a thread until it
+// becomes the head, and the head thread committing the loop-exit path ends
+// the STL. Fixed overheads follow Table 2.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_HYDRA_TLSENGINE_H
+#define JRPM_HYDRA_TLSENGINE_H
+
+#include "interp/ExecContext.h"
+#include "interp/Machine.h"
+#include "jit/TlsPlan.h"
+#include "sim/CacheModel.h"
+#include "sim/Config.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace jrpm {
+namespace hydra {
+
+/// Per-loop speculative execution statistics.
+struct TlsLoopRunStats {
+  std::uint64_t Invocations = 0;
+  std::uint64_t CommittedThreads = 0;
+  std::uint64_t Violations = 0;
+  std::uint64_t Restarts = 0;
+  std::uint64_t OverflowStalls = 0;
+  std::uint64_t SyncStalls = 0;
+  std::uint64_t SpecCycles = 0;
+};
+
+class TlsEngine : public interp::LoopDispatcher {
+public:
+  /// \p M is the plain (unannotated) module the sequential machine runs;
+  /// \p Plans describe the selected STLs.
+  TlsEngine(const ir::Module &M, const sim::HydraConfig &Cfg,
+            std::vector<jit::TlsLoopPlan> Plans);
+
+  bool onBlockStart(interp::ExecContext &Ctx, interp::Machine &M) override;
+
+  const std::map<std::uint32_t, TlsLoopRunStats> &loopStats() const {
+    return Stats;
+  }
+
+  /// Aggregate statistics over all loops.
+  TlsLoopRunStats totals() const;
+
+private:
+  struct PreparedLoop {
+    jit::TlsLoopPlan Plan;
+    /// Index of the globalized clone within EngineModule (0 = not yet
+    /// prepared).
+    std::uint32_t TlsFunc = 0;
+    std::vector<std::uint32_t> SpillAddrs; // sorted for membership checks
+    bool Ready = false;
+
+    bool isSpillAddr(std::uint32_t Addr) const {
+      return std::binary_search(SpillAddrs.begin(), SpillAddrs.end(), Addr);
+    }
+  };
+
+  /// One core's speculative thread state.
+  struct SpecThread {
+    enum class St { Idle, Running, WaitHead, WaitSync, IterDone, Exited };
+    St State = St::Idle;
+    bool Active = false;
+    std::uint64_t Iter = 0;
+    std::uint64_t ReadyAt = 0;
+    std::uint32_t ExitBlock = 0;
+    /// Spill address a WaitSync thread spins on.
+    std::uint32_t SyncAddr = 0;
+    std::unique_ptr<interp::ExecContext> Ctx;
+    std::unique_ptr<sim::L1CacheModel> L1;
+    std::unordered_map<std::uint32_t, std::uint64_t> StoreBuf;
+    std::unordered_set<std::uint32_t> StoreLines;
+    std::unordered_set<std::uint32_t> ReadSet;
+    std::unordered_set<std::uint32_t> ReadLines;
+  };
+
+  /// MemoryPort adapter binding a core index to the engine.
+  class SpecPort : public interp::MemoryPort {
+  public:
+    SpecPort(TlsEngine &E, std::uint32_t Core) : E(E), Core(Core) {}
+    std::uint64_t load(std::uint32_t Addr, std::uint32_t &Extra) override {
+      return E.specLoad(Core, Addr, Extra);
+    }
+    void store(std::uint32_t Addr, std::uint64_t Value,
+               std::uint32_t &Extra) override {
+      E.specStore(Core, Addr, Value, Extra);
+    }
+    std::uint32_t allocWords(std::uint32_t Count) override;
+
+  private:
+    TlsEngine &E;
+    std::uint32_t Core;
+  };
+
+  void prepareLoop(PreparedLoop &PL, interp::Machine &M);
+  void runLoop(PreparedLoop &PL, interp::ExecContext &Ctx,
+               interp::Machine &M);
+
+  std::uint64_t specLoad(std::uint32_t Core, std::uint32_t Addr,
+                         std::uint32_t &Extra);
+  void specStore(std::uint32_t Core, std::uint32_t Addr, std::uint64_t Value,
+                 std::uint32_t &Extra);
+
+  // --- runLoop helpers (valid only during runLoop) -------------------------
+  std::vector<std::uint64_t> spawnRegs(std::uint64_t Iter) const;
+  void spawnThread(std::uint32_t Core, std::uint64_t Iter);
+  void squashThread(std::uint32_t Core);
+  /// Resumes WaitSync threads whose producer has delivered (or finished).
+  void resumeSyncWaiters();
+  void commitThread(std::uint32_t Core);
+  void flushStoreBuffer(SpecThread &T);
+  void accumulateReductions(SpecThread &T);
+  void recomputeExitCap();
+  std::uint32_t violationKey(std::uint32_t Addr) const;
+
+  const sim::HydraConfig &Cfg;
+  ir::Module EngineModule; // plain module + appended globalized clones
+  std::vector<PreparedLoop> Loops;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t>
+      HeaderIndex; // (func, header) -> index into Loops
+  std::map<std::uint32_t, TlsLoopRunStats> Stats;
+
+  // Live state of the current runLoop invocation.
+  interp::Heap *CurHeap = nullptr;
+  const PreparedLoop *Cur = nullptr;
+  TlsLoopRunStats *CurStats = nullptr;
+  std::vector<SpecThread> Threads; // one per core
+  std::vector<std::unique_ptr<SpecPort>> Ports;
+  std::uint64_t Cycle = 0;
+  std::uint64_t HeadIter = 0;
+  std::uint64_t NextIter = 0;
+  std::optional<std::uint64_t> ExitCap;
+  std::vector<std::uint64_t> EntryRegs;
+  std::vector<std::uint64_t> ReductionAcc;
+  /// Set by specLoad when a synchronized load must be retried; runLoop
+  /// rewinds the context so the load re-issues after the producer stores.
+  bool SyncRewindPending = false;
+};
+
+} // namespace hydra
+} // namespace jrpm
+
+#endif // JRPM_HYDRA_TLSENGINE_H

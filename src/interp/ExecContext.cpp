@@ -1,0 +1,327 @@
+//===- interp/ExecContext.cpp ---------------------------------------------==//
+
+#include "interp/ExecContext.h"
+
+#include "support/Compiler.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+using namespace jrpm;
+using namespace jrpm::interp;
+
+void ExecContext::start(std::uint32_t Func,
+                        const std::vector<std::uint64_t> &Args) {
+  const ir::Function &F = M.Functions[Func];
+  assert(Args.size() == F.NumParams && "wrong argument count");
+  Frame Fr;
+  Fr.Func = Func;
+  Fr.Activation = NextActivation++;
+  Fr.Regs.assign(F.NumRegs, 0);
+  for (std::uint32_t I = 0; I < Args.size(); ++I)
+    Fr.Regs[I] = Args[I];
+  Frames.clear();
+  Frames.push_back(std::move(Fr));
+  Executed = 0;
+}
+
+void ExecContext::startAt(std::uint32_t Func, std::uint32_t Block,
+                          std::vector<std::uint64_t> Regs) {
+  assert(Regs.size() >= M.Functions[Func].NumRegs && "register file too small");
+  Frame Fr;
+  Fr.Func = Func;
+  Fr.Block = Block;
+  Fr.Activation = NextActivation++;
+  Fr.Regs = std::move(Regs);
+  Frames.clear();
+  Frames.push_back(std::move(Fr));
+}
+
+namespace {
+
+double asF(std::uint64_t V) { return std::bit_cast<double>(V); }
+std::uint64_t asU(double V) { return std::bit_cast<std::uint64_t>(V); }
+std::int64_t asI(std::uint64_t V) { return static_cast<std::int64_t>(V); }
+
+} // namespace
+
+std::uint32_t ExecContext::step(MemoryPort &Mem, TraceSink *Sink,
+                                std::uint64_t Now) {
+  assert(!Frames.empty() && "stepping a finished context");
+  Frame &F = Frames.back();
+  const ir::Instruction &I =
+      M.Functions[F.Func].Blocks[F.Block].Instructions[F.Instr];
+  ++Executed;
+  const sim::CostModel &Costs = Cfg.Costs;
+  std::uint32_t Cost = Costs.Basic;
+  auto R = [&](std::uint16_t Reg) -> std::uint64_t & { return F.Regs[Reg]; };
+  auto Advance = [&] { ++F.Instr; };
+
+  switch (I.Op) {
+  case ir::Opcode::Add:
+    R(I.Dst) = R(I.A) + R(I.B);
+    Advance();
+    break;
+  case ir::Opcode::Sub:
+    R(I.Dst) = R(I.A) - R(I.B);
+    Advance();
+    break;
+  case ir::Opcode::Mul:
+    R(I.Dst) = R(I.A) * R(I.B);
+    Advance();
+    break;
+  case ir::Opcode::Div: {
+    std::int64_t D = asI(R(I.B));
+    assert(D != 0 && "integer division by zero");
+    R(I.Dst) = static_cast<std::uint64_t>(asI(R(I.A)) / D);
+    Cost = Costs.IntDiv;
+    Advance();
+    break;
+  }
+  case ir::Opcode::Rem: {
+    std::int64_t D = asI(R(I.B));
+    assert(D != 0 && "integer remainder by zero");
+    R(I.Dst) = static_cast<std::uint64_t>(asI(R(I.A)) % D);
+    Cost = Costs.IntDiv;
+    Advance();
+    break;
+  }
+  case ir::Opcode::And:
+    R(I.Dst) = R(I.A) & R(I.B);
+    Advance();
+    break;
+  case ir::Opcode::Or:
+    R(I.Dst) = R(I.A) | R(I.B);
+    Advance();
+    break;
+  case ir::Opcode::Xor:
+    R(I.Dst) = R(I.A) ^ R(I.B);
+    Advance();
+    break;
+  case ir::Opcode::Shl:
+    R(I.Dst) = R(I.A) << (R(I.B) & 63);
+    Advance();
+    break;
+  case ir::Opcode::Shr:
+    R(I.Dst) = static_cast<std::uint64_t>(asI(R(I.A)) >> (R(I.B) & 63));
+    Advance();
+    break;
+  case ir::Opcode::AddImm:
+    R(I.Dst) = R(I.A) + static_cast<std::uint64_t>(I.Imm);
+    Advance();
+    break;
+  case ir::Opcode::FAdd:
+    R(I.Dst) = asU(asF(R(I.A)) + asF(R(I.B)));
+    Advance();
+    break;
+  case ir::Opcode::FSub:
+    R(I.Dst) = asU(asF(R(I.A)) - asF(R(I.B)));
+    Advance();
+    break;
+  case ir::Opcode::FMul:
+    R(I.Dst) = asU(asF(R(I.A)) * asF(R(I.B)));
+    Advance();
+    break;
+  case ir::Opcode::FDiv:
+    R(I.Dst) = asU(asF(R(I.A)) / asF(R(I.B)));
+    Cost = Costs.FloatDiv;
+    Advance();
+    break;
+  case ir::Opcode::FNeg:
+    R(I.Dst) = asU(-asF(R(I.A)));
+    Advance();
+    break;
+  case ir::Opcode::FSqrt:
+    R(I.Dst) = asU(std::sqrt(asF(R(I.A))));
+    Cost = Costs.FloatSqrt;
+    Advance();
+    break;
+  case ir::Opcode::IToF:
+    R(I.Dst) = asU(static_cast<double>(asI(R(I.A))));
+    Advance();
+    break;
+  case ir::Opcode::FToI:
+    R(I.Dst) = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(asF(R(I.A))));
+    Advance();
+    break;
+  case ir::Opcode::CmpEQ:
+    R(I.Dst) = R(I.A) == R(I.B);
+    Advance();
+    break;
+  case ir::Opcode::CmpNE:
+    R(I.Dst) = R(I.A) != R(I.B);
+    Advance();
+    break;
+  case ir::Opcode::CmpLT:
+    R(I.Dst) = asI(R(I.A)) < asI(R(I.B));
+    Advance();
+    break;
+  case ir::Opcode::CmpLE:
+    R(I.Dst) = asI(R(I.A)) <= asI(R(I.B));
+    Advance();
+    break;
+  case ir::Opcode::CmpGT:
+    R(I.Dst) = asI(R(I.A)) > asI(R(I.B));
+    Advance();
+    break;
+  case ir::Opcode::CmpGE:
+    R(I.Dst) = asI(R(I.A)) >= asI(R(I.B));
+    Advance();
+    break;
+  case ir::Opcode::FCmpEQ:
+    R(I.Dst) = asF(R(I.A)) == asF(R(I.B));
+    Advance();
+    break;
+  case ir::Opcode::FCmpLT:
+    R(I.Dst) = asF(R(I.A)) < asF(R(I.B));
+    Advance();
+    break;
+  case ir::Opcode::FCmpLE:
+    R(I.Dst) = asF(R(I.A)) <= asF(R(I.B));
+    Advance();
+    break;
+  case ir::Opcode::ConstI:
+    R(I.Dst) = static_cast<std::uint64_t>(I.Imm);
+    Advance();
+    break;
+  case ir::Opcode::ConstF:
+    R(I.Dst) = static_cast<std::uint64_t>(I.Imm);
+    Advance();
+    break;
+  case ir::Opcode::Mov:
+    R(I.Dst) = R(I.A);
+    Advance();
+    break;
+  case ir::Opcode::Load: {
+    std::uint64_t Ea = static_cast<std::uint64_t>(I.Imm);
+    if (I.A != ir::NoReg)
+      Ea += R(I.A);
+    if (I.B != ir::NoReg)
+      Ea += R(I.B);
+    std::uint32_t Addr = static_cast<std::uint32_t>(Ea);
+    std::uint32_t Extra = 0;
+    R(I.Dst) = Mem.load(Addr, Extra);
+    Cost += Extra;
+    if (Sink)
+      Cost += Sink->onHeapLoad(Addr, Now, I.Pc);
+    Advance();
+    break;
+  }
+  case ir::Opcode::Store: {
+    std::uint64_t Ea = static_cast<std::uint64_t>(I.Imm);
+    if (I.A != ir::NoReg)
+      Ea += R(I.A);
+    if (I.B != ir::NoReg)
+      Ea += R(I.B);
+    std::uint32_t Addr = static_cast<std::uint32_t>(Ea);
+    std::uint32_t Extra = 0;
+    Mem.store(Addr, R(I.Dst), Extra);
+    Cost += Extra;
+    if (Sink)
+      Cost += Sink->onHeapStore(Addr, Now, I.Pc);
+    Advance();
+    break;
+  }
+  case ir::Opcode::Alloc: {
+    std::uint32_t Count = I.A != ir::NoReg
+                              ? static_cast<std::uint32_t>(R(I.A))
+                              : static_cast<std::uint32_t>(I.Imm);
+    R(I.Dst) = Mem.allocWords(Count);
+    Advance();
+    break;
+  }
+  case ir::Opcode::Br:
+    F.Block = static_cast<std::uint32_t>(I.Imm);
+    F.Instr = 0;
+    break;
+  case ir::Opcode::CondBr:
+    F.Block = R(I.A) != 0 ? static_cast<std::uint32_t>(I.Imm)
+                          : static_cast<std::uint32_t>(I.Imm2);
+    F.Instr = 0;
+    break;
+  case ir::Opcode::Arg:
+    F.StagedArgs.push_back(R(I.A));
+    Advance();
+    break;
+  case ir::Opcode::Call: {
+    std::uint32_t Callee = static_cast<std::uint32_t>(I.Imm);
+    const ir::Function &CF = M.Functions[Callee];
+    assert(F.StagedArgs.size() == CF.NumParams && "bad call arity");
+    Frame NewF;
+    NewF.Func = Callee;
+    NewF.Activation = NextActivation++;
+    NewF.RetDst = I.Dst;
+    NewF.Regs.assign(CF.NumRegs, 0);
+    for (std::uint32_t A = 0; A < F.StagedArgs.size(); ++A)
+      NewF.Regs[A] = F.StagedArgs[A];
+    F.StagedArgs.clear();
+    Advance(); // resume point after the call
+    Cost = Costs.CallOverhead;
+    if (Sink)
+      Sink->onCallSite(I.Pc, Now);
+    Frames.push_back(std::move(NewF));
+    break;
+  }
+  case ir::Opcode::Ret: {
+    std::uint64_t Value = I.A != ir::NoReg ? R(I.A) : 0;
+    if (Sink) {
+      Sink->onReturn(F.Activation);
+      Sink->onCallReturn(Now);
+    }
+    std::uint16_t RetDst = F.RetDst;
+    Frames.pop_back();
+    if (Frames.empty())
+      RetVal = Value;
+    else if (RetDst != ir::NoReg)
+      Frames.back().Regs[RetDst] = Value;
+    Cost = Costs.CallOverhead;
+    break;
+  }
+  // Annotation instructions cost one cycle by themselves (the nop they
+  // degrade to when the runtime disables a loop's tracing); the tracer
+  // charges the coprocessor interaction on top while it is listening.
+  case ir::Opcode::SLoop:
+    Cost = Costs.Basic;
+    if (Sink)
+      Cost += Sink->onLoopStart(static_cast<std::uint32_t>(I.Imm),
+                                F.Activation, Now);
+    Advance();
+    break;
+  case ir::Opcode::Eoi:
+    Cost = Costs.Basic;
+    if (Sink)
+      Cost += Sink->onLoopIter(static_cast<std::uint32_t>(I.Imm), Now);
+    Advance();
+    break;
+  case ir::Opcode::ELoop:
+    Cost = Costs.Basic;
+    if (Sink)
+      Cost += Sink->onLoopEnd(static_cast<std::uint32_t>(I.Imm), Now);
+    Advance();
+    break;
+  case ir::Opcode::LwlAnno:
+    Cost = Cfg.LocalAnnoCost;
+    if (Sink)
+      Cost += Sink->onLocalLoad(F.Activation, I.A, Now, I.Pc);
+    Advance();
+    break;
+  case ir::Opcode::SwlAnno:
+    Cost = Cfg.LocalAnnoCost;
+    if (Sink)
+      Cost += Sink->onLocalStore(F.Activation, I.A, Now, I.Pc);
+    Advance();
+    break;
+  case ir::Opcode::ReadStats:
+    Cost = Costs.Basic;
+    if (Sink)
+      Cost += Sink->onReadStats(static_cast<std::uint32_t>(I.Imm), Now);
+    Advance();
+    break;
+  case ir::Opcode::Nop:
+    Advance();
+    break;
+  }
+  return Cost;
+}

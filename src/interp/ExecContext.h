@@ -1,0 +1,109 @@
+//===- interp/ExecContext.h - IR instruction stepping ----------------------==//
+//
+// A call stack plus a step() function that executes one instruction through
+// a MemoryPort, optionally emitting profiling events to a TraceSink. The
+// sequential machine and every speculative thread of the Hydra TLS engine
+// are instances of this class.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_INTERP_EXECCONTEXT_H
+#define JRPM_INTERP_EXECCONTEXT_H
+
+#include "interp/MemoryPort.h"
+#include "interp/TraceSink.h"
+#include "ir/IR.h"
+#include "sim/Config.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jrpm {
+namespace interp {
+
+/// One function activation.
+struct Frame {
+  std::uint32_t Func = 0;
+  std::uint32_t Block = 0;
+  std::uint32_t Instr = 0;
+  std::uint64_t Activation = 0;
+  std::uint16_t RetDst = ir::NoReg;
+  std::vector<std::uint64_t> Regs;
+  std::vector<std::uint64_t> StagedArgs;
+};
+
+class ExecContext {
+public:
+  ExecContext(const ir::Module &M, const sim::HydraConfig &Cfg)
+      : M(M), Cfg(Cfg) {}
+
+  /// Begins execution at the entry of function \p Func.
+  void start(std::uint32_t Func, const std::vector<std::uint64_t> &Args);
+
+  /// Positions the context at the start of \p Block in \p Func with the
+  /// given register file (used by the TLS engine to spawn iteration
+  /// threads).
+  void startAt(std::uint32_t Func, std::uint32_t Block,
+               std::vector<std::uint64_t> Regs);
+
+  bool finished() const { return Frames.empty(); }
+  std::uint64_t returnValue() const { return RetVal; }
+  std::uint64_t instructionsExecuted() const { return Executed; }
+
+  std::size_t callDepth() const { return Frames.size(); }
+  std::uint32_t currentFunc() const { return Frames.back().Func; }
+  std::uint32_t currentBlock() const { return Frames.back().Block; }
+  std::uint32_t currentInstr() const { return Frames.back().Instr; }
+  bool atBlockStart() const {
+    return !Frames.empty() && Frames.back().Instr == 0;
+  }
+
+  /// Register file of the outermost frame (frame 0).
+  std::vector<std::uint64_t> &baseRegs() { return Frames.front().Regs; }
+  const std::vector<std::uint64_t> &baseRegs() const {
+    return Frames.front().Regs;
+  }
+
+  /// Register file of the innermost (current) frame.
+  std::vector<std::uint64_t> &topRegs() { return Frames.back().Regs; }
+  const std::vector<std::uint64_t> &topRegs() const {
+    return Frames.back().Regs;
+  }
+
+  /// Repositions the innermost frame at the start of \p Block with register
+  /// file \p Regs (used to resume sequential execution at a loop exit after
+  /// speculative execution of the loop).
+  void repositionTop(std::uint32_t Block, std::vector<std::uint64_t> Regs) {
+    Frames.back().Block = Block;
+    Frames.back().Instr = 0;
+    Frames.back().Regs = std::move(Regs);
+  }
+
+  /// Executes one instruction; returns the cycles it consumed. Must not be
+  /// called when finished().
+  std::uint32_t step(MemoryPort &Mem, TraceSink *Sink, std::uint64_t Now);
+
+  /// Rewinds the innermost frame by one instruction, undoing the program
+  /// counter advance of the last step(). Only valid when that step did not
+  /// transfer control (loads/stores/arithmetic) — the TLS engine uses this
+  /// to re-issue a load whose value is not yet available under
+  /// synchronized local communication.
+  void rewindTop() {
+    Frame &F = Frames.back();
+    assert(F.Instr > 0 && "cannot rewind across a block boundary");
+    --F.Instr;
+  }
+
+private:
+  const ir::Module &M;
+  const sim::HydraConfig &Cfg;
+  std::vector<Frame> Frames;
+  std::uint64_t RetVal = 0;
+  std::uint64_t Executed = 0;
+  std::uint64_t NextActivation = 1;
+};
+
+} // namespace interp
+} // namespace jrpm
+
+#endif // JRPM_INTERP_EXECCONTEXT_H

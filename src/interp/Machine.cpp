@@ -1,0 +1,29 @@
+//===- interp/Machine.cpp -------------------------------------------------==//
+
+#include "interp/Machine.h"
+
+#include "support/Compiler.h"
+
+using namespace jrpm;
+using namespace jrpm::interp;
+
+RunResult Machine::run(const std::vector<std::uint64_t> &Args) {
+  Ctx.start(M.EntryFunction, Args);
+  // Watchdog against runaway programs: generous for our largest workloads.
+  constexpr std::uint64_t MaxCycles = 40ull * 1000 * 1000 * 1000;
+  while (!Ctx.finished()) {
+    if (Dispatcher && Ctx.atBlockStart() && Dispatcher->onBlockStart(Ctx, *this))
+      continue;
+    Clock += Ctx.step(Port, Sink, Clock);
+    if (Clock > MaxCycles)
+      JRPM_FATAL("simulation exceeded the cycle watchdog");
+  }
+  RunResult R;
+  R.Cycles = Clock;
+  R.Instructions = Ctx.instructionsExecuted();
+  R.ReturnValue = Ctx.returnValue();
+  R.Loads = Port.loads();
+  R.Stores = Port.stores();
+  R.L1Misses = Port.misses();
+  return R;
+}

@@ -1,0 +1,121 @@
+//===- interp/Machine.h - Sequential whole-program simulator ---------------==//
+//
+// Runs a module to completion on one Hydra core: one instruction per cycle
+// plus L1 miss latency, with optional profiling (TraceSink) and optional
+// speculative dispatch of selected STLs (LoopDispatcher, implemented by the
+// Hydra TLS engine).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_INTERP_MACHINE_H
+#define JRPM_INTERP_MACHINE_H
+
+#include "interp/ExecContext.h"
+#include "interp/Heap.h"
+#include "interp/MemoryPort.h"
+#include "interp/TraceSink.h"
+#include "sim/CacheModel.h"
+#include "sim/Config.h"
+
+#include <cstdint>
+
+namespace jrpm {
+namespace interp {
+
+class Machine;
+
+/// Hook invoked whenever sequential execution reaches the start of a basic
+/// block; the Hydra engine uses it to take over selected loop headers.
+class LoopDispatcher {
+public:
+  virtual ~LoopDispatcher() = default;
+
+  /// Returns true if the dispatcher executed the loop speculatively: the
+  /// context is then positioned at the loop exit and the consumed cycles
+  /// were added via Machine::addCycles().
+  virtual bool onBlockStart(ExecContext &Ctx, Machine &M) = 0;
+};
+
+/// Direct (non-speculative) memory port: the heap plus one core's L1
+/// timing model.
+class DirectMemoryPort : public MemoryPort {
+public:
+  DirectMemoryPort(Heap &H, const sim::HydraConfig &Cfg)
+      : H(H), L1(Cfg), MissCycles(Cfg.L2HitExtraCycles) {}
+
+  std::uint64_t load(std::uint32_t Addr, std::uint32_t &ExtraCycles) override {
+    ++Loads;
+    if (!L1.access(Addr)) {
+      ++Misses;
+      ExtraCycles += MissCycles;
+    }
+    return H.load(Addr);
+  }
+
+  void store(std::uint32_t Addr, std::uint64_t Value,
+             std::uint32_t &ExtraCycles) override {
+    (void)ExtraCycles; // write-through via the write buffer: 1 cycle
+    ++Stores;
+    L1.access(Addr);
+    H.store(Addr, Value);
+  }
+
+  std::uint32_t allocWords(std::uint32_t Count) override {
+    return H.allocWords(Count);
+  }
+
+  std::uint64_t loads() const { return Loads; }
+  std::uint64_t stores() const { return Stores; }
+  std::uint64_t misses() const { return Misses; }
+
+private:
+  Heap &H;
+  sim::L1CacheModel L1;
+  std::uint32_t MissCycles;
+  std::uint64_t Loads = 0;
+  std::uint64_t Stores = 0;
+  std::uint64_t Misses = 0;
+};
+
+/// Result of a whole-program run.
+struct RunResult {
+  std::uint64_t Cycles = 0;
+  std::uint64_t Instructions = 0;
+  std::uint64_t ReturnValue = 0;
+  std::uint64_t Loads = 0;
+  std::uint64_t Stores = 0;
+  std::uint64_t L1Misses = 0;
+};
+
+class Machine {
+public:
+  Machine(const ir::Module &M, const sim::HydraConfig &Cfg)
+      : M(M), Cfg(Cfg), Ctx(M, Cfg), Port(TheHeap, Cfg) {}
+
+  void setTraceSink(TraceSink *S) { Sink = S; }
+  void setDispatcher(LoopDispatcher *D) { Dispatcher = D; }
+
+  /// Runs the entry function to completion.
+  RunResult run(const std::vector<std::uint64_t> &Args = {});
+
+  Heap &heap() { return TheHeap; }
+  const ir::Module &module() const { return M; }
+  const sim::HydraConfig &config() const { return Cfg; }
+  std::uint64_t clock() const { return Clock; }
+  void addCycles(std::uint64_t C) { Clock += C; }
+
+private:
+  const ir::Module &M;
+  const sim::HydraConfig &Cfg;
+  Heap TheHeap;
+  ExecContext Ctx;
+  DirectMemoryPort Port;
+  TraceSink *Sink = nullptr;
+  LoopDispatcher *Dispatcher = nullptr;
+  std::uint64_t Clock = 0;
+};
+
+} // namespace interp
+} // namespace jrpm
+
+#endif // JRPM_INTERP_MACHINE_H

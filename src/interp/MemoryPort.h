@@ -1,0 +1,38 @@
+//===- interp/MemoryPort.h - Memory access indirection ---------------------==//
+//
+// The execution context performs all heap traffic through this interface so
+// the same instruction-stepping code serves both the sequential machine
+// (direct heap + L1 timing) and the Hydra TLS engine (speculative buffers,
+// forwarding, violation detection).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_INTERP_MEMORYPORT_H
+#define JRPM_INTERP_MEMORYPORT_H
+
+#include <cstdint>
+
+namespace jrpm {
+namespace interp {
+
+class MemoryPort {
+public:
+  virtual ~MemoryPort() = default;
+
+  /// Loads the word at \p Addr. \p ExtraCycles receives latency beyond the
+  /// base instruction cost (e.g. an L1 miss or a store-buffer forward).
+  virtual std::uint64_t load(std::uint32_t Addr,
+                             std::uint32_t &ExtraCycles) = 0;
+
+  /// Stores \p Value to \p Addr.
+  virtual void store(std::uint32_t Addr, std::uint64_t Value,
+                     std::uint32_t &ExtraCycles) = 0;
+
+  /// Allocates \p Count heap words.
+  virtual std::uint32_t allocWords(std::uint32_t Count) = 0;
+};
+
+} // namespace interp
+} // namespace jrpm
+
+#endif // JRPM_INTERP_MEMORYPORT_H

@@ -1,0 +1,94 @@
+//===- ir/IR.cpp ----------------------------------------------------------==//
+
+#include "ir/IR.h"
+
+#include "support/Format.h"
+
+using namespace jrpm;
+using namespace jrpm::ir;
+
+void BasicBlock::appendSuccessors(std::vector<std::uint32_t> &Out) const {
+  if (!hasTerminator())
+    return;
+  const Instruction &Term = terminator();
+  switch (Term.Op) {
+  case Opcode::Br:
+    Out.push_back(static_cast<std::uint32_t>(Term.Imm));
+    break;
+  case Opcode::CondBr:
+    Out.push_back(static_cast<std::uint32_t>(Term.Imm));
+    Out.push_back(static_cast<std::uint32_t>(Term.Imm2));
+    break;
+  case Opcode::Ret:
+    break;
+  default:
+    break;
+  }
+}
+
+std::vector<std::vector<std::uint32_t>> Function::computePredecessors() const {
+  std::vector<std::vector<std::uint32_t>> Preds(Blocks.size());
+  std::vector<std::uint32_t> Succs;
+  for (std::uint32_t B = 0; B < Blocks.size(); ++B) {
+    Succs.clear();
+    Blocks[B].appendSuccessors(Succs);
+    for (std::uint32_t S : Succs)
+      Preds[S].push_back(B);
+  }
+  return Preds;
+}
+
+static std::string renderOperand(std::uint16_t Reg) {
+  if (Reg == NoReg)
+    return "_";
+  return formatString("r%u", Reg);
+}
+
+static std::string renderInstruction(const Instruction &I) {
+  std::string Out = opcodeName(I.Op);
+  Out += " ";
+  Out += renderOperand(I.Dst);
+  Out += ", ";
+  Out += renderOperand(I.A);
+  Out += ", ";
+  Out += renderOperand(I.B);
+  Out += formatString(", imm=%lld, imm2=%d", static_cast<long long>(I.Imm),
+                      I.Imm2);
+  return Out;
+}
+
+std::string Function::dump() const {
+  std::string Out = formatString("func %s(params=%u, regs=%u)\n", Name.c_str(),
+                                 NumParams, NumRegs);
+  for (std::uint32_t B = 0; B < Blocks.size(); ++B) {
+    Out += formatString("  bb%u:\n", B);
+    for (const Instruction &I : Blocks[B].Instructions) {
+      Out += "    ";
+      Out += renderInstruction(I);
+      Out += "\n";
+    }
+  }
+  return Out;
+}
+
+int Module::findFunction(const std::string &Name) const {
+  for (std::uint32_t F = 0; F < Functions.size(); ++F)
+    if (Functions[F].Name == Name)
+      return static_cast<int>(F);
+  return -1;
+}
+
+void Module::finalize() {
+  NextPc = 0;
+  for (Function &F : Functions)
+    for (BasicBlock &BB : F.Blocks)
+      for (Instruction &I : BB.Instructions)
+        I.Pc = static_cast<std::int32_t>(NextPc++);
+}
+
+std::string Module::dump() const {
+  std::string Out;
+  for (const Function &F : Functions)
+    Out += F.dump();
+  return Out;
+}

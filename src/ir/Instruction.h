@@ -1,0 +1,29 @@
+//===- ir/Instruction.h - Fixed-format IR instruction ---------------------===//
+
+#ifndef JRPM_IR_INSTRUCTION_H
+#define JRPM_IR_INSTRUCTION_H
+
+#include "ir/Opcode.h"
+
+#include <cstdint>
+
+namespace jrpm {
+namespace ir {
+
+/// One fixed-format instruction. Operand meaning is opcode specific; see
+/// Opcode.h. Pc is a module-global program counter assigned by
+/// Module::finalize() and used by the tracer's extended PC-binning mode.
+struct Instruction {
+  Opcode Op = Opcode::Nop;
+  std::uint16_t Dst = NoReg;
+  std::uint16_t A = NoReg;
+  std::uint16_t B = NoReg;
+  std::int64_t Imm = 0;
+  std::int32_t Imm2 = 0;
+  std::int32_t Pc = -1;
+};
+
+} // namespace ir
+} // namespace jrpm
+
+#endif // JRPM_IR_INSTRUCTION_H

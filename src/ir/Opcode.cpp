@@ -1,0 +1,147 @@
+//===- ir/Opcode.cpp ------------------------------------------------------==//
+
+#include "ir/Opcode.h"
+
+#include "support/Compiler.h"
+
+using namespace jrpm;
+using namespace jrpm::ir;
+
+const char *ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::AddImm:
+    return "addi";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FSub:
+    return "fsub";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FDiv:
+    return "fdiv";
+  case Opcode::FNeg:
+    return "fneg";
+  case Opcode::FSqrt:
+    return "fsqrt";
+  case Opcode::IToF:
+    return "itof";
+  case Opcode::FToI:
+    return "ftoi";
+  case Opcode::CmpEQ:
+    return "cmpeq";
+  case Opcode::CmpNE:
+    return "cmpne";
+  case Opcode::CmpLT:
+    return "cmplt";
+  case Opcode::CmpLE:
+    return "cmple";
+  case Opcode::CmpGT:
+    return "cmpgt";
+  case Opcode::CmpGE:
+    return "cmpge";
+  case Opcode::FCmpEQ:
+    return "fcmpeq";
+  case Opcode::FCmpLT:
+    return "fcmplt";
+  case Opcode::FCmpLE:
+    return "fcmple";
+  case Opcode::ConstI:
+    return "consti";
+  case Opcode::ConstF:
+    return "constf";
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Alloc:
+    return "alloc";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "condbr";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Arg:
+    return "arg";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::SLoop:
+    return "sloop";
+  case Opcode::Eoi:
+    return "eoi";
+  case Opcode::ELoop:
+    return "eloop";
+  case Opcode::LwlAnno:
+    return "lwl";
+  case Opcode::SwlAnno:
+    return "swl";
+  case Opcode::ReadStats:
+    return "readstats";
+  case Opcode::Nop:
+    return "nop";
+  }
+  JRPM_UNREACHABLE("unknown opcode");
+}
+
+bool ir::isTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+}
+
+bool ir::definesDst(Opcode Op) {
+  switch (Op) {
+  case Opcode::Store:
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Arg:
+  case Opcode::Ret:
+  case Opcode::SLoop:
+  case Opcode::Eoi:
+  case Opcode::ELoop:
+  case Opcode::LwlAnno:
+  case Opcode::SwlAnno:
+  case Opcode::ReadStats:
+  case Opcode::Nop:
+    return false;
+  case Opcode::Call:
+    // Calls to void functions leave Dst == NoReg.
+    return true;
+  default:
+    return true;
+  }
+}
+
+bool ir::isAnnotation(Opcode Op) {
+  switch (Op) {
+  case Opcode::SLoop:
+  case Opcode::Eoi:
+  case Opcode::ELoop:
+  case Opcode::LwlAnno:
+  case Opcode::SwlAnno:
+  case Opcode::ReadStats:
+    return true;
+  default:
+    return false;
+  }
+}

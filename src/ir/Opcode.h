@@ -1,0 +1,103 @@
+//===- ir/Opcode.h - Instruction opcodes for the mini IR ------------------===//
+//
+// The register-based IR plays the role Java bytecode plays in Jrpm: the
+// frontend lowers structured programs into it, the analysis passes find
+// natural loops in it, the JIT-analog passes annotate and transform it, and
+// the interpreters execute it one instruction per simulated cycle.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_IR_OPCODE_H
+#define JRPM_IR_OPCODE_H
+
+#include <cstdint>
+
+namespace jrpm {
+namespace ir {
+
+/// Instruction opcodes. Integer values live in 64-bit registers; floating
+/// point values are IEEE doubles stored as bit patterns in the same
+/// registers.
+enum class Opcode : std::uint8_t {
+  // Integer arithmetic: Dst = A <op> B.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  // Dst = A + Imm (the iinc-style immediate form used by loop inductors).
+  AddImm,
+  // Floating point arithmetic: Dst = A <op> B on double bit patterns.
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FNeg,
+  FSqrt,
+  // Conversions between the integer and double interpretations.
+  IToF,
+  FToI,
+  // Comparisons: Dst = (A <cmp> B) ? 1 : 0 (signed integer).
+  CmpEQ,
+  CmpNE,
+  CmpLT,
+  CmpLE,
+  CmpGT,
+  CmpGE,
+  // Floating point comparisons.
+  FCmpEQ,
+  FCmpLT,
+  FCmpLE,
+  // Constants and moves.
+  ConstI, // Dst = Imm
+  ConstF, // Dst = bit pattern stored in Imm
+  Mov,    // Dst = A
+  // Memory. The heap is word addressed (one word = 8 bytes; a 32-byte cache
+  // line holds 4 words). Effective address = R[A] + R[B] + Imm where either
+  // register may be NoReg (treated as zero).
+  Load,  // Dst = heap[ea]
+  Store, // heap[ea] = R[Val] where Val is the Dst field
+  // Heap allocation: Dst = base word address of Imm words (or R[A] words
+  // when A != NoReg). Bump allocation, cache-line aligned.
+  Alloc,
+  // Control flow (block indices within the function).
+  Br,     // goto Imm
+  CondBr, // if R[A] != 0 goto Imm else goto Imm2
+  Call,   // Dst = call function #Imm (args staged by Arg)
+  Arg,    // stage R[A] as argument #Imm for the next Call
+  Ret,    // return R[A] (A == NoReg for void)
+  // Profiling annotations inserted by the annotator (Section 5.1 of the
+  // paper). They are no-ops outside profiling mode.
+  SLoop,     // enter candidate STL: Imm = loop id, Imm2 = local slot count
+  Eoi,       // end of iteration of loop Imm
+  ELoop,     // exit candidate STL Imm
+  LwlAnno,   // local variable load annotation: A = register, Imm2 = slot
+  SwlAnno,   // local variable store annotation: A = register, Imm2 = slot
+  ReadStats, // statistics read-out routine for loop Imm (costs cycles)
+  Nop,
+};
+
+/// Sentinel meaning "no register operand".
+inline constexpr std::uint16_t NoReg = 0xFFFF;
+
+/// Returns the mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// Returns true if \p Op ends a basic block.
+bool isTerminator(Opcode Op);
+
+/// Returns true if \p Op writes its Dst register.
+bool definesDst(Opcode Op);
+
+/// Returns true if \p Op is one of the profiling annotation opcodes.
+bool isAnnotation(Opcode Op);
+
+} // namespace ir
+} // namespace jrpm
+
+#endif // JRPM_IR_OPCODE_H

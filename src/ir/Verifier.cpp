@@ -1,0 +1,174 @@
+//===- ir/Verifier.cpp ----------------------------------------------------==//
+
+#include "ir/Verifier.h"
+
+#include "support/Format.h"
+
+using namespace jrpm;
+using namespace jrpm::ir;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const Module &M) : M(M) {}
+
+  std::vector<std::string> run() {
+    for (std::uint32_t F = 0; F < M.Functions.size(); ++F)
+      verifyFunction(F);
+    if (M.EntryFunction >= M.Functions.size())
+      report("module entry function index out of range");
+    return std::move(Errors);
+  }
+
+private:
+  void report(std::string Message) { Errors.push_back(std::move(Message)); }
+
+  void checkReg(const Function &F, std::uint32_t FIdx, std::uint16_t Reg,
+                const char *Which, bool AllowNone) {
+    if (Reg == NoReg) {
+      if (!AllowNone)
+        report(formatString("func %u: %s operand missing", FIdx, Which));
+      return;
+    }
+    if (Reg >= F.NumRegs)
+      report(formatString("func %u: %s register r%u out of range (%u regs)",
+                          FIdx, Which, Reg, F.NumRegs));
+  }
+
+  void checkTarget(const Function &F, std::uint32_t FIdx, std::int64_t Target,
+                   const char *Which) {
+    if (Target < 0 || Target >= static_cast<std::int64_t>(F.numBlocks()))
+      report(formatString("func %u: %s branch target %lld out of range", FIdx,
+                          Which, static_cast<long long>(Target)));
+  }
+
+  void verifyFunction(std::uint32_t FIdx) {
+    const Function &F = M.Functions[FIdx];
+    if (F.Blocks.empty()) {
+      report(formatString("func %u (%s): no blocks", FIdx, F.Name.c_str()));
+      return;
+    }
+    if (F.NumParams > F.NumRegs)
+      report(formatString("func %u: more params than registers", FIdx));
+
+    for (std::uint32_t B = 0; B < F.numBlocks(); ++B)
+      verifyBlock(F, FIdx, B);
+  }
+
+  void verifyBlock(const Function &F, std::uint32_t FIdx, std::uint32_t B) {
+    const BasicBlock &BB = F.Blocks[B];
+    if (!BB.hasTerminator()) {
+      report(formatString("func %u bb%u: missing terminator", FIdx, B));
+      return;
+    }
+    std::int64_t PendingArgSlot = 0;
+    for (std::uint32_t Idx = 0; Idx < BB.Instructions.size(); ++Idx) {
+      const Instruction &I = BB.Instructions[Idx];
+      bool Last = Idx + 1 == BB.Instructions.size();
+      if (isTerminator(I.Op) && !Last)
+        report(formatString("func %u bb%u: terminator mid-block", FIdx, B));
+
+      if (I.Op == Opcode::Arg) {
+        if (I.Imm != PendingArgSlot)
+          report(formatString("func %u bb%u: arg slot %lld out of order", FIdx,
+                              B, static_cast<long long>(I.Imm)));
+        ++PendingArgSlot;
+        checkReg(F, FIdx, I.A, "arg", false);
+        continue;
+      }
+      if (I.Op == Opcode::Call) {
+        if (I.Imm < 0 ||
+            I.Imm >= static_cast<std::int64_t>(M.Functions.size())) {
+          report(formatString("func %u bb%u: call target out of range", FIdx,
+                              B));
+        } else {
+          const Function &Callee = M.Functions[static_cast<size_t>(I.Imm)];
+          if (PendingArgSlot != Callee.NumParams)
+            report(formatString(
+                "func %u bb%u: call to %s passes %lld args, expects %u", FIdx,
+                B, Callee.Name.c_str(),
+                static_cast<long long>(PendingArgSlot), Callee.NumParams));
+        }
+        checkReg(F, FIdx, I.Dst, "call dst", true);
+        PendingArgSlot = 0;
+        continue;
+      }
+      // Annotation instructions are observers and may be interleaved with
+      // an Arg...Call sequence (the annotator marks locals used as call
+      // arguments); anything else between args and their call is an error.
+      if (PendingArgSlot != 0 && I.Op != Opcode::Arg && !isAnnotation(I.Op))
+        report(formatString("func %u bb%u: args not followed by call", FIdx,
+                            B));
+
+      switch (I.Op) {
+      case Opcode::Br:
+        checkTarget(F, FIdx, I.Imm, "br");
+        break;
+      case Opcode::CondBr:
+        checkReg(F, FIdx, I.A, "condbr cond", false);
+        checkTarget(F, FIdx, I.Imm, "condbr true");
+        checkTarget(F, FIdx, I.Imm2, "condbr false");
+        break;
+      case Opcode::Ret:
+        checkReg(F, FIdx, I.A, "ret", true);
+        break;
+      case Opcode::Load:
+        checkReg(F, FIdx, I.Dst, "load dst", false);
+        checkReg(F, FIdx, I.A, "load base", true);
+        checkReg(F, FIdx, I.B, "load index", true);
+        break;
+      case Opcode::Store:
+        checkReg(F, FIdx, I.Dst, "store value", false);
+        checkReg(F, FIdx, I.A, "store base", true);
+        checkReg(F, FIdx, I.B, "store index", true);
+        break;
+      case Opcode::ConstI:
+      case Opcode::ConstF:
+        checkReg(F, FIdx, I.Dst, "const dst", false);
+        break;
+      case Opcode::Alloc:
+        checkReg(F, FIdx, I.Dst, "alloc dst", false);
+        checkReg(F, FIdx, I.A, "alloc size", true);
+        break;
+      case Opcode::Mov:
+      case Opcode::FNeg:
+      case Opcode::FSqrt:
+      case Opcode::IToF:
+      case Opcode::FToI:
+      case Opcode::AddImm:
+        checkReg(F, FIdx, I.Dst, "unary dst", false);
+        checkReg(F, FIdx, I.A, "unary src", false);
+        break;
+      case Opcode::SLoop:
+      case Opcode::Eoi:
+      case Opcode::ELoop:
+      case Opcode::ReadStats:
+      case Opcode::Nop:
+        break;
+      case Opcode::LwlAnno:
+      case Opcode::SwlAnno:
+        checkReg(F, FIdx, I.A, "local annotation", false);
+        break;
+      default:
+        // Remaining opcodes are three-address arithmetic/compares.
+        checkReg(F, FIdx, I.Dst, "dst", false);
+        checkReg(F, FIdx, I.A, "lhs", false);
+        checkReg(F, FIdx, I.B, "rhs", false);
+        break;
+      }
+    }
+    if (PendingArgSlot != 0)
+      report(formatString("func %u bb%u: dangling args at block end", FIdx,
+                          B));
+  }
+
+  const Module &M;
+  std::vector<std::string> Errors;
+};
+
+} // namespace
+
+std::vector<std::string> ir::verifyModule(const Module &M) {
+  return VerifierImpl(M).run();
+}

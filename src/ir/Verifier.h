@@ -1,0 +1,23 @@
+//===- ir/Verifier.h - Structural validity checks --------------------------==//
+
+#ifndef JRPM_IR_VERIFIER_H
+#define JRPM_IR_VERIFIER_H
+
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace jrpm {
+namespace ir {
+
+/// Checks structural invariants of \p M: every block ends in exactly one
+/// terminator, branch targets and register/function indices are in range,
+/// Arg instructions immediately precede their Call with contiguous slots.
+/// Returns the list of violations (empty when the module is well formed).
+std::vector<std::string> verifyModule(const Module &M);
+
+} // namespace ir
+} // namespace jrpm
+
+#endif // JRPM_IR_VERIFIER_H

@@ -1,0 +1,25 @@
+//===- jit/TlsPlan.cpp ----------------------------------------------------==//
+
+#include "jit/TlsPlan.h"
+
+using namespace jrpm;
+using namespace jrpm::jit;
+
+TlsLoopPlan jit::buildTlsPlan(const analysis::ModuleAnalysis &MA,
+                              const analysis::CandidateStl &C) {
+  const analysis::Loop &L = MA.loopOf(C);
+  const analysis::InductionInfo &Scalars = MA.scalarsOf(C);
+
+  TlsLoopPlan Plan;
+  Plan.LoopId = C.LoopId;
+  Plan.Func = C.FuncIndex;
+  Plan.Header = L.Header;
+  Plan.Blocks = L.Blocks;
+  Plan.CarriedLocals = Scalars.OtherCarried;
+  for (const auto &[Reg, Step] : Scalars.Inductors)
+    Plan.Inductors.emplace_back(Reg, Step);
+  for (const auto &[Reg, Kind] : Scalars.Reductions)
+    Plan.Reductions.emplace_back(Reg, Kind);
+  Plan.NumInvariants = static_cast<std::uint32_t>(Scalars.Invariants.size());
+  return Plan;
+}

@@ -1,0 +1,53 @@
+//===- jit/TlsPlan.h - Speculative recompilation plan ----------------------==//
+//
+// What the microJIT-analog produces when a selected STL is recompiled into
+// speculative threads (Section 3.2): which locals are globalized (carried
+// non-inductor scalars communicated through memory), which are rewritten as
+// non-violating inductors, which are privatized reductions, and which are
+// register-allocated invariants. The Hydra TLS engine executes the original
+// loop body under these rules instead of textually rewriting the IR, which
+// is behaviourally equivalent and keeps a single body encoding.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_JIT_TLSPLAN_H
+#define JRPM_JIT_TLSPLAN_H
+
+#include "analysis/Candidates.h"
+#include "ir/IR.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace jrpm {
+namespace jit {
+
+struct TlsLoopPlan {
+  std::uint32_t LoopId = 0;
+  std::uint32_t Func = 0;
+  std::uint32_t Header = 0;
+  /// Sorted blocks of the loop body.
+  std::vector<std::uint32_t> Blocks;
+  /// Globalized carried locals, in spill-slot order.
+  std::vector<std::uint16_t> CarriedLocals;
+  /// Non-violating inductors: (register, per-iteration step).
+  std::vector<std::pair<std::uint16_t, std::int64_t>> Inductors;
+  /// Privatized reductions combined in commit order.
+  std::vector<std::pair<std::uint16_t, analysis::ReductionKind>> Reductions;
+  /// Count of register-allocated loop invariants (restart reload cost).
+  std::uint32_t NumInvariants = 0;
+
+  bool containsBlock(std::uint32_t B) const {
+    return std::binary_search(Blocks.begin(), Blocks.end(), B);
+  }
+};
+
+/// Builds the recompilation plan for candidate \p C of \p MA.
+TlsLoopPlan buildTlsPlan(const analysis::ModuleAnalysis &MA,
+                         const analysis::CandidateStl &C);
+
+} // namespace jit
+} // namespace jrpm
+
+#endif // JRPM_JIT_TLSPLAN_H

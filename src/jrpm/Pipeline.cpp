@@ -1,0 +1,72 @@
+//===- jrpm/Pipeline.cpp --------------------------------------------------==//
+
+#include "jrpm/Pipeline.h"
+
+using namespace jrpm;
+using namespace jrpm::pipeline;
+
+Jrpm::Jrpm(ir::Module Program, PipelineConfig Config)
+    : M(std::move(Program)), Cfg(std::move(Config)) {
+  MA = std::make_unique<analysis::ModuleAnalysis>(M);
+}
+
+interp::RunResult Jrpm::runPlain(const std::vector<std::uint64_t> &Args) {
+  interp::Machine Machine(M, Cfg.Hw);
+  return Machine.run(Args);
+}
+
+Jrpm::ProfileOutcome
+Jrpm::profileAndSelect(const std::vector<std::uint64_t> &Args) {
+  if (!Annotated)
+    Annotated = std::make_unique<jit::AnnotatedModule>(
+        jit::annotateModule(M, *MA, Cfg.Level));
+
+  Tracer = std::make_unique<tracer::TraceEngine>(
+      Cfg.Hw, Annotated->LoopInfos, Cfg.ExtendedPcBinning);
+  if (Cfg.DisableLoopAfterThreads)
+    Tracer->setDisableLoopAfterThreads(Cfg.DisableLoopAfterThreads);
+
+  interp::Machine Machine(Annotated->Module, Cfg.Hw);
+  Machine.setTraceSink(Tracer.get());
+  ProfileOutcome Out;
+  Out.Run = Machine.run(Args);
+  Out.Selection = tracer::selectStls(*Tracer, Out.Run.Cycles, Cfg.Hw);
+  Out.PeakBanksInUse = Tracer->peakBanksInUse();
+  Out.PeakLocalSlots = Tracer->peakLocalSlots();
+  Out.PeakDynamicNest = Tracer->peakDynamicNest();
+  return Out;
+}
+
+Jrpm::TlsOutcome
+Jrpm::runSpeculative(const tracer::SelectionResult &Selection,
+                     const std::vector<std::uint64_t> &Args) {
+  std::vector<jit::TlsLoopPlan> Plans;
+  for (std::uint32_t LoopId : Selection.SelectedLoops) {
+    const analysis::CandidateStl &C = MA->candidate(LoopId);
+    if (C.Rejected)
+      continue;
+    Plans.push_back(jit::buildTlsPlan(*MA, C));
+  }
+  hydra::TlsEngine Engine(M, Cfg.Hw, std::move(Plans));
+  interp::Machine Machine(M, Cfg.Hw);
+  Machine.setDispatcher(&Engine);
+  TlsOutcome Out;
+  Out.Run = Machine.run(Args);
+  Out.LoopStats = Engine.loopStats();
+  return Out;
+}
+
+PipelineResult Jrpm::runAll(const std::vector<std::uint64_t> &Args) {
+  PipelineResult R;
+  R.PlainRun = runPlain(Args);
+  ProfileOutcome P = profileAndSelect(Args);
+  R.ProfiledRun = P.Run;
+  R.Selection = std::move(P.Selection);
+  R.PeakBanksInUse = P.PeakBanksInUse;
+  R.PeakLocalSlots = P.PeakLocalSlots;
+  R.PeakDynamicNest = P.PeakDynamicNest;
+  TlsOutcome T = runSpeculative(R.Selection, Args);
+  R.TlsRun = T.Run;
+  R.TlsLoopStats = std::move(T.LoopStats);
+  return R;
+}

@@ -1,0 +1,70 @@
+//===- sim/CacheModel.h - Set-associative L1 timing model ------------------==//
+
+#ifndef JRPM_SIM_CACHEMODEL_H
+#define JRPM_SIM_CACHEMODEL_H
+
+#include "sim/Config.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jrpm {
+namespace sim {
+
+/// Tag-only set-associative cache with LRU replacement, used to decide
+/// whether a load hits the L1 (1 cycle) or pays the L2 penalty. The 2MB
+/// on-chip L2 is modelled as always hitting: all working sets in this
+/// reproduction fit comfortably within it.
+class L1CacheModel {
+public:
+  explicit L1CacheModel(const HydraConfig &Cfg)
+      : WordsPerLine(Cfg.WordsPerLine), Assoc(Cfg.L1Assoc),
+        NumSets(Cfg.L1Lines / Cfg.L1Assoc),
+        Sets(NumSets * Cfg.L1Assoc, EmptyTag),
+        Ages(NumSets * Cfg.L1Assoc, 0) {}
+
+  /// Touches the line containing word \p Addr; returns true on hit.
+  bool access(std::uint32_t Addr) {
+    std::uint32_t Line = Addr / WordsPerLine;
+    std::uint32_t Set = Line % NumSets;
+    std::uint64_t Tag = Line / NumSets;
+    std::uint32_t Base = Set * Assoc;
+    ++Clock;
+    for (std::uint32_t W = 0; W < Assoc; ++W) {
+      if (Sets[Base + W] == Tag) {
+        Ages[Base + W] = Clock;
+        return true;
+      }
+    }
+    // Miss: replace the least recently used way.
+    std::uint32_t Victim = 0;
+    for (std::uint32_t W = 1; W < Assoc; ++W)
+      if (Ages[Base + W] < Ages[Base + Victim])
+        Victim = W;
+    Sets[Base + Victim] = Tag;
+    Ages[Base + Victim] = Clock;
+    return false;
+  }
+
+  void reset() {
+    for (auto &T : Sets)
+      T = EmptyTag;
+    for (auto &A : Ages)
+      A = 0;
+    Clock = 0;
+  }
+
+private:
+  static constexpr std::uint64_t EmptyTag = ~std::uint64_t(0);
+  std::uint32_t WordsPerLine;
+  std::uint32_t Assoc;
+  std::uint32_t NumSets;
+  std::vector<std::uint64_t> Sets;
+  std::vector<std::uint64_t> Ages;
+  std::uint64_t Clock = 0;
+};
+
+} // namespace sim
+} // namespace jrpm
+
+#endif // JRPM_SIM_CACHEMODEL_H

@@ -1,0 +1,30 @@
+//===- support/Compiler.h - Portability and diagnostic macros ------------===//
+//
+// Part of the TEST/Jrpm reproduction. Implements utility macros shared by
+// every library in the project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_SUPPORT_COMPILER_H
+#define JRPM_SUPPORT_COMPILER_H
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Marks a point in the code that must never be executed. Prints the message
+/// and aborts; also serves as an optimizer hint in fully covered switches.
+#define JRPM_UNREACHABLE(Msg)                                                  \
+  do {                                                                         \
+    std::fprintf(stderr, "UNREACHABLE at %s:%d: %s\n", __FILE__, __LINE__,     \
+                 (Msg));                                                       \
+    std::abort();                                                              \
+  } while (false)
+
+/// Reports a fatal usage error (bad input to a tool) and exits.
+#define JRPM_FATAL(Msg)                                                        \
+  do {                                                                         \
+    std::fprintf(stderr, "fatal error: %s\n", (Msg));                          \
+    std::exit(1);                                                              \
+  } while (false)
+
+#endif // JRPM_SUPPORT_COMPILER_H

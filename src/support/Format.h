@@ -1,0 +1,32 @@
+//===- support/Format.h - String formatting helpers ----------------------===//
+//
+// printf-style formatting into std::string plus human-readable number
+// rendering used by the bench harnesses when regenerating paper tables.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_SUPPORT_FORMAT_H
+#define JRPM_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+
+namespace jrpm {
+
+/// Formats like printf but returns a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders \p Value with thousands separators, e.g. 98304K style when
+/// \p Kilo is true (divide by 1000 and suffix 'K' as the paper's Table 5).
+std::string withCommas(std::int64_t Value);
+
+/// Renders a ratio as a fixed-point percentage string, e.g. "84.91%".
+std::string asPercent(double Ratio, int Decimals = 2);
+
+/// Renders a cycle count the way the paper prints Table 3 ("18941K").
+std::string asKiloCycles(std::uint64_t Cycles);
+
+} // namespace jrpm
+
+#endif // JRPM_SUPPORT_FORMAT_H

@@ -1,0 +1,47 @@
+//===- support/Prng.h - Deterministic pseudo-random numbers --------------===//
+//
+// All workloads use this xorshift64* generator so every simulation run is
+// bit-for-bit reproducible across platforms and standard libraries.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_SUPPORT_PRNG_H
+#define JRPM_SUPPORT_PRNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace jrpm {
+
+/// Deterministic xorshift64* pseudo-random number generator.
+class Prng {
+public:
+  explicit Prng(std::uint64_t Seed = 0x9E3779B97F4A7C15ull)
+      : State(Seed ? Seed : 1) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  std::uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound).
+  std::uint64_t nextBelow(std::uint64_t Bound) {
+    assert(Bound > 0 && "bound must be positive");
+    return next() % Bound;
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+private:
+  std::uint64_t State;
+};
+
+} // namespace jrpm
+
+#endif // JRPM_SUPPORT_PRNG_H

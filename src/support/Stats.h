@@ -1,0 +1,43 @@
+//===- support/Stats.h - Running statistics accumulators -----------------===//
+//
+// Small accumulators used throughout the tracer and simulators.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_SUPPORT_STATS_H
+#define JRPM_SUPPORT_STATS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace jrpm {
+
+/// Accumulates count/sum/min/max of a stream of samples.
+class RunningStat {
+public:
+  void addSample(double Value) {
+    Sum += Value;
+    Min = std::min(Min, Value);
+    Max = std::max(Max, Value);
+    ++Count;
+  }
+
+  std::uint64_t count() const { return Count; }
+  double sum() const { return Sum; }
+  double mean() const { return Count ? Sum / static_cast<double>(Count) : 0; }
+  double min() const { return Count ? Min : 0; }
+  double max() const { return Count ? Max : 0; }
+
+  void reset() { *this = RunningStat(); }
+
+private:
+  std::uint64_t Count = 0;
+  double Sum = 0;
+  double Min = std::numeric_limits<double>::infinity();
+  double Max = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace jrpm
+
+#endif // JRPM_SUPPORT_STATS_H

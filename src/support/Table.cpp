@@ -1,0 +1,58 @@
+//===- support/Table.cpp --------------------------------------------------==//
+
+#include "support/Table.h"
+
+#include <algorithm>
+
+using namespace jrpm;
+
+void TextTable::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+void TextTable::addSeparator() { Rows.emplace_back(); }
+
+void TextTable::print(std::FILE *Stream) const {
+  size_t Columns = Header.size();
+  for (const auto &Row : Rows)
+    Columns = std::max(Columns, Row.size());
+
+  std::vector<size_t> Widths(Columns, 0);
+  auto Measure = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  };
+  Measure(Header);
+  for (const auto &Row : Rows)
+    Measure(Row);
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Columns; ++I) {
+      const std::string Cell = I < Row.size() ? Row[I] : std::string();
+      std::fprintf(Stream, "%-*s", static_cast<int>(Widths[I] + 2),
+                   Cell.c_str());
+    }
+    std::fputc('\n', Stream);
+  };
+
+  auto PrintSeparator = [&] {
+    for (size_t I = 0; I < Columns; ++I)
+      std::fprintf(Stream, "%s", std::string(Widths[I] + 2, '-').c_str());
+    std::fputc('\n', Stream);
+  };
+
+  if (!Header.empty()) {
+    PrintRow(Header);
+    PrintSeparator();
+  }
+  for (const auto &Row : Rows) {
+    if (Row.empty())
+      PrintSeparator();
+    else
+      PrintRow(Row);
+  }
+}

@@ -1,0 +1,40 @@
+//===- support/Table.h - Aligned text-table rendering --------------------===//
+//
+// The bench harnesses regenerate the paper's tables; this class renders rows
+// of string cells with aligned columns to any FILE stream.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_SUPPORT_TABLE_H
+#define JRPM_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace jrpm {
+
+/// Accumulates rows of cells and prints them with per-column alignment.
+class TextTable {
+public:
+  /// Sets the header row. Column count is fixed by the header.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row; missing trailing cells render empty.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator row.
+  void addSeparator();
+
+  /// Renders the table to \p Stream (defaults to stdout).
+  void print(std::FILE *Stream = stdout) const;
+
+private:
+  std::vector<std::string> Header;
+  // Separator rows are represented by an empty vector.
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace jrpm
+
+#endif // JRPM_SUPPORT_TABLE_H

@@ -1,0 +1,61 @@
+//===- tracer/Selector.h - Equation 2: choosing thread decompositions ------==//
+//
+// Section 4.3: only one decomposition of a loop nest can be active at a
+// time, so the estimated speculative execution time of each loop is compared
+// against speculating on its nested decompositions instead (plus the serial
+// time not covered by them). The nest is the *dynamic* one observed by the
+// comparator-bank stack, so loops reached through calls participate.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_TRACER_SELECTOR_H
+#define JRPM_TRACER_SELECTOR_H
+
+#include "sim/Config.h"
+#include "tracer/SpeedupModel.h"
+#include "tracer/StlStats.h"
+#include "tracer/TraceEngine.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jrpm {
+namespace tracer {
+
+/// Per-loop outcome of the selection pass.
+struct StlReport {
+  std::uint32_t LoopId = 0;
+  StlStats Stats;
+  SpeedupEstimate Estimate;
+  int Parent = -1;
+  std::vector<std::uint32_t> Children;
+  /// True when Equation 2 picked this loop as an STL to recompile.
+  bool Selected = false;
+  /// Fraction of total program cycles spent inside this loop.
+  double Coverage = 0.0;
+  /// min(spec time, serial-plus-children time) for this subtree, in cycles.
+  double BestTime = 0.0;
+};
+
+/// Whole-program selection result.
+struct SelectionResult {
+  std::vector<StlReport> Loops; // indexed by loop id
+  std::vector<std::uint32_t> SelectedLoops;
+  std::uint64_t ProgramCycles = 0;
+  /// Cycles outside any traced loop.
+  double SerialCycles = 0.0;
+  /// Predicted whole-program speculative execution time and speedup.
+  double PredictedCycles = 0.0;
+  double PredictedSpeedup = 1.0;
+};
+
+/// Runs Equation 1 on every traced loop and Equation 2 over the dynamic
+/// nest, marking the selected decompositions.
+SelectionResult selectStls(const TraceEngine &Engine,
+                           std::uint64_t ProgramCycles,
+                           const sim::HydraConfig &Cfg);
+
+} // namespace tracer
+} // namespace jrpm
+
+#endif // JRPM_TRACER_SELECTOR_H

@@ -1,0 +1,45 @@
+//===- tracer/SpeedupModel.cpp --------------------------------------------==//
+
+#include "tracer/SpeedupModel.h"
+
+#include <algorithm>
+
+using namespace jrpm;
+using namespace jrpm::tracer;
+
+SpeedupEstimate tracer::estimateSpeedup(const StlStats &S,
+                                        const sim::HydraConfig &Cfg) {
+  SpeedupEstimate E;
+  double P = static_cast<double>(Cfg.NumCores);
+  double T = S.avgThreadSize();
+  if (S.Threads == 0 || S.Cycles == 0 || T <= 0.0)
+    return E;
+
+  double Comm = static_cast<double>(Cfg.StoreLoadCommCycles);
+  auto Bound = [&](double ArcLen, double Distance) {
+    double Offset = std::max(T / P, (T - ArcLen + Comm) / Distance);
+    return std::min(P, T / Offset);
+  };
+
+  double F1 = std::min(1.0, S.arcFreqPrev());
+  double F2 = std::min(1.0 - F1, S.arcFreqEarlier());
+  double Free = std::max(0.0, 1.0 - F1 - F2);
+  E.BaseSpeedup = F1 * Bound(S.avgArcPrev(), 1.0) +
+                  F2 * Bound(S.avgArcEarlier(), 2.0) + Free * P;
+  E.BaseSpeedup = std::max(E.BaseSpeedup, 1e-6);
+
+  // Threads that overflow a speculation buffer stall until they become the
+  // head thread, i.e. they execute serially.
+  double Ovf = std::min(1.0, S.overflowFreq());
+  E.EffectiveSpeedup = (1.0 - Ovf) * E.BaseSpeedup + Ovf * 1.0;
+
+  double FixedOverheads =
+      static_cast<double>(S.Entries) *
+          static_cast<double>(Cfg.LoopStartupCycles + Cfg.LoopShutdownCycles) +
+      static_cast<double>(S.Threads) *
+          static_cast<double>(Cfg.EndOfIterationCycles);
+  E.SpecCycles =
+      FixedOverheads + static_cast<double>(S.Cycles) / E.EffectiveSpeedup;
+  E.Speedup = static_cast<double>(S.Cycles) / E.SpecCycles;
+  return E;
+}

@@ -1,0 +1,54 @@
+//===- tracer/SpeedupModel.h - Equation 1: estimated STL speedup -----------==//
+//
+// Reconstruction of the paper's Equation 1 from its stated invariant:
+// "we expect maximal speedup if the average critical arc length is at least
+// 3/4 the average thread size (or (p-1)/p where p is the number of
+// processors). This is the point at which the processors are completely
+// utilized and the inter-thread dependencies are separated enough not to
+// limit speedup."
+//
+// Derivation: let T be the average thread size and L the average critical
+// arc length to a thread k positions back. In sequential time the store
+// happens at (k*T - L) into the producing thread's window, so parallel
+// threads must be offset by at least (T - L + comm)/k cycles, where comm is
+// the store-to-load communication latency. Pipelining p iterations bounds
+// the useful offset below by T/p. Hence
+//
+//   bound(L, k) = min(p, T / max(T/p, (T - L + comm)/k))
+//
+// which yields exactly speedup p when L >= (p-1)/p * T (+comm). Arc bins are
+// combined by frequency; overflowing threads execute serially; Table 2's
+// fixed overheads are added per entry and per thread.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_TRACER_SPEEDUPMODEL_H
+#define JRPM_TRACER_SPEEDUPMODEL_H
+
+#include "sim/Config.h"
+#include "tracer/StlStats.h"
+
+namespace jrpm {
+namespace tracer {
+
+struct SpeedupEstimate {
+  /// Dependency-limited parallel speedup before overheads (Equation 1's
+  /// base_speedup term).
+  double BaseSpeedup = 1.0;
+  /// Base speedup degraded by buffer-overflow serialization.
+  double EffectiveSpeedup = 1.0;
+  /// Final estimate: sequential loop time over estimated speculative time
+  /// including Table 2 overheads. May be below 1 (predicted slowdown).
+  double Speedup = 1.0;
+  /// Estimated speculative execution time of the loop, in cycles.
+  double SpecCycles = 0.0;
+};
+
+/// Applies Equation 1 to the collected statistics of one STL.
+SpeedupEstimate estimateSpeedup(const StlStats &S,
+                                const sim::HydraConfig &Cfg);
+
+} // namespace tracer
+} // namespace jrpm
+
+#endif // JRPM_TRACER_SPEEDUPMODEL_H

@@ -1,0 +1,102 @@
+//===- tracer/StlStats.h - Accumulated per-STL statistics ------------------==//
+//
+// The counter values a comparator bank accumulates for one potential STL
+// (bottom of Figure 3) and the derived values computed from them.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_TRACER_STLSTATS_H
+#define JRPM_TRACER_STLSTATS_H
+
+#include <cstdint>
+#include <map>
+
+namespace jrpm {
+namespace tracer {
+
+/// Critical-arc statistics binned by load instruction PC (the extended
+/// implementation of Figure 8b, used to guide optimization per Section 6.3).
+struct PcBinStats {
+  std::uint64_t CriticalArcs = 0;
+  std::uint64_t AccumulatedLength = 0;
+
+  double averageLength() const {
+    return CriticalArcs ? static_cast<double>(AccumulatedLength) /
+                              static_cast<double>(CriticalArcs)
+                        : 0.0;
+  }
+};
+
+/// Raw counters for one potential STL, accumulated across all its entries.
+struct StlStats {
+  std::uint64_t Cycles = 0;  ///< elapsed time inside the loop
+  std::uint64_t Threads = 0; ///< iterations observed
+  std::uint64_t Entries = 0; ///< loop entries observed
+  std::uint64_t UntracedEntries = 0; ///< entries skipped (no bank/slots)
+
+  std::uint64_t CritArcsPrev = 0;    ///< critical arcs to thread t-1
+  std::uint64_t CritLenPrev = 0;     ///< accumulated arc lengths to t-1
+  std::uint64_t CritArcsEarlier = 0; ///< critical arcs to threads < t-1
+  std::uint64_t CritLenEarlier = 0;  ///< accumulated arc lengths to < t-1
+
+  std::uint64_t OverflowThreads = 0; ///< threads exceeding a buffer limit
+  std::uint64_t MaxLoadLines = 0;    ///< peak new load lines in one thread
+  std::uint64_t MaxStoreLines = 0;   ///< peak new store lines in one thread
+
+  /// Extended mode: critical arcs binned by the load PC that closed them.
+  std::map<std::int32_t, PcBinStats> PcBins;
+
+  // --- Derived values (Figure 3's right-hand column) ----------------------
+
+  double avgThreadSize() const {
+    return Threads ? static_cast<double>(Cycles) /
+                         static_cast<double>(Threads)
+                   : 0.0;
+  }
+
+  double itersPerEntry() const {
+    return Entries ? static_cast<double>(Threads) /
+                         static_cast<double>(Entries)
+                   : 0.0;
+  }
+
+  /// Thread transitions with a predecessor in the same entry.
+  std::uint64_t transitions() const {
+    return Threads > Entries ? Threads - Entries : 0;
+  }
+
+  double arcFreqPrev() const {
+    std::uint64_t T = transitions();
+    return T ? static_cast<double>(CritArcsPrev) / static_cast<double>(T)
+             : 0.0;
+  }
+
+  double arcFreqEarlier() const {
+    std::uint64_t T = transitions();
+    return T ? static_cast<double>(CritArcsEarlier) / static_cast<double>(T)
+             : 0.0;
+  }
+
+  double avgArcPrev() const {
+    return CritArcsPrev ? static_cast<double>(CritLenPrev) /
+                              static_cast<double>(CritArcsPrev)
+                        : 0.0;
+  }
+
+  double avgArcEarlier() const {
+    return CritArcsEarlier ? static_cast<double>(CritLenEarlier) /
+                                 static_cast<double>(CritArcsEarlier)
+                           : 0.0;
+  }
+
+  double overflowFreq() const {
+    return Threads ? static_cast<double>(OverflowThreads) /
+                         static_cast<double>(Threads)
+                   : 0.0;
+  }
+};
+
+} // namespace tracer
+} // namespace jrpm
+
+#endif // JRPM_TRACER_STLSTATS_H

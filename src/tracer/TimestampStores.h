@@ -1,0 +1,182 @@
+//===- tracer/TimestampStores.h - Store-buffer timestamp storage -----------==//
+//
+// During profiling, Hydra's five speculation write buffers hold event
+// timestamps instead of speculative data (Section 5.3): three buffers hold
+// heap-access store timestamps (a 192-line FIFO of write history), one holds
+// cache-line timestamps for the overflow analysis (direct mapped), and one
+// holds local-variable store timestamps (64 slots, reserved stack-style by
+// `sloop`).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_TRACER_TIMESTAMPSTORES_H
+#define JRPM_TRACER_TIMESTAMPSTORES_H
+
+#include "sim/Config.h"
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace jrpm {
+namespace tracer {
+
+/// Timestamp value meaning "no record".
+inline constexpr std::uint64_t NoTimestamp = 0;
+
+/// FIFO history of heap store timestamps at word granularity within
+/// cache-line entries. Holds the most recent `Capacity` written lines; older
+/// history is lost, which bounds how distant a dependency the tracer can
+/// observe (a deliberate imprecision the paper discusses in Section 6.2).
+class HeapStoreTimestamps {
+public:
+  HeapStoreTimestamps(std::uint32_t CapacityLines, std::uint32_t WordsPerLine)
+      : Capacity(CapacityLines), WordsPerLine(WordsPerLine) {}
+
+  /// Records that word \p Addr was stored at \p Cycle.
+  void recordStore(std::uint32_t Addr, std::uint64_t Cycle) {
+    std::uint32_t Line = Addr / WordsPerLine;
+    auto It = Lines.find(Line);
+    if (It == Lines.end()) {
+      if (Fifo.size() == Capacity) {
+        Lines.erase(Fifo.front());
+        Fifo.pop_front();
+      }
+      Fifo.push_back(Line);
+      It = Lines.emplace(Line, LineEntry{}).first;
+    }
+    It->second.WordTs[Addr % WordsPerLine] = Cycle;
+  }
+
+  /// Returns the last store timestamp recorded for word \p Addr, or
+  /// NoTimestamp when the history has no record.
+  std::uint64_t lookup(std::uint32_t Addr) const {
+    auto It = Lines.find(Addr / WordsPerLine);
+    if (It == Lines.end())
+      return NoTimestamp;
+    return It->second.WordTs[Addr % WordsPerLine];
+  }
+
+  void clear() {
+    Lines.clear();
+    Fifo.clear();
+  }
+
+private:
+  struct LineEntry {
+    std::array<std::uint64_t, 8> WordTs = {};
+  };
+  std::uint32_t Capacity;
+  std::uint32_t WordsPerLine;
+  std::unordered_map<std::uint32_t, LineEntry> Lines;
+  std::deque<std::uint32_t> Fifo;
+};
+
+/// Direct-mapped table of cache-line timestamps used by the speculative
+/// state overflow analysis (Figure 4). Not accounting for the real caches'
+/// associativity "introduces some error into the overflow analysis" — kept
+/// faithfully; an ablation bench quantifies it against a set-associative
+/// variant.
+class CacheLineTimestampTable {
+public:
+  explicit CacheLineTimestampTable(std::uint32_t NumEntries,
+                                   std::uint32_t WordsPerLine,
+                                   std::uint32_t Associativity = 1)
+      : WordsPerLine(WordsPerLine), Assoc(Associativity),
+        Sets(NumEntries / Associativity), Table(NumEntries) {
+    assert(Associativity >= 1 && NumEntries % Associativity == 0 &&
+           "bad table geometry");
+  }
+
+  /// Looks up the line containing \p Addr, returns its previous timestamp
+  /// (NoTimestamp on tag mismatch), and records \p Cycle for it.
+  std::uint64_t exchange(std::uint32_t Addr, std::uint64_t Cycle) {
+    std::uint32_t Line = Addr / WordsPerLine;
+    std::uint32_t Set = Line % Sets;
+    std::uint32_t Tag = Line / Sets;
+    std::uint32_t Base = Set * Assoc;
+    // Hit: refresh in place.
+    for (std::uint32_t W = 0; W < Assoc; ++W) {
+      Entry &E = Table[Base + W];
+      if (E.Valid && E.Tag == Tag) {
+        std::uint64_t Old = E.Ts;
+        E.Ts = Cycle;
+        return Old;
+      }
+    }
+    // Miss: evict the oldest-timestamp way (direct mapped when Assoc==1).
+    std::uint32_t Victim = 0;
+    for (std::uint32_t W = 1; W < Assoc; ++W)
+      if (!Table[Base + W].Valid || Table[Base + W].Ts < Table[Base + Victim].Ts)
+        Victim = W;
+    Entry &E = Table[Base + Victim];
+    E.Valid = true;
+    E.Tag = Tag;
+    E.Ts = Cycle;
+    return NoTimestamp;
+  }
+
+  void clear() {
+    for (Entry &E : Table)
+      E = Entry{};
+  }
+
+private:
+  struct Entry {
+    bool Valid = false;
+    std::uint32_t Tag = 0;
+    std::uint64_t Ts = 0;
+  };
+  std::uint32_t WordsPerLine;
+  std::uint32_t Assoc;
+  std::uint32_t Sets;
+  std::vector<Entry> Table;
+};
+
+/// The 64-slot local-variable store-timestamp file. `sloop n` reserves n
+/// slots stack-style; `eloop` releases them. Slots are cleared on
+/// reservation so stale timestamps from released reservations cannot leak
+/// across activations.
+class LocalVarTimestampFile {
+public:
+  explicit LocalVarTimestampFile(std::uint32_t NumSlots)
+      : Slots(NumSlots, NoTimestamp) {}
+
+  /// Attempts to reserve \p Count slots; returns the base slot index or -1
+  /// when the file is full.
+  int reserve(std::uint32_t Count) {
+    if (Top + Count > Slots.size())
+      return -1;
+    int Base = static_cast<int>(Top);
+    for (std::uint32_t S = 0; S < Count; ++S)
+      Slots[Top + S] = NoTimestamp;
+    Top += Count;
+    return Base;
+  }
+
+  /// Releases the most recent reservation of \p Count slots at \p Base.
+  void release(std::uint32_t Base, std::uint32_t Count) {
+    assert(Base + Count == Top && "non-stack release");
+    Top = Base;
+  }
+
+  std::uint64_t read(std::uint32_t Slot) const { return Slots[Slot]; }
+  void write(std::uint32_t Slot, std::uint64_t Cycle) { Slots[Slot] = Cycle; }
+
+  std::uint32_t used() const { return Top; }
+  std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(Slots.size());
+  }
+
+private:
+  std::vector<std::uint64_t> Slots;
+  std::uint32_t Top = 0;
+};
+
+} // namespace tracer
+} // namespace jrpm
+
+#endif // JRPM_TRACER_TIMESTAMPSTORES_H

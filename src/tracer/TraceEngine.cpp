@@ -1,0 +1,324 @@
+//===- tracer/TraceEngine.cpp ---------------------------------------------==//
+
+#include "tracer/TraceEngine.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace jrpm;
+using namespace jrpm::tracer;
+
+TraceEngine::TraceEngine(const sim::HydraConfig &Cfg,
+                         std::vector<LoopTraceInfo> LoopInfos,
+                         bool ExtendedPcBinning)
+    : Cfg(Cfg), Loops(std::move(LoopInfos)),
+      ExtendedPcBinning(ExtendedPcBinning),
+      HeapTs(Cfg.HeapTimestampFifoLines, Cfg.WordsPerLine),
+      LoadLineTs(Cfg.LoadTimestampEntries, Cfg.WordsPerLine,
+                 Cfg.OverflowTableAssoc),
+      StoreLineTs(Cfg.StoreTimestampEntries, Cfg.WordsPerLine,
+                  Cfg.OverflowTableAssoc),
+      LocalTs(Cfg.LocalVarSlots), Stats(Loops.size()) {}
+
+std::uint32_t TraceEngine::tracedCount() const {
+  std::uint32_t N = 0;
+  for (const ComparatorBank &B : Active)
+    N += B.Traced;
+  return N;
+}
+
+ComparatorBank *TraceEngine::findTraced(std::uint32_t LoopId) {
+  for (auto It = Active.rbegin(); It != Active.rend(); ++It)
+    if (It->LoopId == LoopId)
+      return It->Traced ? &*It : nullptr;
+  return nullptr;
+}
+
+void TraceEngine::checkLoadArc(std::uint64_t StoreTs, std::uint64_t Cycle,
+                               std::int32_t Pc) {
+  if (StoreTs == NoTimestamp)
+    return;
+  for (ComparatorBank &Bank : Active) {
+    if (!Bank.Traced)
+      continue;
+    // Same-thread stores never create inter-thread arcs.
+    if (StoreTs >= Bank.CurThreadStart)
+      continue;
+    // Stores before this STL entry are not loop-carried dependencies.
+    if (StoreTs < Bank.EntryTime)
+      continue;
+    std::uint64_t Len = Cycle - StoreTs;
+    if (StoreTs >= Bank.PrevThreadStart) {
+      if (Len < Bank.MinArcPrev) {
+        Bank.MinArcPrev = Len;
+        Bank.MinArcPrevPc = Pc;
+      }
+    } else if (Len < Bank.MinArcEarlier) {
+      Bank.MinArcEarlier = Len;
+      Bank.MinArcEarlierPc = Pc;
+    }
+  }
+}
+
+std::uint32_t TraceEngine::onHeapLoad(std::uint32_t Addr, std::uint64_t Cycle,
+                                      std::int32_t Pc) {
+  LastEventTime = Cycle;
+  if (Active.empty())
+    return 0;
+  // Dependency arc identification against the store timestamp history.
+  checkLoadArc(HeapTs.lookup(Addr), Cycle, Pc);
+  // Overflow analysis: was this line already part of some thread's
+  // speculative load state?
+  std::uint64_t OldLineTs = LoadLineTs.exchange(Addr, Cycle);
+  for (ComparatorBank &Bank : Active) {
+    if (!Bank.Traced)
+      continue;
+    if (OldLineTs == NoTimestamp || OldLineTs < Bank.CurThreadStart) {
+      ++Bank.NewLoadLines;
+      if (Bank.NewLoadLines > Cfg.SpecLoadLines)
+        Bank.Overflowed = true;
+    }
+  }
+  return 0;
+}
+
+std::uint32_t TraceEngine::onHeapStore(std::uint32_t Addr, std::uint64_t Cycle,
+                                       std::int32_t Pc) {
+  (void)Pc;
+  LastEventTime = Cycle;
+  if (Active.empty()) {
+    // Still record history: a loop entered shortly after can see stores
+    // that preceded it (they are filtered by EntryTime anyway).
+    HeapTs.recordStore(Addr, Cycle);
+    return 0;
+  }
+  HeapTs.recordStore(Addr, Cycle);
+  std::uint64_t OldLineTs = StoreLineTs.exchange(Addr, Cycle);
+  for (ComparatorBank &Bank : Active) {
+    if (!Bank.Traced)
+      continue;
+    if (OldLineTs == NoTimestamp || OldLineTs < Bank.CurThreadStart) {
+      ++Bank.NewStoreLines;
+      if (Bank.NewStoreLines > Cfg.SpecStoreLines)
+        Bank.Overflowed = true;
+    }
+  }
+  return 0;
+}
+
+std::uint32_t TraceEngine::onLocalLoad(std::uint64_t Activation,
+                                       std::uint16_t Reg, std::uint64_t Cycle,
+                                       std::int32_t Pc) {
+  LastEventTime = Cycle;
+  // Resolve (activation, register) to the owning reservation, innermost
+  // first.
+  for (auto It = Active.rbegin(); It != Active.rend(); ++It) {
+    if (It->Activation != Activation)
+      continue;
+    for (const auto &[R, Slot] : It->RegSlots) {
+      if (R == Reg) {
+        checkLoadArc(LocalTs.read(Slot), Cycle, Pc);
+        return 0;
+      }
+    }
+  }
+  return 0;
+}
+
+std::uint32_t TraceEngine::onLocalStore(std::uint64_t Activation,
+                                        std::uint16_t Reg, std::uint64_t Cycle,
+                                        std::int32_t Pc) {
+  (void)Pc;
+  LastEventTime = Cycle;
+  for (auto It = Active.rbegin(); It != Active.rend(); ++It) {
+    if (It->Activation != Activation)
+      continue;
+    for (const auto &[R, Slot] : It->RegSlots) {
+      if (R == Reg) {
+        LocalTs.write(Slot, Cycle);
+        return 0;
+      }
+    }
+  }
+  return 0;
+}
+
+std::uint32_t TraceEngine::onLoopStart(std::uint32_t LoopId,
+                                       std::uint64_t Activation,
+                                       std::uint64_t Cycle) {
+  LastEventTime = Cycle;
+  assert(LoopId < Loops.size() && "unknown loop id");
+  bool Disabled = isDisabled(LoopId);
+  int Parent = Active.empty() ? -1 : static_cast<int>(Active.back().LoopId);
+  ++ParentVotes[LoopId][Parent];
+
+  ComparatorBank Bank;
+  Bank.LoopId = LoopId;
+  Bank.Activation = Activation;
+
+  bool WantTrace = tracedCount() < Cfg.ComparatorBanks && !Disabled;
+
+  if (WantTrace) {
+    // Reserve slots for annotated locals not already tracked by an
+    // enclosing reservation of the same activation.
+    std::vector<std::uint16_t> NewLocals;
+    for (std::uint16_t Reg : Loops[LoopId].AnnotatedLocals) {
+      bool Covered = false;
+      for (const ComparatorBank &B : Active) {
+        if (B.Activation != Activation)
+          continue;
+        for (const auto &[R, Slot] : B.RegSlots)
+          Covered |= R == Reg;
+      }
+      if (!Covered)
+        NewLocals.push_back(Reg);
+    }
+    int Base = LocalTs.reserve(static_cast<std::uint32_t>(NewLocals.size()));
+    if (Base < 0) {
+      WantTrace = false; // no room for local variable timestamps
+    } else {
+      Bank.SlotBase = Base;
+      Bank.SlotCount = static_cast<std::uint32_t>(NewLocals.size());
+      for (std::uint32_t S = 0; S < NewLocals.size(); ++S)
+        Bank.RegSlots.emplace_back(NewLocals[S],
+                                   static_cast<std::uint32_t>(Base) + S);
+      PeakSlots = std::max(PeakSlots, LocalTs.used());
+    }
+  }
+
+  Bank.Traced = WantTrace;
+  if (WantTrace) {
+    Bank.EntryTime = Bank.CurThreadStart = Bank.PrevThreadStart = Cycle;
+    ++Stats[LoopId].Entries;
+  } else {
+    ++Stats[LoopId].UntracedEntries;
+  }
+  Active.push_back(std::move(Bank));
+  PeakBanks = std::max(PeakBanks, tracedCount());
+  PeakNest = std::max(PeakNest, static_cast<std::uint32_t>(Active.size()));
+  return Disabled ? 0 : extraCost(Cfg.SLoopCost);
+}
+
+void TraceEngine::finalizeThread(ComparatorBank &Bank) {
+  StlStats &S = Stats[Bank.LoopId];
+  if (Bank.MinArcPrev != ComparatorBank::NoArc) {
+    ++S.CritArcsPrev;
+    S.CritLenPrev += Bank.MinArcPrev;
+    if (ExtendedPcBinning) {
+      PcBinStats &Bin = S.PcBins[Bank.MinArcPrevPc];
+      ++Bin.CriticalArcs;
+      Bin.AccumulatedLength += Bank.MinArcPrev;
+    }
+  }
+  if (Bank.MinArcEarlier != ComparatorBank::NoArc) {
+    ++S.CritArcsEarlier;
+    S.CritLenEarlier += Bank.MinArcEarlier;
+    if (ExtendedPcBinning) {
+      PcBinStats &Bin = S.PcBins[Bank.MinArcEarlierPc];
+      ++Bin.CriticalArcs;
+      Bin.AccumulatedLength += Bank.MinArcEarlier;
+    }
+  }
+  ++S.Threads;
+  S.MaxLoadLines = std::max(S.MaxLoadLines, Bank.NewLoadLines);
+  S.MaxStoreLines = std::max(S.MaxStoreLines, Bank.NewStoreLines);
+  if (Bank.Overflowed)
+    ++S.OverflowThreads;
+
+  Bank.MinArcPrev = Bank.MinArcEarlier = ComparatorBank::NoArc;
+  Bank.MinArcPrevPc = Bank.MinArcEarlierPc = -1;
+  Bank.NewLoadLines = Bank.NewStoreLines = 0;
+  Bank.Overflowed = false;
+}
+
+std::uint32_t TraceEngine::onLoopIter(std::uint32_t LoopId,
+                                      std::uint64_t Cycle) {
+  LastEventTime = Cycle;
+  ComparatorBank *Bank = findTraced(LoopId);
+  if (!Bank)
+    return isDisabled(LoopId) ? 0 : extraCost(Cfg.EoiCost);
+  finalizeThread(*Bank);
+  Bank->PrevThreadStart = Bank->CurThreadStart;
+  Bank->CurThreadStart = Cycle;
+  return extraCost(Cfg.EoiCost);
+}
+
+void TraceEngine::closeBank(ComparatorBank &Bank, std::uint64_t Cycle) {
+  if (Bank.Traced) {
+    finalizeThread(Bank);
+    Stats[Bank.LoopId].Cycles += Cycle - Bank.EntryTime;
+  }
+  if (Bank.SlotBase >= 0)
+    LocalTs.release(static_cast<std::uint32_t>(Bank.SlotBase),
+                    Bank.SlotCount);
+}
+
+std::uint32_t TraceEngine::onLoopEnd(std::uint32_t LoopId,
+                                     std::uint64_t Cycle) {
+  LastEventTime = Cycle;
+  // A matching sloop may never have fired (e.g. the loop was entered before
+  // tracing was switched on); in that case the eloop is ignored rather than
+  // tearing down enclosing banks.
+  bool OnStack = false;
+  for (const ComparatorBank &B : Active)
+    OnStack |= B.LoopId == LoopId;
+  if (!OnStack)
+    return isDisabled(LoopId) ? 0 : extraCost(Cfg.ELoopCost);
+  // Pop until this loop's entry is closed; any entries above it were left
+  // open by non-structured exits and are closed as well.
+  while (!Active.empty()) {
+    ComparatorBank Bank = std::move(Active.back());
+    Active.pop_back();
+    closeBank(Bank, Cycle);
+    if (Bank.LoopId == LoopId)
+      break;
+  }
+  return isDisabled(LoopId) ? 0 : extraCost(Cfg.ELoopCost);
+}
+
+void TraceEngine::onReturn(std::uint64_t Activation) {
+  while (!Active.empty() && Active.back().Activation == Activation) {
+    ComparatorBank Bank = std::move(Active.back());
+    Active.pop_back();
+    closeBank(Bank, LastEventTime);
+  }
+}
+
+std::uint32_t TraceEngine::onReadStats(std::uint32_t LoopId,
+                                       std::uint64_t Cycle) {
+  LastEventTime = Cycle;
+  return isDisabled(LoopId) ? 0 : extraCost(Cfg.ReadStatsCost);
+}
+
+std::vector<int> TraceEngine::dynamicParents() const {
+  std::vector<int> Parents(Stats.size(), -1);
+  for (const auto &[LoopId, Votes] : ParentVotes) {
+    int Best = -1;
+    std::uint64_t BestVotes = 0;
+    for (const auto &[Parent, Count] : Votes) {
+      if (Count > BestVotes) {
+        Best = Parent;
+        BestVotes = Count;
+      }
+    }
+    Parents[LoopId] = Best;
+  }
+  // Discard any edges that would form a cycle (possible when a loop is
+  // observed in several contexts): walk up from each node, cutting the edge
+  // that closes a loop.
+  for (std::uint32_t L = 0; L < Parents.size(); ++L) {
+    std::vector<bool> Seen(Parents.size(), false);
+    std::uint32_t Cur = L;
+    Seen[L] = true;
+    while (Parents[Cur] >= 0) {
+      std::uint32_t P = static_cast<std::uint32_t>(Parents[Cur]);
+      if (Seen[P]) {
+        Parents[Cur] = -1;
+        break;
+      }
+      Seen[P] = true;
+      Cur = P;
+    }
+  }
+  return Parents;
+}

@@ -1,0 +1,159 @@
+//===- tracer/TraceEngine.h - The TEST hardware model ----------------------==//
+//
+// Consumes the annotated sequential execution's event stream and performs
+// the two trace analyses of Section 4.2 — load dependency analysis and
+// speculative state overflow analysis — exactly as the comparator-bank
+// hardware of Section 5 would: a bounded array of banks allocated
+// stack-style by `sloop`/`eloop`, shared timestamp storage in the idle
+// speculation store buffers, and per-thread critical-arc folding at each
+// `eoi`.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_TRACER_TRACEENGINE_H
+#define JRPM_TRACER_TRACEENGINE_H
+
+#include "interp/TraceSink.h"
+#include "sim/Config.h"
+#include "tracer/StlStats.h"
+#include "tracer/TimestampStores.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace jrpm {
+namespace tracer {
+
+/// Static per-loop information the tracer needs: which named locals carry
+/// dependencies and therefore receive timestamp slots.
+struct LoopTraceInfo {
+  std::vector<std::uint16_t> AnnotatedLocals;
+};
+
+/// One active comparator bank (Figure 7), tracking the progress of one STL
+/// currently being executed. Entries with Traced == false are placeholders
+/// for loops that could not get a bank (array exhausted, no local slots, or
+/// tracing dynamically disabled) and only keep the sloop/eloop stack
+/// balanced.
+struct ComparatorBank {
+  std::uint32_t LoopId = 0;
+  std::uint64_t Activation = 0;
+  bool Traced = false;
+
+  std::uint64_t EntryTime = 0;
+  std::uint64_t CurThreadStart = 0;
+  std::uint64_t PrevThreadStart = 0;
+
+  static constexpr std::uint64_t NoArc = ~std::uint64_t(0);
+  std::uint64_t MinArcPrev = NoArc;
+  std::uint64_t MinArcEarlier = NoArc;
+  std::int32_t MinArcPrevPc = -1;
+  std::int32_t MinArcEarlierPc = -1;
+
+  std::uint64_t NewLoadLines = 0;
+  std::uint64_t NewStoreLines = 0;
+  bool Overflowed = false;
+
+  int SlotBase = -1;
+  std::uint32_t SlotCount = 0;
+  /// Newly reserved (register -> absolute slot) pairs owned by this bank.
+  std::vector<std::pair<std::uint16_t, std::uint32_t>> RegSlots;
+};
+
+class TraceEngine : public interp::TraceSink {
+public:
+  /// \p Loops is indexed by module-global loop id.
+  TraceEngine(const sim::HydraConfig &Cfg, std::vector<LoopTraceInfo> Loops,
+              bool ExtendedPcBinning = false);
+
+  /// Dynamically stop tracing a loop once this many threads have been
+  /// observed for it, freeing its bank for deeper loops (Section 5.2's
+  /// annotation-disabling mechanism). 0 disables the feature.
+  void setDisableLoopAfterThreads(std::uint64_t Threshold) {
+    DisableAfterThreads = Threshold;
+  }
+
+  // --- TraceSink interface -------------------------------------------------
+  std::uint32_t onHeapLoad(std::uint32_t Addr, std::uint64_t Cycle,
+                           std::int32_t Pc) override;
+  std::uint32_t onHeapStore(std::uint32_t Addr, std::uint64_t Cycle,
+                            std::int32_t Pc) override;
+  std::uint32_t onLocalLoad(std::uint64_t Activation, std::uint16_t Reg,
+                            std::uint64_t Cycle, std::int32_t Pc) override;
+  std::uint32_t onLocalStore(std::uint64_t Activation, std::uint16_t Reg,
+                             std::uint64_t Cycle, std::int32_t Pc) override;
+  std::uint32_t onLoopStart(std::uint32_t LoopId, std::uint64_t Activation,
+                            std::uint64_t Cycle) override;
+  std::uint32_t onLoopIter(std::uint32_t LoopId, std::uint64_t Cycle) override;
+  std::uint32_t onLoopEnd(std::uint32_t LoopId, std::uint64_t Cycle) override;
+  void onReturn(std::uint64_t Activation) override;
+  std::uint32_t onReadStats(std::uint32_t LoopId,
+                            std::uint64_t Cycle) override;
+
+  // --- Results -------------------------------------------------------------
+  const StlStats &stats(std::uint32_t LoopId) const { return Stats[LoopId]; }
+  std::uint32_t numLoops() const {
+    return static_cast<std::uint32_t>(Stats.size());
+  }
+
+  /// Dynamic nesting: majority-vote parent loop id per loop (-1 for
+  /// top-level). Cycle-free by construction (votes creating a cycle are
+  /// discarded).
+  std::vector<int> dynamicParents() const;
+
+  /// Peak number of simultaneously traced STLs (hardware needs this many
+  /// comparator banks).
+  std::uint32_t peakBanksInUse() const { return PeakBanks; }
+
+  /// Peak number of local-variable timestamp slots in use.
+  std::uint32_t peakLocalSlots() const { return PeakSlots; }
+
+  /// Maximum dynamic loop-nest depth observed (Table 6 column d), counting
+  /// loops that could not get a bank.
+  std::uint32_t peakDynamicNest() const { return PeakNest; }
+
+private:
+  /// True once the runtime has dynamically disabled this loop's
+  /// annotations (they cost nothing from then on — the paper overwrites
+  /// them with nops).
+  bool isDisabled(std::uint32_t LoopId) const {
+    return DisableAfterThreads &&
+           Stats[LoopId].Threads >= DisableAfterThreads;
+  }
+  /// Coprocessor interaction cost beyond the annotation instruction's own
+  /// cycle.
+  std::uint32_t extraCost(std::uint32_t Total) const {
+    return Total > 0 ? Total - 1 : 0;
+  }
+
+  ComparatorBank *findTraced(std::uint32_t LoopId);
+  void finalizeThread(ComparatorBank &Bank);
+  void closeBank(ComparatorBank &Bank, std::uint64_t Cycle);
+  void checkLoadArc(std::uint64_t StoreTs, std::uint64_t Cycle,
+                    std::int32_t Pc);
+  std::uint32_t tracedCount() const;
+
+  const sim::HydraConfig &Cfg;
+  std::vector<LoopTraceInfo> Loops;
+  bool ExtendedPcBinning;
+  std::uint64_t DisableAfterThreads = 0;
+
+  HeapStoreTimestamps HeapTs;
+  CacheLineTimestampTable LoadLineTs;
+  CacheLineTimestampTable StoreLineTs;
+  LocalVarTimestampFile LocalTs;
+
+  std::vector<ComparatorBank> Active; // stack, bottom = outermost
+  std::vector<StlStats> Stats;        // indexed by loop id
+  std::map<std::uint32_t, std::map<int, std::uint64_t>> ParentVotes;
+  std::uint32_t PeakBanks = 0;
+  std::uint32_t PeakSlots = 0;
+  std::uint32_t PeakNest = 0;
+  std::uint64_t LastEventTime = 0;
+};
+
+} // namespace tracer
+} // namespace jrpm
+
+#endif // JRPM_TRACER_TRACEENGINE_H

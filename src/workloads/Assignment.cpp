@@ -1,0 +1,125 @@
+//===- workloads/Assignment.cpp - Resource allocation (jBYTEmark) ----------==//
+//
+// Hungarian-style reduction over a 51x51 cost matrix followed by greedy
+// assignment, run for two rounds. Parallelism exists at several nest levels
+// (per-row reductions, per-column reductions), which is why the paper marks
+// this benchmark data-set sensitive: bigger matrices favour speculating
+// lower in the nest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+ir::Module workloads::buildAssignmentSized(std::int64_t N) {
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      assign("cost", allocWords(c(N * N))),
+      assign("rowMin", allocWords(c(N))),
+      assign("colMin", allocWords(c(N))),
+      assign("rowOf", allocWords(c(N))),
+      assign("usedCol", allocWords(c(N))),
+      forLoop("i", c(0), lt(v("i"), c(N * N)), 1,
+              store(v("cost"), v("i"), hashMod(v("i"), 1000))),
+
+      assign("total", c(0)),
+      forLoop(
+          "round", c(0), lt(v("round"), c(2)), 1,
+          seq({
+              // Row reduction: subtract each row's minimum.
+              forLoop(
+                  "i", c(0), lt(v("i"), c(N)), 1,
+                  seq({
+                      assign("m", c(1 << 30)),
+                      forLoop("j", c(0), lt(v("j"), c(N)), 1,
+                              seq({
+                                  assign("x", ld(v("cost"),
+                                                 add(mul(v("i"), c(N)),
+                                                     v("j")))),
+                                  iff(lt(v("x"), v("m")),
+                                      assign("m", v("x"))),
+                              })),
+                      store(v("rowMin"), v("i"), v("m")),
+                  })),
+              forLoop(
+                  "i", c(0), lt(v("i"), c(N)), 1,
+                  forLoop("j", c(0), lt(v("j"), c(N)), 1,
+                          store(v("cost"), add(mul(v("i"), c(N)), v("j")),
+                                sub(ld(v("cost"),
+                                       add(mul(v("i"), c(N)), v("j"))),
+                                    ld(v("rowMin"), v("i")))))),
+              // Column reduction.
+              forLoop(
+                  "j", c(0), lt(v("j"), c(N)), 1,
+                  seq({
+                      assign("m", c(1 << 30)),
+                      forLoop("i", c(0), lt(v("i"), c(N)), 1,
+                              seq({
+                                  assign("x", ld(v("cost"),
+                                                 add(mul(v("i"), c(N)),
+                                                     v("j")))),
+                                  iff(lt(v("x"), v("m")),
+                                      assign("m", v("x"))),
+                              })),
+                      store(v("colMin"), v("j"), v("m")),
+                  })),
+              forLoop(
+                  "i", c(0), lt(v("i"), c(N)), 1,
+                  forLoop("j", c(0), lt(v("j"), c(N)), 1,
+                          store(v("cost"), add(mul(v("i"), c(N)), v("j")),
+                                sub(ld(v("cost"),
+                                       add(mul(v("i"), c(N)), v("j"))),
+                                    ld(v("colMin"), v("j")))))),
+              // Greedy assignment: cheapest free column per row.
+              forLoop("j", c(0), lt(v("j"), c(N)), 1,
+                      store(v("usedCol"), v("j"), c(0))),
+              forLoop(
+                  "i", c(0), lt(v("i"), c(N)), 1,
+                  seq({
+                      assign("best", c(-1)),
+                      assign("bestCost", c(1 << 30)),
+                      forLoop(
+                          "j", c(0), lt(v("j"), c(N)), 1,
+                          iff(eq(ld(v("usedCol"), v("j")), c(0)),
+                              seq({
+                                  assign("x", ld(v("cost"),
+                                                 add(mul(v("i"), c(N)),
+                                                     v("j")))),
+                                  iff(lt(v("x"), v("bestCost")),
+                                      seq({
+                                          assign("bestCost", v("x")),
+                                          assign("best", v("j")),
+                                      })),
+                              }))),
+                      store(v("usedCol"), v("best"), c(1)),
+                      store(v("rowOf"), v("i"), v("best")),
+                      assign("total", add(v("total"), v("bestCost"))),
+                  })),
+              // Perturb the matrix for the next round.
+              forLoop("i", c(0), lt(v("i"), c(N * N)), 1,
+                      store(v("cost"), v("i"),
+                            add(ld(v("cost"), v("i")),
+                                hashMod(add(v("i"), v("round")), 37)))),
+          })),
+
+      assign("sum", v("total")),
+      forLoop("i", c(0), lt(v("i"), c(N)), 1,
+              assign("sum", add(v("sum"),
+                                mul(ld(v("rowOf"), v("i")),
+                                    add(v("i"), c(3)))))),
+      ret(v("sum")),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}
+
+ir::Module workloads::buildAssignment() { return buildAssignmentSized(51); }

@@ -1,0 +1,74 @@
+//===- workloads/BitOps.cpp - Bit array operations (jBYTEmark) -------------==//
+//
+// Strided bit set/clear/toggle passes over a packed bit array plus a
+// population count. Adjacent iterations read-modify-write the same words,
+// so dependency arcs are very short and thread sizes tiny — the classic
+// fine-grained STL the paper reports for BitOps (thread size 29 cycles).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+ir::Module workloads::buildBitOps() {
+  constexpr std::int64_t Bits = 32768;
+  constexpr std::int64_t Words = Bits / 64;
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      assign("bits", allocWords(c(Words))),
+      forLoop("i", c(0), lt(v("i"), c(Words)), 1,
+              store(v("bits"), v("i"), c(0))),
+
+      // Set every 3rd bit.
+      forLoop("b", c(0), lt(v("b"), c(Bits)), 3,
+              seq({
+                  assign("w", sdiv(v("b"), c(64))),
+                  assign("o", srem(v("b"), c(64))),
+                  store(v("bits"), v("w"),
+                        bor(ld(v("bits"), v("w")), shl(c(1), v("o")))),
+              })),
+      // Clear every 7th bit.
+      forLoop("b", c(0), lt(v("b"), c(Bits)), 7,
+              seq({
+                  assign("w", sdiv(v("b"), c(64))),
+                  assign("o", srem(v("b"), c(64))),
+                  store(v("bits"), v("w"),
+                        band(ld(v("bits"), v("w")),
+                             bxor(shl(c(1), v("o")), c(-1)))),
+              })),
+      // Toggle a hash-derived pattern.
+      forLoop("b", c(0), lt(v("b"), c(Bits)), 5,
+              seq({
+                  assign("t", hashMod(v("b"), Bits)),
+                  assign("w", sdiv(v("t"), c(64))),
+                  assign("o", srem(v("t"), c(64))),
+                  store(v("bits"), v("w"),
+                        bxor(ld(v("bits"), v("w")), shl(c(1), v("o")))),
+              })),
+
+      // Population count (integer sum reduction).
+      assign("pop", c(0)),
+      forLoop("i", c(0), lt(v("i"), c(Words)), 1,
+              seq({
+                  assign("x", ld(v("bits"), v("i"))),
+                  whileLoop(ne(v("x"), c(0)),
+                            seq({
+                                assign("pop", add(v("pop"), c(1))),
+                                assign("x", band(v("x"),
+                                                 sub(v("x"), c(1)))),
+                            })),
+              })),
+      ret(add(v("pop"), mul(ld(v("bits"), c(7)), c(13)))),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

@@ -1,0 +1,49 @@
+//===- workloads/Builders.h - Per-benchmark module builders ----------------==//
+
+#ifndef JRPM_WORKLOADS_BUILDERS_H
+#define JRPM_WORKLOADS_BUILDERS_H
+
+#include "ir/IR.h"
+
+namespace jrpm {
+namespace workloads {
+
+// Integer.
+ir::Module buildAssignment();
+/// Assignment with a custom matrix size (Section 6.1's data-set
+/// sensitivity experiments; the registry default is the paper's 51x51).
+ir::Module buildAssignmentSized(std::int64_t N);
+ir::Module buildBitOps();
+ir::Module buildCompress();
+ir::Module buildDb();
+ir::Module buildDeltaBlue();
+ir::Module buildEmFloatPnt();
+ir::Module buildHuffman();
+ir::Module buildIdea();
+ir::Module buildJess();
+ir::Module buildJLex();
+ir::Module buildMipsSimulator();
+ir::Module buildMonteCarlo();
+ir::Module buildNumHeapSort();
+ir::Module buildRaytrace();
+
+// Floating point.
+ir::Module buildEuler();
+ir::Module buildFft();
+ir::Module buildFourierTest();
+ir::Module buildLuFactor();
+ir::Module buildMoldyn();
+ir::Module buildNeuralNet();
+ir::Module buildShallow();
+
+// Multimedia.
+ir::Module buildDecJpeg();
+ir::Module buildEncJpeg();
+ir::Module buildH263Dec();
+ir::Module buildMpegVideo();
+ir::Module buildMp3();
+
+} // namespace workloads
+} // namespace jrpm
+
+#endif // JRPM_WORKLOADS_BUILDERS_H

@@ -1,0 +1,34 @@
+//===- workloads/Common.h - Shared DSL helpers for workloads ---------------==//
+
+#ifndef JRPM_WORKLOADS_COMMON_H
+#define JRPM_WORKLOADS_COMMON_H
+
+#include "frontend/Ast.h"
+
+namespace jrpm {
+namespace workloads {
+
+/// Deterministic integer hash of \p X, non-negative.
+inline front::Ex hashEx(front::Ex X) {
+  using namespace front;
+  return band(mul(add(X, c(0x9E3779B9)), c(2654435761LL)), c(0x7FFFFFFF));
+}
+
+/// hash(X) % Mod.
+inline front::Ex hashMod(front::Ex X, std::int64_t Mod) {
+  using namespace front;
+  return srem(hashEx(X), c(Mod));
+}
+
+/// Fixed-point conversion of a double expression (16.16) used for robust
+/// floating-point checksums: tiny reassociation differences introduced by
+/// reduction privatization vanish under the quantization.
+inline front::Ex fix16(front::Ex X) {
+  using namespace front;
+  return ftoi(fmul(X, cf(65536.0)));
+}
+
+} // namespace workloads
+} // namespace jrpm
+
+#endif // JRPM_WORKLOADS_COMMON_H

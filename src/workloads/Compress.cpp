@@ -1,0 +1,168 @@
+//===- workloads/Compress.cpp - LZW-style compression (SPECjvm98 209) ------==//
+//
+// A dictionary-based compressor: the main loop extends the current match
+// through a hash-probed dictionary and emits codes. The dictionary and the
+// next-code counter are loop-carried through memory, so the main loop shows
+// real dependency arcs; a post-pass decompressor verifies the round trip.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+ir::Module workloads::buildCompress() {
+  constexpr std::int64_t InLen = 4000;
+  constexpr std::int64_t TableSize = 4096; // power of two
+  constexpr std::int64_t FirstCode = 256;
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      // Compressible input: repeating phrases with noise.
+      assign("in", allocWords(c(InLen))),
+      forLoop("i", c(0), lt(v("i"), c(InLen)), 1,
+              store(v("in"), v("i"),
+                    srem(add(srem(v("i"), c(17)), hashMod(sdiv(v("i"), c(64)), 9)),
+                         c(96)))),
+
+      // Dictionary: key = (prefixCode << 8) | symbol, value = code.
+      assign("keys", allocWords(c(TableSize))),
+      assign("vals", allocWords(c(TableSize))),
+      forLoop("i", c(0), lt(v("i"), c(TableSize)), 1,
+              store(v("keys"), v("i"), c(-1))),
+
+      assign("out", allocWords(c(InLen + 8))),
+      assign("out_n", c(0)),
+      assign("nextCode", c(FirstCode)),
+      assign("prefix", ld(v("in"), c(0))),
+      forLoop(
+          "i", c(1), lt(v("i"), c(InLen)), 1,
+          seq({
+              assign("sym", ld(v("in"), v("i"))),
+              assign("key", bor(shl(v("prefix"), c(8)), v("sym"))),
+              // Linear-probe lookup.
+              assign("slot", srem(mul(v("key"), c(2654435761LL)),
+                                  c(TableSize))),
+              iff(lt(v("slot"), c(0)),
+                  assign("slot", add(v("slot"), c(TableSize)))),
+              assign("found", c(-1)),
+              assign("probing", c(1)),
+              whileLoop(
+                  v("probing"),
+                  seq({
+                      assign("k", ld(v("keys"), v("slot"))),
+                      iffElse(
+                          eq(v("k"), v("key")),
+                          seq({
+                              assign("found", ld(v("vals"), v("slot"))),
+                              assign("probing", c(0)),
+                          }),
+                          iffElse(eq(v("k"), c(-1)),
+                                  assign("probing", c(0)),
+                                  seq({
+                                      assign("slot",
+                                             srem(add(v("slot"), c(1)),
+                                                  c(TableSize))),
+                                  }))),
+                  })),
+              iffElse(
+                  ne(v("found"), c(-1)),
+                  assign("prefix", v("found")),
+                  seq({
+                      store(v("out"), v("out_n"), v("prefix")),
+                      assign("out_n", add(v("out_n"), c(1))),
+                      // Insert the new phrase while the table has room.
+                      iff(lt(v("nextCode"), c(TableSize - 64 + FirstCode)),
+                          seq({
+                              store(v("keys"), v("slot"), v("key")),
+                              store(v("vals"), v("slot"), v("nextCode")),
+                              assign("nextCode", add(v("nextCode"), c(1))),
+                          })),
+                      assign("prefix", v("sym")),
+                  })),
+          })),
+      store(v("out"), v("out_n"), v("prefix")),
+      assign("out_n", add(v("out_n"), c(1))),
+
+      // Round trip: LZW-decode the code stream with a mirrored dictionary
+      // (dPre[k], dSym[k] for code k) and verify it reproduces the input.
+      assign("dPre", allocWords(c(TableSize + 256))),
+      assign("dSym", allocWords(c(TableSize + 256))),
+      assign("stack", allocWords(c(260))),
+      assign("dec", allocWords(c(InLen + 260))),
+      assign("dec_n", c(0)),
+      assign("dNext", c(FirstCode)),
+      assign("prev", ld(v("out"), c(0))),
+      store(v("dec"), c(0), v("prev")),
+      assign("dec_n", c(1)),
+      forLoop(
+          "k", c(1), lt(v("k"), v("out_n")), 1,
+          seq({
+              assign("code", ld(v("out"), v("k"))),
+              // The KwKwK case: the code being decoded is the one about to
+              // be defined; expand prev and append its first symbol.
+              assign("cur", v("code")),
+              iff(ge(v("code"), v("dNext")),
+                  assign("cur", c(-1))),
+              // Expand cur (or prev for KwKwK) onto the stack.
+              assign("walk", v("cur")),
+              iff(eq(v("cur"), c(-1)), assign("walk", v("prev"))),
+              assign("depth", c(0)),
+              whileLoop(ge(v("walk"), c(FirstCode)),
+                        seq({
+                            store(v("stack"), v("depth"),
+                                  ld(v("dSym"), v("walk"))),
+                            assign("depth", add(v("depth"), c(1))),
+                            assign("walk", ld(v("dPre"), v("walk"))),
+                            iff(ge(v("depth"), c(255)), brk()),
+                        })),
+              store(v("stack"), v("depth"), v("walk")),
+              assign("first", v("walk")),
+              // Emit root-to-leaf.
+              assign("d", v("depth")),
+              whileLoop(ge(v("d"), c(0)),
+                        seq({
+                            store(v("dec"), v("dec_n"),
+                                  ld(v("stack"), v("d"))),
+                            assign("dec_n", add(v("dec_n"), c(1))),
+                            assign("d", sub(v("d"), c(1))),
+                        })),
+              iff(eq(v("cur"), c(-1)),
+                  seq({
+                      store(v("dec"), v("dec_n"), v("first")),
+                      assign("dec_n", add(v("dec_n"), c(1))),
+                  })),
+              // Mirror the encoder's conditional insertion.
+              iff(lt(v("dNext"), c(TableSize - 64 + FirstCode)),
+                  seq({
+                      store(v("dPre"), v("dNext"), v("prev")),
+                      store(v("dSym"), v("dNext"), v("first")),
+                      assign("dNext", add(v("dNext"), c(1))),
+                  })),
+              assign("prev", v("code")),
+          })),
+
+      // Verify the round trip and fold the code stream into the checksum.
+      assign("good", eq(v("dec_n"), c(InLen))),
+      forLoop("i", c(0), lt(v("i"), c(InLen)), 1,
+              iff(lt(v("i"), v("dec_n")),
+                  assign("good", add(v("good"),
+                                     eq(ld(v("dec"), v("i")),
+                                        ld(v("in"), v("i"))))))),
+      assign("sum", mul(v("good"), c(1000000))),
+      forLoop("i", c(0), lt(v("i"), v("out_n")), 1,
+              assign("sum",
+                     add(mul(v("sum"), c(31)),
+                         band(ld(v("out"), v("i")), c(0xFFFF))))),
+      ret(band(add(v("sum"), v("out_n")), c(0x7FFFFFFFFFFF)))
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

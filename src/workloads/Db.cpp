@@ -1,0 +1,129 @@
+//===- workloads/Db.cpp - In-memory database (SPECjvm98 209_db) ------------==//
+//
+// An address-book style table of 5000 records with the operation mix the
+// SPEC benchmark performs: scans with predicates, field updates, an index
+// (shell) sort, and key lookups through the sorted index. The sort's inner
+// compare-swap loop is carried through the permutation array; the scans and
+// updates are parallel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+ir::Module workloads::buildDb() {
+  constexpr std::int64_t N = 5000;
+  constexpr std::int64_t Probes = 400;
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      assign("key", allocWords(c(N))),
+      assign("val1", allocWords(c(N))),
+      assign("val2", allocWords(c(N))),
+      assign("idx", allocWords(c(N))),
+      forLoop("i", c(0), lt(v("i"), c(N)), 1,
+              seq({
+                  store(v("key"), v("i"), hashMod(v("i"), 1000000)),
+                  store(v("val1"), v("i"), hashMod(mul(v("i"), c(3)), 5000)),
+                  store(v("val2"), v("i"), c(0)),
+                  store(v("idx"), v("i"), v("i")),
+              })),
+
+      // Scan: sum val1 of records matching a key predicate.
+      assign("scanSum", c(0)),
+      forLoop("i", c(0), lt(v("i"), c(N)), 1,
+              iff(eq(srem(ld(v("key"), v("i")), c(7)), c(3)),
+                  assign("scanSum", add(v("scanSum"),
+                                        ld(v("val1"), v("i")))))),
+
+      // Update: derived field for every record.
+      forLoop("i", c(0), lt(v("i"), c(N)), 1,
+              store(v("val2"), v("i"),
+                    add(mul(ld(v("val1"), v("i")), c(3)),
+                        srem(ld(v("key"), v("i")), c(101))))),
+
+      // Shell sort of the index by key.
+      assign("gap", c(N / 2)),
+      whileLoop(
+          gt(v("gap"), c(0)),
+          seq({
+              forLoop(
+                  "i", v("gap"), lt(v("i"), c(N)), 1,
+                  seq({
+                      assign("tmp", ld(v("idx"), v("i"))),
+                      assign("tk", ld(v("key"), v("tmp"))),
+                      assign("j", v("i")),
+                      // The guard must not index with j-gap when j < gap
+                      // (expressions are not short-circuiting), so the
+                      // compare happens inside the loop body.
+                      assign("moving", c(1)),
+                      whileLoop(
+                          v("moving"),
+                          iffElse(
+                              lt(v("j"), v("gap")),
+                              assign("moving", c(0)),
+                              seq({
+                                  assign("pk",
+                                         ld(v("key"),
+                                            ld(v("idx"),
+                                               sub(v("j"), v("gap"))))),
+                                  iffElse(
+                                      gt(v("pk"), v("tk")),
+                                      seq({
+                                          store(v("idx"), v("j"),
+                                                ld(v("idx"),
+                                                   sub(v("j"), v("gap")))),
+                                          assign("j", sub(v("j"), v("gap"))),
+                                      }),
+                                      assign("moving", c(0))),
+                              }))),
+                      store(v("idx"), v("j"), v("tmp")),
+                  })),
+              assign("gap", sdiv(v("gap"), c(2))),
+          })),
+
+      // Probe: binary search for hash-derived keys.
+      assign("hits", c(0)),
+      forLoop(
+          "q", c(0), lt(v("q"), c(Probes)), 1,
+          seq({
+              assign("want", hashMod(mul(v("q"), c(7)), 1000000)),
+              assign("lo", c(0)),
+              assign("hi", c(N - 1)),
+              whileLoop(
+                  le(v("lo"), v("hi")),
+                  seq({
+                      assign("mid", sdiv(add(v("lo"), v("hi")), c(2))),
+                      assign("mk", ld(v("key"), ld(v("idx"), v("mid")))),
+                      iffElse(eq(v("mk"), v("want")),
+                              seq({
+                                  assign("hits", add(v("hits"), c(1))),
+                                  brk(),
+                              }),
+                              iffElse(lt(v("mk"), v("want")),
+                                      assign("lo", add(v("mid"), c(1))),
+                                      assign("hi", sub(v("mid"), c(1))))),
+                  })),
+          })),
+
+      // Checksum: sortedness, probe hits, and update results.
+      assign("sum", add(v("scanSum"), mul(v("hits"), c(977)))),
+      forLoop("i", c(1), lt(v("i"), c(N)), 1,
+              iff(le(ld(v("key"), ld(v("idx"), sub(v("i"), c(1)))),
+                     ld(v("key"), ld(v("idx"), v("i")))),
+                  assign("sum", add(v("sum"), c(1))))),
+      forLoop("i", c(0), lt(v("i"), c(N)), 17,
+              assign("sum", add(v("sum"), ld(v("val2"), v("i"))))),
+      ret(v("sum")),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

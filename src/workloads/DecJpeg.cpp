@@ -1,0 +1,113 @@
+//===- workloads/DecJpeg.cpp - JPEG-style image decoder (mediabench) -------==//
+//
+// Block-based decode: per 8x8 block, coefficient dequantization, a
+// separable integer butterfly IDCT approximation (rows then columns), and
+// clamped writeback. Blocks are independent, giving the many small STLs
+// the paper reports for decJpeg (21 selected loops, ~124-cycle threads).
+// All arithmetic is integer, so checksums are exact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+ir::Module workloads::buildDecJpeg() {
+  constexpr std::int64_t BW = 10, BH = 10; // blocks
+  constexpr std::int64_t Blocks = BW * BH;
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      assign("coef", allocWords(c(Blocks * 64))),
+      assign("quant", allocWords(c(64))),
+      assign("img", allocWords(c(Blocks * 64))),
+      assign("tmp", allocWords(c(64))),
+      forLoop("i", c(0), lt(v("i"), c(64)), 1,
+              store(v("quant"), v("i"),
+                    add(c(1), srem(add(v("i"), c(4)), c(24))))),
+      forLoop("i", c(0), lt(v("i"), c(Blocks * 64)), 1,
+              store(v("coef"), v("i"),
+                    sub(hashMod(v("i"), 64), c(32)))),
+
+      forLoop(
+          "b", c(0), lt(v("b"), c(Blocks)), 1,
+          seq({
+              assign("base", mul(v("b"), c(64))),
+              // Dequantize into tmp.
+              forLoop("i", c(0), lt(v("i"), c(64)), 1,
+                      store(v("tmp"), v("i"),
+                            mul(ld(v("coef"), add(v("base"), v("i"))),
+                                ld(v("quant"), v("i"))))),
+              // Row butterflies (integer IDCT approximation).
+              forLoop(
+                  "r", c(0), lt(v("r"), c(8)), 1,
+                  forLoop(
+                      "k", c(0), lt(v("k"), c(4)), 1,
+                      seq({
+                          assign("p", add(mul(v("r"), c(8)), v("k"))),
+                          assign("q", add(mul(v("r"), c(8)),
+                                          sub(c(7), v("k")))),
+                          assign("s", add(ld(v("tmp"), v("p")),
+                                          ld(v("tmp"), v("q")))),
+                          assign("d", sub(ld(v("tmp"), v("p")),
+                                          ld(v("tmp"), v("q")))),
+                          store(v("tmp"), v("p"),
+                                shr(add(mul(v("s"), c(5)),
+                                        mul(v("d"), c(3))),
+                                    c(3))),
+                          store(v("tmp"), v("q"),
+                                shr(sub(mul(v("s"), c(3)),
+                                        mul(v("d"), c(5))),
+                                    c(3))),
+                      }))),
+              // Column butterflies.
+              forLoop(
+                  "cc", c(0), lt(v("cc"), c(8)), 1,
+                  forLoop(
+                      "k", c(0), lt(v("k"), c(4)), 1,
+                      seq({
+                          assign("p", add(mul(v("k"), c(8)), v("cc"))),
+                          assign("q", add(mul(sub(c(7), v("k")), c(8)),
+                                          v("cc"))),
+                          assign("s", add(ld(v("tmp"), v("p")),
+                                          ld(v("tmp"), v("q")))),
+                          assign("d", sub(ld(v("tmp"), v("p")),
+                                          ld(v("tmp"), v("q")))),
+                          store(v("tmp"), v("p"),
+                                shr(add(mul(v("s"), c(5)),
+                                        mul(v("d"), c(3))),
+                                    c(3))),
+                          store(v("tmp"), v("q"),
+                                shr(sub(mul(v("s"), c(3)),
+                                        mul(v("d"), c(5))),
+                                    c(3))),
+                      }))),
+              // Level shift, clamp to [0, 255], write back.
+              forLoop(
+                  "i", c(0), lt(v("i"), c(64)), 1,
+                  seq({
+                      assign("px", add(shr(ld(v("tmp"), v("i")), c(2)),
+                                       c(128))),
+                      iff(lt(v("px"), c(0)), assign("px", c(0))),
+                      iff(gt(v("px"), c(255)), assign("px", c(255))),
+                      store(v("img"), add(v("base"), v("i")), v("px")),
+                  })),
+          })),
+
+      assign("sum", c(0)),
+      forLoop("i", c(0), lt(v("i"), c(Blocks * 64)), 1,
+              assign("sum", add(v("sum"),
+                                mul(ld(v("img"), v("i")),
+                                    add(srem(v("i"), c(11)), c(1)))))),
+      ret(v("sum")),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

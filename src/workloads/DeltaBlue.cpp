@@ -1,0 +1,131 @@
+//===- workloads/DeltaBlue.cpp - Incremental constraint solver -------------==//
+//
+// A structural model of the deltaBlue benchmark: one-way constraints
+// (dst = f(src)) with strengths are *planned* — each constraint is
+// satisfied only if it is stronger than its destination's current
+// walkabout strength, repeated to a fixpoint, producing an ordered plan —
+// and the plan is then *executed* for a series of input pulses. Planning
+// is worklist-style and carried (the irregular part); plan execution has
+// dependences through the variable array of varying distance.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+ir::Module workloads::buildDeltaBlue() {
+  constexpr std::int64_t Vars = 300;
+  constexpr std::int64_t Cons = 700;
+  constexpr std::int64_t Pulses = 6;
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      assign("value", allocWords(c(Vars))),
+      assign("walk", allocWords(c(Vars))), // walkabout strengths
+      assign("src", allocWords(c(Cons))),
+      assign("dst", allocWords(c(Cons))),
+      assign("op", allocWords(c(Cons))),
+      assign("strength", allocWords(c(Cons))),
+      assign("satisfied", allocWords(c(Cons))),
+      assign("plan", allocWords(c(Cons))),
+      forLoop("i", c(0), lt(v("i"), c(Vars)), 1,
+              seq({
+                  store(v("value"), v("i"), hashMod(v("i"), 1000)),
+                  store(v("walk"), v("i"), c(0)), // weakest
+              })),
+      forLoop("i", c(0), lt(v("i"), c(Cons)), 1,
+              seq({
+                  store(v("src"), v("i"), hashMod(v("i"), Vars)),
+                  store(v("dst"), v("i"),
+                        hashMod(add(v("i"), c(12345)), Vars)),
+                  store(v("op"), v("i"), srem(v("i"), c(4))),
+                  store(v("strength"), v("i"),
+                        add(hashMod(mul(v("i"), c(5)), 7), c(1))),
+                  store(v("satisfied"), v("i"), c(0)),
+              })),
+
+      // --- Planning: satisfy constraints stronger than their output's
+      // walkabout strength, to a fixpoint; record the execution order.
+      assign("planLen", c(0)),
+      assign("changed", c(1)),
+      assign("rounds", c(0)),
+      whileLoop(
+          band(v("changed"), lt(v("rounds"), c(12))),
+          seq({
+              assign("changed", c(0)),
+              forLoop(
+                  "i", c(0), lt(v("i"), c(Cons)), 1,
+                  iff(eq(ld(v("satisfied"), v("i")), c(0)),
+                      seq({
+                          assign("d", ld(v("dst"), v("i"))),
+                          assign("st", ld(v("strength"), v("i"))),
+                          iff(gt(v("st"), ld(v("walk"), v("d"))),
+                              seq({
+                                  store(v("walk"), v("d"), v("st")),
+                                  store(v("satisfied"), v("i"), c(1)),
+                                  store(v("plan"), v("planLen"), v("i")),
+                                  assign("planLen",
+                                         add(v("planLen"), c(1))),
+                                  assign("changed", c(1)),
+                              })),
+                      }))),
+              assign("rounds", add(v("rounds"), c(1))),
+          })),
+
+      // --- Execution: run the plan for each input pulse.
+      assign("changes", c(0)),
+      forLoop(
+          "pulse", c(0), lt(v("pulse"), c(Pulses)), 1,
+          seq({
+              // Perturb a few input variables.
+              forLoop("k", c(0), lt(v("k"), c(16)), 1,
+                      store(v("value"),
+                            hashMod(add(mul(v("pulse"), c(31)), v("k")),
+                                    Vars),
+                            hashMod(add(v("pulse"), mul(v("k"), c(77))),
+                                    1000))),
+              // Propagate along the plan, in plan order.
+              forLoop(
+                  "p", c(0), lt(v("p"), v("planLen")), 1,
+                  seq({
+                      assign("ci", ld(v("plan"), v("p"))),
+                      assign("s", ld(v("value"), ld(v("src"), v("ci")))),
+                      assign("o", ld(v("op"), v("ci"))),
+                      assign("nv", v("s")),
+                      iffElse(eq(v("o"), c(0)),
+                              assign("nv", add(v("s"), c(7))),
+                              iffElse(eq(v("o"), c(1)),
+                                      assign("nv", mul(v("s"), c(3))),
+                                      iff(eq(v("o"), c(2)),
+                                          assign("nv",
+                                                 sub(c(5000), v("s")))))),
+                      assign("nv", srem(v("nv"), c(100000))),
+                      assign("d", ld(v("dst"), v("ci"))),
+                      iff(ne(ld(v("value"), v("d")), v("nv")),
+                          seq({
+                              store(v("value"), v("d"), v("nv")),
+                              assign("changes", add(v("changes"), c(1))),
+                          })),
+                  })),
+          })),
+
+      assign("sum", add(v("changes"), mul(v("planLen"), c(100000)))),
+      forLoop("i", c(0), lt(v("i"), c(Vars)), 1,
+              assign("sum", add(v("sum"),
+                                mul(ld(v("value"), v("i")),
+                                    add(srem(v("i"), c(13)), c(1)))))),
+      forLoop("i", c(0), lt(v("i"), c(Vars)), 1,
+              assign("sum", add(v("sum"), ld(v("walk"), v("i"))))),
+      ret(v("sum")),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

@@ -1,0 +1,130 @@
+//===- workloads/EmFloatPnt.cpp - Software floating point (jBYTEmark) ------==//
+//
+// Emulates floating point in integer arithmetic: numbers are (sign,
+// exponent, 32-bit mantissa) triples. The benchmark loop multiplies and
+// adds arrays of emulated numbers; normalization shifts give each
+// iteration data-dependent inner-loop work, producing the very coarse
+// threads the paper reports (EmFloatPnt thread size ~20000 cycles comes
+// from whole-array passes; our threads are one emulated op chain each).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+ir::Module workloads::buildEmFloatPnt() {
+  constexpr std::int64_t N = 160;
+  constexpr std::int64_t Passes = 3;
+
+  // Emulated numbers stored as three parallel arrays; all arithmetic on
+  // 32-bit mantissas kept in the high half for normalization.
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      assign("sgA", allocWords(c(N))), assign("exA", allocWords(c(N))),
+      assign("mnA", allocWords(c(N))), assign("sgB", allocWords(c(N))),
+      assign("exB", allocWords(c(N))), assign("mnB", allocWords(c(N))),
+      assign("sgC", allocWords(c(N))), assign("exC", allocWords(c(N))),
+      assign("mnC", allocWords(c(N))),
+      forLoop("i", c(0), lt(v("i"), c(N)), 1,
+              seq({
+                  store(v("sgA"), v("i"), srem(v("i"), c(2))),
+                  store(v("exA"), v("i"), sub(hashMod(v("i"), 40), c(20))),
+                  store(v("mnA"), v("i"),
+                        bor(hashMod(mul(v("i"), c(7)), 0x7FFFFFFF),
+                            c(0x40000000))),
+                  store(v("sgB"), v("i"), srem(add(v("i"), c(1)), c(2))),
+                  store(v("exB"), v("i"),
+                        sub(hashMod(add(v("i"), c(99)), 40), c(20))),
+                  store(v("mnB"), v("i"),
+                        bor(hashMod(mul(v("i"), c(13)), 0x7FFFFFFF),
+                            c(0x40000000))),
+              })),
+
+      forLoop(
+          "p", c(0), lt(v("p"), c(Passes)), 1,
+          forLoop(
+              "i", c(0), lt(v("i"), c(N)), 1,
+              seq({
+                  // Emulated multiply: C = A * B.
+                  assign("ma", ld(v("mnA"), v("i"))),
+                  assign("mb", ld(v("mnB"), v("i"))),
+                  assign("prod", shr(mul(v("ma"), v("mb")), c(31))),
+                  assign("ex", add(ld(v("exA"), v("i")),
+                                   ld(v("exB"), v("i")))),
+                  assign("sg", bxor(ld(v("sgA"), v("i")),
+                                    ld(v("sgB"), v("i")))),
+                  // Normalize: shift the mantissa into [2^30, 2^31).
+                  whileLoop(ge(v("prod"), shl(c(1), c(31))),
+                            seq({
+                                assign("prod", shr(v("prod"), c(1))),
+                                assign("ex", add(v("ex"), c(1))),
+                            })),
+                  whileLoop(lt(v("prod"), shl(c(1), c(30))),
+                            seq({
+                                assign("prod", shl(v("prod"), c(1))),
+                                assign("ex", sub(v("ex"), c(1))),
+                            })),
+                  // Emulated add with exponent alignment: C = C*0 + prod
+                  // on the first pass, C += prod afterwards.
+                  iffElse(
+                      eq(v("p"), c(0)),
+                      seq({
+                          store(v("sgC"), v("i"), v("sg")),
+                          store(v("exC"), v("i"), v("ex")),
+                          store(v("mnC"), v("i"), v("prod")),
+                      }),
+                      seq({
+                          assign("exc", ld(v("exC"), v("i"))),
+                          assign("mc", ld(v("mnC"), v("i"))),
+                          assign("diff", sub(v("ex"), v("exc"))),
+                          iff(gt(v("diff"), c(0)),
+                              whileLoop(gt(v("diff"), c(0)),
+                                        seq({
+                                            assign("mc", shr(v("mc"), c(1))),
+                                            assign("diff",
+                                                   sub(v("diff"), c(1))),
+                                        }))),
+                          iff(lt(v("diff"), c(0)),
+                              whileLoop(lt(v("diff"), c(0)),
+                                        seq({
+                                            assign("prod",
+                                                   shr(v("prod"), c(1))),
+                                            assign("diff",
+                                                   add(v("diff"), c(1))),
+                                        }))),
+                          assign("msum", add(v("mc"), v("prod"))),
+                          assign("exn",
+                                 gt(v("ex"), v("exc"))),
+                          assign("exo", add(mul(v("exn"), v("ex")),
+                                            mul(sub(c(1), v("exn")),
+                                                v("exc")))),
+                          whileLoop(ge(v("msum"), shl(c(1), c(31))),
+                                    seq({
+                                        assign("msum",
+                                               shr(v("msum"), c(1))),
+                                        assign("exo", add(v("exo"), c(1))),
+                                    })),
+                          store(v("exC"), v("i"), v("exo")),
+                          store(v("mnC"), v("i"), v("msum")),
+                      })),
+              }))),
+
+      assign("sum", c(0)),
+      forLoop("i", c(0), lt(v("i"), c(N)), 1,
+              assign("sum",
+                     add(v("sum"),
+                         add(ld(v("mnC"), v("i")),
+                             mul(ld(v("exC"), v("i")), c(1000)))))),
+      ret(v("sum")),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

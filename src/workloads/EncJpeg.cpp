@@ -1,0 +1,127 @@
+//===- workloads/EncJpeg.cpp - JPEG-style image encoder (mediabench) -------==//
+//
+// The encode direction: per 8x8 block, forward integer DCT approximation,
+// quantization, zig-zag scan, and run-length counting of zero
+// coefficients. The run-length emit counter is loop carried; everything
+// else is block parallel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+ir::Module workloads::buildEncJpeg() {
+  constexpr std::int64_t BW = 9, BH = 9;
+  constexpr std::int64_t Blocks = BW * BH;
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      assign("img", allocWords(c(Blocks * 64))),
+      assign("quant", allocWords(c(64))),
+      assign("coef", allocWords(c(Blocks * 64))),
+      assign("zig", allocWords(c(64))),
+      assign("rle", allocWords(c(Blocks * 130))),
+      assign("tmp", allocWords(c(64))),
+      forLoop("i", c(0), lt(v("i"), c(Blocks * 64)), 1,
+              store(v("img"), v("i"), hashMod(v("i"), 256))),
+      forLoop("i", c(0), lt(v("i"), c(64)), 1,
+              store(v("quant"), v("i"),
+                    add(c(2), srem(mul(v("i"), c(3)), c(30))))),
+      // Diagonal zig-zag order table, computed by scanning diagonals.
+      assign("zn", c(0)),
+      forLoop(
+          "d", c(0), lt(v("d"), c(15)), 1,
+          forLoop(
+              "r", c(0), lt(v("r"), c(8)), 1,
+              seq({
+                  assign("cc", sub(v("d"), v("r"))),
+                  iff(band(ge(v("cc"), c(0)), lt(v("cc"), c(8))),
+                      seq({
+                          store(v("zig"), v("zn"),
+                                add(mul(v("r"), c(8)), v("cc"))),
+                          assign("zn", add(v("zn"), c(1))),
+                      })),
+              }))),
+
+      assign("rn", c(0)),
+      forLoop(
+          "b", c(0), lt(v("b"), c(Blocks)), 1,
+          seq({
+              assign("base", mul(v("b"), c(64))),
+              // Forward butterflies: rows then columns.
+              forLoop("i", c(0), lt(v("i"), c(64)), 1,
+                      store(v("tmp"), v("i"),
+                            sub(ld(v("img"), add(v("base"), v("i"))),
+                                c(128)))),
+              forLoop(
+                  "r", c(0), lt(v("r"), c(8)), 1,
+                  forLoop(
+                      "k", c(0), lt(v("k"), c(4)), 1,
+                      seq({
+                          assign("p", add(mul(v("r"), c(8)), v("k"))),
+                          assign("q", add(mul(v("r"), c(8)),
+                                          sub(c(7), v("k")))),
+                          assign("s", add(ld(v("tmp"), v("p")),
+                                          ld(v("tmp"), v("q")))),
+                          assign("d2", sub(ld(v("tmp"), v("p")),
+                                           ld(v("tmp"), v("q")))),
+                          store(v("tmp"), v("p"), v("s")),
+                          store(v("tmp"), v("q"), v("d2")),
+                      }))),
+              forLoop(
+                  "cc", c(0), lt(v("cc"), c(8)), 1,
+                  forLoop(
+                      "k", c(0), lt(v("k"), c(4)), 1,
+                      seq({
+                          assign("p", add(mul(v("k"), c(8)), v("cc"))),
+                          assign("q", add(mul(sub(c(7), v("k")), c(8)),
+                                          v("cc"))),
+                          assign("s", add(ld(v("tmp"), v("p")),
+                                          ld(v("tmp"), v("q")))),
+                          assign("d2", sub(ld(v("tmp"), v("p")),
+                                           ld(v("tmp"), v("q")))),
+                          store(v("tmp"), v("p"), shr(v("s"), c(1))),
+                          store(v("tmp"), v("q"), shr(v("d2"), c(1))),
+                      }))),
+              // Quantize.
+              forLoop("i", c(0), lt(v("i"), c(64)), 1,
+                      store(v("coef"), add(v("base"), v("i")),
+                            sdiv(ld(v("tmp"), v("i")),
+                                 ld(v("quant"), v("i"))))),
+              // Zig-zag run-length encode into the shared stream.
+              assign("run", c(0)),
+              forLoop(
+                  "i", c(0), lt(v("i"), c(64)), 1,
+                  seq({
+                      assign("cv",
+                             ld(v("coef"),
+                                add(v("base"), ld(v("zig"), v("i"))))),
+                      iffElse(eq(v("cv"), c(0)),
+                              assign("run", add(v("run"), c(1))),
+                              seq({
+                                  store(v("rle"), v("rn"), v("run")),
+                                  store(v("rle"), add(v("rn"), c(1)),
+                                        v("cv")),
+                                  assign("rn", add(v("rn"), c(2))),
+                                  assign("run", c(0)),
+                              })),
+                  })),
+          })),
+
+      assign("sum", v("rn")),
+      forLoop("i", c(0), lt(v("i"), v("rn")), 1,
+              assign("sum", add(mul(v("sum"), c(7)),
+                                band(ld(v("rle"), v("i")), c(0xFFFF))))),
+      ret(band(v("sum"), c(0x7FFFFFFFFFFFLL))),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

@@ -1,0 +1,122 @@
+//===- workloads/Euler.cpp - Fluid dynamics (Java Grande euler) ------------==//
+//
+// A 2D Euler-equation style stencil on the paper's 33x9 grid: per timestep,
+// face fluxes are computed from neighbouring cells and cells are updated
+// from the fluxes (Jameson-scheme shape). Within a step all cells are
+// independent (read old / write new), so parallelism exists at both the
+// row and the cell level — the data-set-sensitive selection case the paper
+// describes for euler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+ir::Module workloads::buildEuler() {
+  constexpr std::int64_t NX = 33;
+  constexpr std::int64_t NY = 9;
+  constexpr std::int64_t Steps = 14;
+
+  auto At = [](const char *Base, Ex I, Ex J) {
+    return ld(v(Base), add(mul(I, c(NY)), J));
+  };
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      assign("rho", allocWords(c(NX * NY))),
+      assign("e", allocWords(c(NX * NY))),
+      assign("fx", allocWords(c(NX * NY))),
+      assign("fy", allocWords(c(NX * NY))),
+      assign("rhoN", allocWords(c(NX * NY))),
+      assign("eN", allocWords(c(NX * NY))),
+      forLoop("i", c(0), lt(v("i"), c(NX * NY)), 1,
+              seq({
+                  store(v("rho"), v("i"),
+                        fadd(cf(1.0),
+                             fmul(itof(hashMod(v("i"), 100)), cf(0.001)))),
+                  store(v("e"), v("i"),
+                        fadd(cf(2.5),
+                             fmul(itof(hashMod(mul(v("i"), c(3)), 100)),
+                                  cf(0.002)))),
+              })),
+
+      forLoop(
+          "t", c(0), lt(v("t"), c(Steps)), 1,
+          seq({
+              // Fluxes from neighbour differences (interior cells).
+              forLoop(
+                  "i", c(1), lt(v("i"), c(NX - 1)), 1,
+                  forLoop(
+                      "j", c(1), lt(v("j"), c(NY - 1)), 1,
+                      seq({
+                          assign("c0", At("rho", v("i"), v("j"))),
+                          assign("gx",
+                                 fsub(At("rho", add(v("i"), c(1)), v("j")),
+                                      At("rho", sub(v("i"), c(1)),
+                                         v("j")))),
+                          assign("gy",
+                                 fsub(At("rho", v("i"), add(v("j"), c(1))),
+                                      At("rho", v("i"),
+                                         sub(v("j"), c(1))))),
+                          store(v("fx"), add(mul(v("i"), c(NY)), v("j")),
+                                fmul(v("gx"),
+                                     fadd(v("c0"),
+                                          At("e", v("i"), v("j"))))),
+                          store(v("fy"), add(mul(v("i"), c(NY)), v("j")),
+                                fmul(v("gy"),
+                                     fadd(v("c0"), cf(0.5)))),
+                      }))),
+              // Cell update from flux divergence.
+              forLoop(
+                  "i", c(1), lt(v("i"), c(NX - 1)), 1,
+                  forLoop(
+                      "j", c(1), lt(v("j"), c(NY - 1)), 1,
+                      seq({
+                          assign("div",
+                                 fadd(fsub(At("fx", add(v("i"), c(1)),
+                                              v("j")),
+                                           At("fx", sub(v("i"), c(1)),
+                                              v("j"))),
+                                      fsub(At("fy", v("i"),
+                                              add(v("j"), c(1))),
+                                           At("fy", v("i"),
+                                              sub(v("j"), c(1)))))),
+                          store(v("rhoN"), add(mul(v("i"), c(NY)), v("j")),
+                                fsub(At("rho", v("i"), v("j")),
+                                     fmul(cf(0.01), v("div")))),
+                          store(v("eN"), add(mul(v("i"), c(NY)), v("j")),
+                                fadd(At("e", v("i"), v("j")),
+                                     fmul(cf(0.005), v("div")))),
+                      }))),
+              // Copy back interior; boundaries stay fixed.
+              forLoop("i", c(1), lt(v("i"), c(NX - 1)), 1,
+                      forLoop("j", c(1), lt(v("j"), c(NY - 1)), 1,
+                              seq({
+                                  store(v("rho"),
+                                        add(mul(v("i"), c(NY)), v("j")),
+                                        At("rhoN", v("i"), v("j"))),
+                                  store(v("e"),
+                                        add(mul(v("i"), c(NY)), v("j")),
+                                        At("eN", v("i"), v("j"))),
+                              }))),
+          })),
+
+      // Fixed-point checksum over the fields.
+      assign("sum", c(0)),
+      forLoop("i", c(0), lt(v("i"), c(NX * NY)), 1,
+              assign("sum", add(v("sum"),
+                                add(fix16(ld(v("rho"), v("i"))),
+                                    fix16(ld(v("e"), v("i"))))))),
+      ret(v("sum")),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

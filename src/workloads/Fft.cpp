@@ -1,0 +1,130 @@
+//===- workloads/Fft.cpp - 1024-point FFT (jBYTEmark / Java Grande) --------==//
+//
+// Iterative radix-2 decimation-in-time FFT: bit-reversal permutation, a
+// twiddle table built by complex recurrence from exp(-2*pi*i/N), and the
+// triple-nested butterfly loops. The group loop is parallel within each
+// stage, which is where TEST finds the STL; the stage loop itself is
+// serial (each stage consumes the previous one's output).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+#include <cmath>
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+ir::Module workloads::buildFft() {
+  constexpr std::int64_t N = 1024;
+  const double WR = std::cos(-2.0 * M_PI / static_cast<double>(N));
+  const double WI = std::sin(-2.0 * M_PI / static_cast<double>(N));
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      assign("re", allocWords(c(N))),
+      assign("im", allocWords(c(N))),
+      forLoop("i", c(0), lt(v("i"), c(N)), 1,
+              seq({
+                  store(v("re"), v("i"),
+                        fsub(fmul(itof(hashMod(v("i"), 2000)), cf(0.001)),
+                             cf(1.0))),
+                  store(v("im"), v("i"), cf(0.0)),
+              })),
+
+      // Twiddle table w[k] = exp(-2*pi*i*k/N), k < N/2, by recurrence.
+      assign("wr", allocWords(c(N / 2))),
+      assign("wi", allocWords(c(N / 2))),
+      store(v("wr"), c(0), cf(1.0)),
+      store(v("wi"), c(0), cf(0.0)),
+      forLoop("k", c(1), lt(v("k"), c(N / 2)), 1,
+              seq({
+                  assign("pr", ld(v("wr"), sub(v("k"), c(1)))),
+                  assign("pi", ld(v("wi"), sub(v("k"), c(1)))),
+                  store(v("wr"), v("k"),
+                        fsub(fmul(v("pr"), cf(WR)),
+                             fmul(v("pi"), cf(WI)))),
+                  store(v("wi"), v("k"),
+                        fadd(fmul(v("pr"), cf(WI)),
+                             fmul(v("pi"), cf(WR)))),
+              })),
+
+      // Bit-reversal permutation (10 bits).
+      forLoop(
+          "i", c(0), lt(v("i"), c(N)), 1,
+          seq({
+              assign("x", v("i")),
+              assign("r", c(0)),
+              forLoop("b", c(0), lt(v("b"), c(10)), 1,
+                      seq({
+                          assign("r", bor(shl(v("r"), c(1)),
+                                          band(v("x"), c(1)))),
+                          assign("x", shr(v("x"), c(1))),
+                      })),
+              iff(lt(v("i"), v("r")),
+                  seq({
+                      assign("tr", ld(v("re"), v("i"))),
+                      store(v("re"), v("i"), ld(v("re"), v("r"))),
+                      store(v("re"), v("r"), v("tr")),
+                      assign("ti", ld(v("im"), v("i"))),
+                      store(v("im"), v("i"), ld(v("im"), v("r"))),
+                      store(v("im"), v("r"), v("ti")),
+                  })),
+          })),
+
+      // Butterfly stages.
+      assign("len", c(2)),
+      whileLoop(
+          le(v("len"), c(N)),
+          seq({
+              assign("half", sdiv(v("len"), c(2))),
+              assign("stride", sdiv(c(N), v("len"))),
+              forLoop(
+                  "base", c(0), lt(v("base"), c(N)), 0,
+                  seq({
+                      forLoop(
+                          "j", c(0), lt(v("j"), v("half")), 1,
+                          seq({
+                              assign("widx", mul(v("j"), v("stride"))),
+                              assign("cr", ld(v("wr"), v("widx"))),
+                              assign("ci", ld(v("wi"), v("widx"))),
+                              assign("p", add(v("base"), v("j"))),
+                              assign("q", add(v("p"), v("half"))),
+                              assign("qr", ld(v("re"), v("q"))),
+                              assign("qi", ld(v("im"), v("q"))),
+                              assign("tr", fsub(fmul(v("qr"), v("cr")),
+                                                fmul(v("qi"), v("ci")))),
+                              assign("ti", fadd(fmul(v("qr"), v("ci")),
+                                                fmul(v("qi"), v("cr")))),
+                              assign("pr", ld(v("re"), v("p"))),
+                              assign("pi2", ld(v("im"), v("p"))),
+                              store(v("re"), v("q"),
+                                    fsub(v("pr"), v("tr"))),
+                              store(v("im"), v("q"),
+                                    fsub(v("pi2"), v("ti"))),
+                              store(v("re"), v("p"),
+                                    fadd(v("pr"), v("tr"))),
+                              store(v("im"), v("p"),
+                                    fadd(v("pi2"), v("ti"))),
+                          })),
+                      assign("base", add(v("base"), v("len"))),
+                  })),
+              assign("len", mul(v("len"), c(2))),
+          })),
+
+      assign("sum", c(0)),
+      forLoop("i", c(0), lt(v("i"), c(N)), 1,
+              assign("sum", add(v("sum"),
+                                add(fix16(ld(v("re"), v("i"))),
+                                    fix16(ld(v("im"), v("i"))))))),
+      ret(v("sum")),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

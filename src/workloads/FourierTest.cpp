@@ -1,0 +1,128 @@
+//===- workloads/FourierTest.cpp - Fourier coefficients (jBYTEmark) --------==//
+//
+// Computes trapezoid-rule Fourier coefficients of ((x+1)^x-like) function
+// over [0, 2] with a software Taylor-series cosine, as the original
+// benchmark does through Math.pow/cos. One outer iteration integrates an
+// entire coefficient — the hugest threads in the suite (the paper reports
+// ~168k cycles per thread and exactly 100 threads per entry).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+#include <cmath>
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+namespace {
+
+/// cosf(x): range-reduced 8-term Taylor cosine.
+FuncDef makeCos() {
+  FuncDef F;
+  F.Name = "cosf";
+  F.Params = {"x"};
+  F.Body = seq({
+      // Reduce to [-pi, pi): x -= 2*pi * floor(x / 2*pi + 0.5).
+      assign("k", ftoi(fadd(fdiv(v("x"), cf(2.0 * M_PI)), cf(0.5)))),
+      // ftoi truncates toward zero; compensate for negative arguments.
+      iff(flt(fadd(fdiv(v("x"), cf(2.0 * M_PI)), cf(0.5)), cf(0.0)),
+          assign("k", sub(v("k"), c(1)))),
+      assign("r", fsub(v("x"), fmul(itof(v("k")), cf(2.0 * M_PI)))),
+      assign("r2", fmul(v("r"), v("r"))),
+      // Horner evaluation of the degree-16 Taylor polynomial.
+      assign("acc", cf(1.0 / 20922789888000.0)), // 1/16!
+      assign("acc", fadd(fmul(v("acc"), v("r2")), cf(-1.0 / 87178291200.0))),
+      assign("acc", fadd(fmul(v("acc"), v("r2")), cf(1.0 / 479001600.0))),
+      assign("acc", fadd(fmul(v("acc"), v("r2")), cf(-1.0 / 3628800.0))),
+      assign("acc", fadd(fmul(v("acc"), v("r2")), cf(1.0 / 40320.0))),
+      assign("acc", fadd(fmul(v("acc"), v("r2")), cf(-1.0 / 720.0))),
+      assign("acc", fadd(fmul(v("acc"), v("r2")), cf(1.0 / 24.0))),
+      assign("acc", fadd(fmul(v("acc"), v("r2")), cf(-0.5))),
+      assign("acc", fadd(fmul(v("acc"), v("r2")), cf(1.0))),
+      ret(v("acc")),
+  });
+  return F;
+}
+
+/// f(t): the integrand, (t+1)^t approximated by exp-free power loop —
+/// here a cubic with a slow inner refinement loop to give the integrand
+/// realistic cost.
+FuncDef makeIntegrand() {
+  FuncDef F;
+  F.Name = "fint";
+  F.Params = {"t"};
+  F.Body = seq({
+      assign("base", fadd(v("t"), cf(1.0))),
+      assign("p", cf(1.0)),
+      // Integer-power refinement: p = base^3 via repeated multiply, plus a
+      // Newton sqrt step to add work.
+      forLoop("i", c(0), lt(v("i"), c(3)), 1,
+              assign("p", fmul(v("p"), v("base")))),
+      assign("g", fdiv(fadd(v("p"), fdiv(v("base"), fadd(v("p"), cf(0.1)))),
+                       cf(2.0))),
+      ret(v("g")),
+  });
+  return F;
+}
+
+} // namespace
+
+ir::Module workloads::buildFourierTest() {
+  constexpr std::int64_t Coeffs = 48;
+  constexpr std::int64_t Points = 90;
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      assign("a", allocWords(c(Coeffs))),
+      assign("b", allocWords(c(Coeffs))),
+      forLoop(
+          "k", c(0), lt(v("k"), c(Coeffs)), 1,
+          seq({
+              assign("fk", itof(v("k"))),
+              assign("sumA", cf(0.0)),
+              assign("sumB", cf(0.0)),
+              forLoop(
+                  "j", c(0), lt(v("j"), c(Points)), 1,
+                  seq({
+                      assign("t", fmul(itof(v("j")),
+                                       cf(2.0 / static_cast<double>(
+                                              Points)))),
+                      assign("ft", call("fint", {v("t")})),
+                      assign("cv",
+                             call("cosf",
+                                  {fmul(fmul(v("t"), cf(M_PI)), v("fk"))})),
+                      assign("sv",
+                             call("cosf",
+                                  {fsub(fmul(fmul(v("t"), cf(M_PI)),
+                                             v("fk")),
+                                        cf(M_PI / 2.0))})),
+                      assign("sumA", fadd(v("sumA"),
+                                          fmul(v("ft"), v("cv")))),
+                      assign("sumB", fadd(v("sumB"),
+                                          fmul(v("ft"), v("sv")))),
+                  })),
+              store(v("a"), v("k"),
+                    fmul(v("sumA"), cf(2.0 / static_cast<double>(Points)))),
+              store(v("b"), v("k"),
+                    fmul(v("sumB"), cf(2.0 / static_cast<double>(Points)))),
+          })),
+
+      assign("sum", c(0)),
+      forLoop("k", c(0), lt(v("k"), c(Coeffs)), 1,
+              assign("sum", add(v("sum"),
+                                add(fix16(ld(v("a"), v("k"))),
+                                    fix16(ld(v("b"), v("k"))))))),
+      ret(v("sum")),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(makeCos());
+  P.Functions.push_back(makeIntegrand());
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

@@ -1,0 +1,104 @@
+//===- workloads/H263Dec.cpp - H.263-style video decoder (mediabench) ------==//
+//
+// P-frame reconstruction: per macroblock, a motion-compensated 16x16
+// prediction is copied from the reference frame at a decoded motion
+// vector, the residual is added, and pixels are clamped. The macroblock
+// loop is the coarse STL; inner row/column copies are the fine ones.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+ir::Module workloads::buildH263Dec() {
+  constexpr std::int64_t MBW = 9, MBH = 7; // macroblocks
+  constexpr std::int64_t W = MBW * 16, H = MBH * 16;
+  constexpr std::int64_t Frames = 2;
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      assign("ref", allocWords(c(W * H))),
+      assign("cur", allocWords(c(W * H))),
+      assign("resid", allocWords(c(MBW * MBH * 256))),
+      forLoop("i", c(0), lt(v("i"), c(W * H)), 1,
+              store(v("ref"), v("i"), hashMod(v("i"), 256))),
+      forLoop("i", c(0), lt(v("i"), c(MBW * MBH * 256)), 1,
+              store(v("resid"), v("i"), sub(hashMod(v("i"), 17), c(8)))),
+
+      forLoop(
+          "f", c(0), lt(v("f"), c(Frames)), 1,
+          seq({
+              forLoop(
+                  "mb", c(0), lt(v("mb"), c(MBW * MBH)), 1,
+                  seq({
+                      assign("bx", mul(srem(v("mb"), c(MBW)), c(16))),
+                      assign("by", mul(sdiv(v("mb"), c(MBW)), c(16))),
+                      // Decoded motion vector in [-3, 3].
+                      assign("mvx", sub(hashMod(add(v("mb"), v("f")), 7),
+                                        c(3))),
+                      assign("mvy",
+                             sub(hashMod(mul(add(v("mb"), c(3)),
+                                             add(v("f"), c(1))),
+                                         7),
+                                 c(3))),
+                      forLoop(
+                          "r", c(0), lt(v("r"), c(16)), 1,
+                          forLoop(
+                              "cc", c(0), lt(v("cc"), c(16)), 1,
+                              seq({
+                                  assign("sx", add(v("bx"),
+                                                   add(v("cc"), v("mvx")))),
+                                  assign("sy", add(v("by"),
+                                                   add(v("r"), v("mvy")))),
+                                  iff(lt(v("sx"), c(0)),
+                                      assign("sx", c(0))),
+                                  iff(ge(v("sx"), c(W)),
+                                      assign("sx", c(W - 1))),
+                                  iff(lt(v("sy"), c(0)),
+                                      assign("sy", c(0))),
+                                  iff(ge(v("sy"), c(H)),
+                                      assign("sy", c(H - 1))),
+                                  assign("pred",
+                                         ld(v("ref"),
+                                            add(mul(v("sy"), c(W)),
+                                                v("sx")))),
+                                  assign("px",
+                                         add(v("pred"),
+                                             ld(v("resid"),
+                                                add(mul(v("mb"), c(256)),
+                                                    add(mul(v("r"), c(16)),
+                                                        v("cc")))))),
+                                  iff(lt(v("px"), c(0)),
+                                      assign("px", c(0))),
+                                  iff(gt(v("px"), c(255)),
+                                      assign("px", c(255))),
+                                  store(v("cur"),
+                                        add(mul(add(v("by"), v("r")),
+                                                c(W)),
+                                            add(v("bx"), v("cc"))),
+                                        v("px")),
+                              }))),
+                  })),
+              // The decoded frame becomes the next reference.
+              forLoop("i", c(0), lt(v("i"), c(W * H)), 1,
+                      store(v("ref"), v("i"), ld(v("cur"), v("i")))),
+          })),
+
+      assign("sum", c(0)),
+      forLoop("i", c(0), lt(v("i"), c(W * H)), 1,
+              assign("sum", add(v("sum"),
+                                mul(ld(v("cur"), v("i")),
+                                    add(srem(v("i"), c(5)), c(1)))))),
+      ret(v("sum")),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

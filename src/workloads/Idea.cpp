@@ -1,0 +1,122 @@
+//===- workloads/Idea.cpp - IDEA encryption (jBYTEmark) --------------------==//
+//
+// The 8.5-round IDEA block cipher over 16-bit sub-blocks with
+// multiplication modulo 65537. Blocks are independent, so the outer
+// per-block loop is the textbook coarse-grained STL (the paper reports one
+// selected loop with ~6300-cycle threads); the benchmark is also one of
+// the few integer codes a traditional parallelizing compiler could handle
+// (Table 6 marks it analyzable).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+namespace {
+
+/// mulmod(a, b): IDEA multiplication modulo 65537 with 0 == 65536.
+FuncDef makeMulMod() {
+  FuncDef F;
+  F.Name = "mulmod";
+  F.Params = {"a", "b"};
+  F.Body = seq({
+      iff(eq(v("a"), c(0)), ret(srem(sub(c(65537), v("b")), c(65536)))),
+      iff(eq(v("b"), c(0)), ret(srem(sub(c(65537), v("a")), c(65536)))),
+      assign("p", mul(v("a"), v("b"))),
+      assign("r", srem(v("p"), c(65537))),
+      ret(srem(v("r"), c(65536))),
+  });
+  return F;
+}
+
+} // namespace
+
+ir::Module workloads::buildIdea() {
+  constexpr std::int64_t Blocks = 384;
+  constexpr std::int64_t Rounds = 8;
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      // 52 round keys (16-bit) and the plaintext (4 shorts per block).
+      assign("keys", allocWords(c(52))),
+      forLoop("i", c(0), lt(v("i"), c(52)), 1,
+              store(v("keys"), v("i"),
+                    add(hashMod(v("i"), 65535), c(1)))),
+      assign("pt", allocWords(c(Blocks * 4))),
+      assign("ct", allocWords(c(Blocks * 4))),
+      forLoop("i", c(0), lt(v("i"), c(Blocks * 4)), 1,
+              store(v("pt"), v("i"), hashMod(v("i"), 65536))),
+
+      forLoop(
+          "blk", c(0), lt(v("blk"), c(Blocks)), 1,
+          seq({
+              assign("x1", ld(v("pt"), mul(v("blk"), c(4)))),
+              assign("x2", ld(v("pt"), add(mul(v("blk"), c(4)), c(1)))),
+              assign("x3", ld(v("pt"), add(mul(v("blk"), c(4)), c(2)))),
+              assign("x4", ld(v("pt"), add(mul(v("blk"), c(4)), c(3)))),
+              forLoop(
+                  "r", c(0), lt(v("r"), c(Rounds)), 1,
+                  seq({
+                      assign("k", mul(v("r"), c(6))),
+                      assign("x1", call("mulmod",
+                                        {v("x1"), ld(v("keys"), v("k"))})),
+                      assign("x2",
+                             band(add(v("x2"),
+                                      ld(v("keys"), add(v("k"), c(1)))),
+                                  c(0xFFFF))),
+                      assign("x3",
+                             band(add(v("x3"),
+                                      ld(v("keys"), add(v("k"), c(2)))),
+                                  c(0xFFFF))),
+                      assign("x4", call("mulmod",
+                                        {v("x4"),
+                                         ld(v("keys"), add(v("k"), c(3)))})),
+                      assign("t1", bxor(v("x1"), v("x3"))),
+                      assign("t2", bxor(v("x2"), v("x4"))),
+                      assign("t1", call("mulmod",
+                                        {v("t1"),
+                                         ld(v("keys"), add(v("k"), c(4)))})),
+                      assign("t2", band(add(v("t2"), v("t1")), c(0xFFFF))),
+                      assign("t2", call("mulmod",
+                                        {v("t2"),
+                                         ld(v("keys"), add(v("k"), c(5)))})),
+                      assign("t1", band(add(v("t1"), v("t2")), c(0xFFFF))),
+                      assign("x1", bxor(v("x1"), v("t2"))),
+                      assign("x3", bxor(v("x3"), v("t2"))),
+                      assign("x2", bxor(v("x2"), v("t1"))),
+                      assign("x4", bxor(v("x4"), v("t1"))),
+                      assign("tmp", v("x2")),
+                      assign("x2", v("x3")),
+                      assign("x3", v("tmp")),
+                  })),
+              // Output transform with the final four keys.
+              assign("x1", call("mulmod", {v("x1"), ld(v("keys"), c(48))})),
+              assign("x2", band(add(v("x2"), ld(v("keys"), c(49))),
+                                c(0xFFFF))),
+              assign("x3", band(add(v("x3"), ld(v("keys"), c(50))),
+                                c(0xFFFF))),
+              assign("x4", call("mulmod", {v("x4"), ld(v("keys"), c(51))})),
+              store(v("ct"), mul(v("blk"), c(4)), v("x1")),
+              store(v("ct"), add(mul(v("blk"), c(4)), c(1)), v("x2")),
+              store(v("ct"), add(mul(v("blk"), c(4)), c(2)), v("x3")),
+              store(v("ct"), add(mul(v("blk"), c(4)), c(3)), v("x4")),
+          })),
+
+      assign("sum", c(0)),
+      forLoop("i", c(0), lt(v("i"), c(Blocks * 4)), 1,
+              assign("sum", add(mul(v("sum"), c(17)),
+                                ld(v("ct"), v("i"))))),
+      ret(band(v("sum"), c(0x7FFFFFFFFFFFLL))),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(makeMulMod());
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

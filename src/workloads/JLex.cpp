@@ -1,0 +1,157 @@
+//===- workloads/JLex.cpp - Lexical analyzer generator (jLex) --------------==//
+//
+// Both halves of a lexer generator: the *generation* phase performs an
+// NFA-to-DFA subset construction (NFA state sets as bitmasks, a worklist
+// of discovered DFA states, linear-probed dedup — the irregular
+// pointer-and-worklist code that defeats static parallelization), and the
+// *generated scanner* phase tokenizes a multi-line input with the
+// resulting DFA table. Lines are independent, so the per-line loop is the
+// natural medium-grained STL the paper reports (~2700-cycle threads);
+// the subset-construction worklist is carried and mostly serial.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+ir::Module workloads::buildJLex() {
+  constexpr std::int64_t NfaStates = 24;
+  constexpr std::int64_t Classes = 8;
+  constexpr std::int64_t MaxDfa = 64;
+  constexpr std::int64_t Lines = 80;
+  constexpr std::int64_t LineLen = 56;
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      // --- The NFA: nfa[s][c] = bitmask of successor states; sparse and
+      // hash-derived but fixed. State 0 is the start state; states with
+      // s % 5 == 1 accept.
+      assign("nfa", allocWords(c(NfaStates * Classes))),
+      forLoop(
+          "s", c(0), lt(v("s"), c(NfaStates)), 1,
+          forLoop(
+              "cl", c(0), lt(v("cl"), c(Classes)), 1,
+              seq({
+                  assign("m", c(0)),
+                  // One or two successor states per (state, class).
+                  assign("t1", hashMod(add(mul(v("s"), c(Classes)),
+                                           v("cl")),
+                                       NfaStates)),
+                  assign("m", bor(v("m"), shl(c(1), v("t1")))),
+                  iff(eq(srem(add(v("s"), v("cl")), c(3)), c(0)),
+                      seq({
+                          assign("t2",
+                                 hashMod(add(mul(v("s"), c(131)),
+                                             v("cl")),
+                                         NfaStates)),
+                          assign("m", bor(v("m"), shl(c(1), v("t2")))),
+                      })),
+                  store(v("nfa"), add(mul(v("s"), c(Classes)), v("cl")),
+                        v("m")),
+              }))),
+      assign("acceptMask", c(0)),
+      forLoop("s", c(1), lt(v("s"), c(NfaStates)), 5,
+              assign("acceptMask", bor(v("acceptMask"),
+                                       shl(c(1), v("s"))))),
+
+      // --- Subset construction: dfaSet[d] is the NFA-state bitmask of DFA
+      // state d; dfaTrans[d][c] the transition table; a worklist walks the
+      // discovered states.
+      assign("dfaSet", allocWords(c(MaxDfa))),
+      assign("dfaTrans", allocWords(c(MaxDfa * Classes))),
+      assign("dfaAcc", allocWords(c(MaxDfa))),
+      assign("nDfa", c(1)),
+      store(v("dfaSet"), c(0), c(1)), // {NFA state 0}
+      assign("work", c(0)),
+      whileLoop(
+          lt(v("work"), v("nDfa")),
+          seq({
+              assign("set", ld(v("dfaSet"), v("work"))),
+              store(v("dfaAcc"), v("work"),
+                    ne(band(v("set"), v("acceptMask")), c(0))),
+              forLoop(
+                  "cl", c(0), lt(v("cl"), c(Classes)), 1,
+                  seq({
+                      // Union the successors of every NFA state in `set`.
+                      assign("next", c(0)),
+                      forLoop(
+                          "s", c(0), lt(v("s"), c(NfaStates)), 1,
+                          iff(ne(band(shr(v("set"), v("s")), c(1)), c(0)),
+                              assign("next",
+                                     bor(v("next"),
+                                         ld(v("nfa"),
+                                            add(mul(v("s"), c(Classes)),
+                                                v("cl"))))))),
+                      // Dedup against the discovered DFA states.
+                      assign("found", c(-1)),
+                      forLoop("d", c(0), lt(v("d"), v("nDfa")), 1,
+                              iff(eq(ld(v("dfaSet"), v("d")), v("next")),
+                                  seq({assign("found", v("d")), brk()}))),
+                      iff(band(eq(v("found"), c(-1)),
+                               lt(v("nDfa"), c(MaxDfa))),
+                          seq({
+                              store(v("dfaSet"), v("nDfa"), v("next")),
+                              assign("found", v("nDfa")),
+                              assign("nDfa", add(v("nDfa"), c(1))),
+                          })),
+                      // Table overflow: collapse to the start state.
+                      iff(eq(v("found"), c(-1)), assign("found", c(0))),
+                      store(v("dfaTrans"),
+                            add(mul(v("work"), c(Classes)), v("cl")),
+                            v("found")),
+                  })),
+              assign("work", add(v("work"), c(1))),
+          })),
+
+      // --- The generated scanner: tokenize each line independently.
+      assign("text", allocWords(c(Lines * LineLen))),
+      forLoop("i", c(0), lt(v("i"), c(Lines * LineLen)), 1,
+              store(v("text"), v("i"), hashMod(v("i"), Classes))),
+      assign("tokens", allocWords(c(Lines))),
+      forLoop(
+          "ln", c(0), lt(v("ln"), c(Lines)), 1,
+          seq({
+              assign("state", c(0)),
+              assign("count", c(0)),
+              forLoop(
+                  "p", c(0), lt(v("p"), c(LineLen)), 1,
+                  seq({
+                      assign("cls",
+                             ld(v("text"),
+                                add(mul(v("ln"), c(LineLen)), v("p")))),
+                      assign("state",
+                             ld(v("dfaTrans"),
+                                add(mul(v("state"), c(Classes)),
+                                    v("cls")))),
+                      iff(ne(ld(v("dfaAcc"), v("state")), c(0)),
+                          seq({
+                              assign("count", add(v("count"), c(1))),
+                              assign("state", c(0)),
+                          })),
+                  })),
+              store(v("tokens"), v("ln"), v("count")),
+          })),
+
+      // Checksum over the DFA shape and the token counts.
+      assign("sum", mul(v("nDfa"), c(1000000))),
+      forLoop("d", c(0), lt(v("d"), v("nDfa")), 1,
+              assign("sum", add(v("sum"),
+                                band(ld(v("dfaSet"), v("d")),
+                                     c(0xFFFFFF))))),
+      forLoop("ln", c(0), lt(v("ln"), c(Lines)), 1,
+              assign("sum", add(v("sum"),
+                                mul(ld(v("tokens"), v("ln")),
+                                    add(v("ln"), c(1)))))),
+      ret(v("sum")),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

@@ -1,0 +1,110 @@
+//===- workloads/Jess.cpp - Expert system shell (SPECjvm98 202_jess) -------==//
+//
+// A forward-chaining rule engine: rules with two condition patterns are
+// matched against a working memory of (attribute, value) facts; matched
+// rules assert derived facts which later passes can match again. The
+// fact-append counter is loop carried and match loops are triangular —
+// irregular control flow no static parallelizer handles (Table 6 marks
+// jess unanalyzable, with small 339-cycle threads).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+ir::Module workloads::buildJess() {
+  constexpr std::int64_t BaseFacts = 300;
+  constexpr std::int64_t MaxFacts = 2600;
+  constexpr std::int64_t Rules = 24;
+  constexpr std::int64_t Passes = 2;
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      assign("fAttr", allocWords(c(MaxFacts))),
+      assign("fVal", allocWords(c(MaxFacts))),
+      assign("nFacts", c(BaseFacts)),
+      forLoop("i", c(0), lt(v("i"), c(BaseFacts)), 1,
+              seq({
+                  store(v("fAttr"), v("i"), hashMod(v("i"), 12)),
+                  store(v("fVal"), v("i"), hashMod(mul(v("i"), c(3)), 50)),
+              })),
+      // Rules: match (attrA, value mod mA == rA) and (attrB ...), then
+      // assert (attrOut, f(values)).
+      assign("rAttrA", allocWords(c(Rules))),
+      assign("rModA", allocWords(c(Rules))),
+      assign("rAttrB", allocWords(c(Rules))),
+      assign("rModB", allocWords(c(Rules))),
+      assign("rOut", allocWords(c(Rules))),
+      forLoop("i", c(0), lt(v("i"), c(Rules)), 1,
+              seq({
+                  store(v("rAttrA"), v("i"), hashMod(v("i"), 12)),
+                  store(v("rModA"), v("i"),
+                        add(hashMod(mul(v("i"), c(11)), 6), c(2))),
+                  store(v("rAttrB"), v("i"),
+                        hashMod(add(v("i"), c(7)), 12)),
+                  store(v("rModB"), v("i"),
+                        add(hashMod(mul(v("i"), c(29)), 7), c(2))),
+                  store(v("rOut"), v("i"),
+                        add(c(12), srem(v("i"), c(4)))),
+              })),
+
+      assign("fired", c(0)),
+      forLoop(
+          "pass", c(0), lt(v("pass"), c(Passes)), 1,
+          seq({
+              assign("limit", v("nFacts")),
+              forLoop(
+                  "r", c(0), lt(v("r"), c(Rules)), 1,
+                  seq({
+                      assign("aA", ld(v("rAttrA"), v("r"))),
+                      assign("mA", ld(v("rModA"), v("r"))),
+                      assign("aB", ld(v("rAttrB"), v("r"))),
+                      assign("mB", ld(v("rModB"), v("r"))),
+                      forLoop(
+                          "i", c(0), lt(v("i"), v("limit")), 1,
+                          iff(band(eq(ld(v("fAttr"), v("i")), v("aA")),
+                                   eq(srem(ld(v("fVal"), v("i")), v("mA")),
+                                      c(1))),
+                              forLoop(
+                                  "j", c(0), lt(v("j"), v("limit")), 7,
+                                  iff(band(eq(ld(v("fAttr"), v("j")),
+                                              v("aB")),
+                                           eq(srem(ld(v("fVal"), v("j")),
+                                                   v("mB")),
+                                              c(0))),
+                                      iff(lt(v("nFacts"), c(MaxFacts)),
+                                          seq({
+                                              store(v("fAttr"), v("nFacts"),
+                                                    ld(v("rOut"), v("r"))),
+                                              store(v("fVal"), v("nFacts"),
+                                                    srem(add(ld(v("fVal"),
+                                                                v("i")),
+                                                             ld(v("fVal"),
+                                                                v("j"))),
+                                                         c(50))),
+                                              assign("nFacts",
+                                                     add(v("nFacts"), c(1))),
+                                              assign("fired",
+                                                     add(v("fired"), c(1))),
+                                          })))))),
+                      })),
+          })),
+
+      assign("sum", add(v("fired"), mul(v("nFacts"), c(1000)))),
+      forLoop("i", c(0), lt(v("i"), v("nFacts")), 3,
+              assign("sum", add(v("sum"),
+                                bxor(ld(v("fAttr"), v("i")),
+                                     mul(ld(v("fVal"), v("i")), c(5)))))),
+      ret(v("sum")),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

@@ -1,0 +1,102 @@
+//===- workloads/LuFactor.cpp - LU factorization (jBYTEmark / Linpack) -----==//
+//
+// Gaussian elimination with partial pivoting on the paper's 101x101
+// matrix. The elimination's middle loop (rows below the pivot) is the
+// parallel STL with ~(n-k) multiply-subtract inner work; the pivot search
+// carries a running maximum. The paper marks LuFactor analyzable and
+// data-set sensitive.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+ir::Module workloads::buildLuFactor() {
+  constexpr std::int64_t N = 64;
+
+  auto At = [](Ex I, Ex J) {
+    return ld(v("a"), add(mul(I, c(N)), J));
+  };
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      assign("a", allocWords(c(N * N))),
+      assign("piv", allocWords(c(N))),
+      forLoop("i", c(0), lt(v("i"), c(N * N)), 1,
+              store(v("a"), v("i"),
+                    fsub(fmul(itof(hashMod(v("i"), 2000)), cf(0.001)),
+                         cf(1.0)))),
+      // Diagonal dominance keeps the factorization well conditioned.
+      forLoop("i", c(0), lt(v("i"), c(N)), 1,
+              store(v("a"), add(mul(v("i"), c(N)), v("i")),
+                    fadd(At(v("i"), v("i")), cf(8.0)))),
+
+      forLoop(
+          "k", c(0), lt(v("k"), c(N - 1)), 1,
+          seq({
+              // Partial pivot search in column k.
+              assign("pmax", At(v("k"), v("k"))),
+              iff(flt(v("pmax"), cf(0.0)), assign("pmax", fneg(v("pmax")))),
+              assign("prow", v("k")),
+              forLoop("i", add(v("k"), c(1)), lt(v("i"), c(N)), 1,
+                      seq({
+                          assign("x", At(v("i"), v("k"))),
+                          iff(flt(v("x"), cf(0.0)),
+                              assign("x", fneg(v("x")))),
+                          iff(flt(v("pmax"), v("x")),
+                              seq({
+                                  assign("pmax", v("x")),
+                                  assign("prow", v("i")),
+                              })),
+                      })),
+              store(v("piv"), v("k"), v("prow")),
+              // Swap rows k and prow when needed.
+              iff(ne(v("prow"), v("k")),
+                  forLoop("j", c(0), lt(v("j"), c(N)), 1,
+                          seq({
+                              assign("t", At(v("k"), v("j"))),
+                              store(v("a"),
+                                    add(mul(v("k"), c(N)), v("j")),
+                                    At(v("prow"), v("j"))),
+                              store(v("a"),
+                                    add(mul(v("prow"), c(N)), v("j")),
+                                    v("t")),
+                          }))),
+              // Eliminate below the pivot: the parallel STL.
+              forLoop(
+                  "i", add(v("k"), c(1)), lt(v("i"), c(N)), 1,
+                  seq({
+                      assign("f", fdiv(At(v("i"), v("k")),
+                                       At(v("k"), v("k")))),
+                      store(v("a"), add(mul(v("i"), c(N)), v("k")),
+                            v("f")),
+                      forLoop("j", add(v("k"), c(1)), lt(v("j"), c(N)), 1,
+                              store(v("a"),
+                                    add(mul(v("i"), c(N)), v("j")),
+                                    fsub(At(v("i"), v("j")),
+                                         fmul(v("f"),
+                                              At(v("k"), v("j")))))),
+                  })),
+          })),
+
+      // Fixed-point checksum over U's diagonal and sampled entries.
+      assign("sum", c(0)),
+      forLoop("i", c(0), lt(v("i"), c(N)), 1,
+              assign("sum", add(v("sum"), fix16(At(v("i"), v("i")))))),
+      forLoop("i", c(0), lt(v("i"), c(N * N)), 37,
+              assign("sum", add(v("sum"), fix16(ld(v("a"), v("i")))))),
+      forLoop("i", c(0), lt(v("i"), c(N - 1)), 1,
+              assign("sum", add(v("sum"), ld(v("piv"), v("i"))))),
+      ret(v("sum")),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

@@ -1,0 +1,143 @@
+//===- workloads/Moldyn.cpp - Molecular dynamics (Java Grande moldyn) ------==//
+//
+// N-body Lennard-Jones-style dynamics: the force phase accumulates pair
+// forces into per-particle arrays (speculation handles the scatter), the
+// integration phase is embarrassingly parallel. The pair loop's inner j
+// iterations are the paper's very fine moldyn threads (96 cycles). The
+// potential-energy accumulator is kept in 16.16 fixed point so reduction
+// privatization stays bit-exact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+ir::Module workloads::buildMoldyn() {
+  constexpr std::int64_t N = 48;
+  constexpr std::int64_t Steps = 4;
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      assign("x", allocWords(c(N))), assign("y", allocWords(c(N))),
+      assign("z", allocWords(c(N))), assign("vx", allocWords(c(N))),
+      assign("vy", allocWords(c(N))), assign("vz", allocWords(c(N))),
+      assign("fxA", allocWords(c(N))), assign("fyA", allocWords(c(N))),
+      assign("fzA", allocWords(c(N))),
+      forLoop("i", c(0), lt(v("i"), c(N)), 1,
+              seq({
+                  store(v("x"), v("i"),
+                        fmul(itof(hashMod(v("i"), 1000)), cf(0.01))),
+                  store(v("y"), v("i"),
+                        fmul(itof(hashMod(mul(v("i"), c(3)), 1000)),
+                             cf(0.01))),
+                  store(v("z"), v("i"),
+                        fmul(itof(hashMod(add(v("i"), c(17)), 1000)),
+                             cf(0.01))),
+                  store(v("vx"), v("i"), cf(0.0)),
+                  store(v("vy"), v("i"), cf(0.0)),
+                  store(v("vz"), v("i"), cf(0.0)),
+              })),
+
+      assign("epot", c(0)), // 16.16 fixed point
+      forLoop(
+          "step", c(0), lt(v("step"), c(Steps)), 1,
+          seq({
+              forLoop("i", c(0), lt(v("i"), c(N)), 1,
+                      seq({
+                          store(v("fxA"), v("i"), cf(0.0)),
+                          store(v("fyA"), v("i"), cf(0.0)),
+                          store(v("fzA"), v("i"), cf(0.0)),
+                      })),
+              // Pair forces.
+              forLoop(
+                  "i", c(0), lt(v("i"), c(N - 1)), 1,
+                  forLoop(
+                      "j", add(v("i"), c(1)), lt(v("j"), c(N)), 1,
+                      seq({
+                          assign("dx", fsub(ld(v("x"), v("i")),
+                                            ld(v("x"), v("j")))),
+                          assign("dy", fsub(ld(v("y"), v("i")),
+                                            ld(v("y"), v("j")))),
+                          assign("dz", fsub(ld(v("z"), v("i")),
+                                            ld(v("z"), v("j")))),
+                          assign("r2", fadd(fadd(fmul(v("dx"), v("dx")),
+                                                 fmul(v("dy"), v("dy"))),
+                                            fadd(fmul(v("dz"), v("dz")),
+                                                 cf(0.01)))),
+                          iff(flt(v("r2"), cf(16.0)),
+                              seq({
+                                  assign("inv", fdiv(cf(1.0), v("r2"))),
+                                  assign("fmag",
+                                         fmul(v("inv"),
+                                              fsub(v("inv"), cf(0.05)))),
+                                  assign("fx", fmul(v("fmag"), v("dx"))),
+                                  assign("fy", fmul(v("fmag"), v("dy"))),
+                                  assign("fz", fmul(v("fmag"), v("dz"))),
+                                  store(v("fxA"), v("i"),
+                                        fadd(ld(v("fxA"), v("i")),
+                                             v("fx"))),
+                                  store(v("fyA"), v("i"),
+                                        fadd(ld(v("fyA"), v("i")),
+                                             v("fy"))),
+                                  store(v("fzA"), v("i"),
+                                        fadd(ld(v("fzA"), v("i")),
+                                             v("fz"))),
+                                  store(v("fxA"), v("j"),
+                                        fsub(ld(v("fxA"), v("j")),
+                                             v("fx"))),
+                                  store(v("fyA"), v("j"),
+                                        fsub(ld(v("fyA"), v("j")),
+                                             v("fy"))),
+                                  store(v("fzA"), v("j"),
+                                        fsub(ld(v("fzA"), v("j")),
+                                             v("fz"))),
+                                  assign("epot",
+                                         add(v("epot"),
+                                             fix16(v("inv")))),
+                              })),
+                      }))),
+              // Integrate.
+              forLoop(
+                  "i", c(0), lt(v("i"), c(N)), 1,
+                  seq({
+                      store(v("vx"), v("i"),
+                            fadd(ld(v("vx"), v("i")),
+                                 fmul(ld(v("fxA"), v("i")), cf(0.001)))),
+                      store(v("vy"), v("i"),
+                            fadd(ld(v("vy"), v("i")),
+                                 fmul(ld(v("fyA"), v("i")), cf(0.001)))),
+                      store(v("vz"), v("i"),
+                            fadd(ld(v("vz"), v("i")),
+                                 fmul(ld(v("fzA"), v("i")), cf(0.001)))),
+                      store(v("x"), v("i"),
+                            fadd(ld(v("x"), v("i")),
+                                 fmul(ld(v("vx"), v("i")), cf(0.05)))),
+                      store(v("y"), v("i"),
+                            fadd(ld(v("y"), v("i")),
+                                 fmul(ld(v("vy"), v("i")), cf(0.05)))),
+                      store(v("z"), v("i"),
+                            fadd(ld(v("z"), v("i")),
+                                 fmul(ld(v("vz"), v("i")), cf(0.05)))),
+                  })),
+          })),
+
+      assign("sum", v("epot")),
+      forLoop("i", c(0), lt(v("i"), c(N)), 1,
+              assign("sum",
+                     add(v("sum"),
+                         add(fix16(ld(v("x"), v("i"))),
+                             add(fix16(ld(v("y"), v("i"))),
+                                 fix16(ld(v("z"), v("i")))))))),
+      ret(v("sum")),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

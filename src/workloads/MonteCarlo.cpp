@@ -1,0 +1,72 @@
+//===- workloads/MonteCarlo.cpp - Monte Carlo simulation (Java Grande) -----==//
+//
+// Two kernels: a dartboard pi estimate and a random-walk path pricer. Each
+// sample derives its own seed by hashing the sample index (the leapfrog
+// trick the Jrpm compiler would apply to a carried PRNG), so iterations
+// are independent and the sample loops are clean fine-grained STLs. All
+// accumulators are integer (fixed point), keeping speculative and
+// sequential results bit-identical.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+ir::Module workloads::buildMonteCarlo() {
+  constexpr std::int64_t Samples = 2400;
+  constexpr std::int64_t Paths = 320;
+  constexpr std::int64_t PathLen = 24;
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      // Dartboard: count points inside the unit circle (scaled to 2^20).
+      assign("inside", c(0)),
+      forLoop(
+          "i", c(0), lt(v("i"), c(Samples)), 1,
+          seq({
+              assign("x", hashMod(mul(v("i"), c(2)), 1 << 20)),
+              assign("y", hashMod(add(mul(v("i"), c(2)), c(1)), 1 << 20)),
+              iff(le(add(mul(v("x"), v("x")), mul(v("y"), v("y"))),
+                     c((1LL << 40))),
+                  assign("inside", add(v("inside"), c(1)))),
+          })),
+
+      // Random walks: geometric-ish walk in 16.16 fixed point.
+      assign("payoff", c(0)),
+      forLoop(
+          "p", c(0), lt(v("p"), c(Paths)), 1,
+          seq({
+              assign("price", c(65536)), // 1.0 in 16.16
+              assign("seed", hashEx(v("p"))),
+              forLoop(
+                  "t", c(0), lt(v("t"), c(PathLen)), 1,
+                  seq({
+                      assign("seed",
+                             band(mul(add(v("seed"), c(12345)),
+                                      c(1103515245)),
+                                  c(0x7FFFFFFF))),
+                      // Step factor in [0.97, 1.03) as 16.16.
+                      assign("f", add(c(63570),
+                                      srem(v("seed"), c(3932)))),
+                      assign("price",
+                             shr(mul(v("price"), v("f")), c(16))),
+                  })),
+              // Accumulate max(price - 1, 0).
+              iff(gt(v("price"), c(65536)),
+                  assign("payoff",
+                         add(v("payoff"), sub(v("price"), c(65536))))),
+          })),
+
+      ret(add(mul(v("inside"), c(1000000)), v("payoff"))),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

@@ -1,0 +1,105 @@
+//===- workloads/Mp3.cpp - MP3-style audio decoder (mediabench) ------------==//
+//
+// The polyphase synthesis half of an mp3 decoder in fixed point: per
+// granule, 32 subband samples are dequantized, the synthesis window slides,
+// and each output sample is a windowed dot product. The per-subband dot
+// products are the paper's ~181-cycle mp3 threads; many distinct loops
+// contribute (the paper selects 17 STLs here).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+ir::Module workloads::buildMp3() {
+  constexpr std::int64_t Subbands = 32;
+  constexpr std::int64_t Granules = 36;
+  constexpr std::int64_t WinLen = 16;
+  constexpr std::int64_t FifoLen = Subbands * WinLen;
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      // Scale factors, window coefficients (Q15), and the sample FIFO.
+      assign("scale", allocWords(c(Subbands))),
+      assign("win", allocWords(c(Subbands * WinLen))),
+      assign("fifo", allocWords(c(FifoLen))),
+      assign("pcm", allocWords(c(Granules * Subbands))),
+      forLoop("i", c(0), lt(v("i"), c(Subbands)), 1,
+              store(v("scale"), v("i"),
+                    add(c(256), hashMod(v("i"), 1024)))),
+      forLoop("i", c(0), lt(v("i"), c(Subbands * WinLen)), 1,
+              store(v("win"), v("i"),
+                    sub(hashMod(v("i"), 8192), c(4096)))),
+      forLoop("i", c(0), lt(v("i"), c(FifoLen)), 1,
+              store(v("fifo"), v("i"), c(0))),
+
+      forLoop(
+          "g", c(0), lt(v("g"), c(Granules)), 1,
+          seq({
+              // Shift the FIFO by one slot per subband (from the back).
+              forLoop(
+                  "s", c(0), lt(v("s"), c(Subbands)), 1,
+                  forLoop(
+                      "k", c(WinLen - 1), gt(v("k"), c(0)), -1,
+                      store(v("fifo"),
+                            add(mul(v("s"), c(WinLen)), v("k")),
+                            ld(v("fifo"),
+                               add(mul(v("s"), c(WinLen)),
+                                   sub(v("k"), c(1))))))),
+              // Dequantize this granule's 32 samples into slot 0.
+              forLoop(
+                  "s", c(0), lt(v("s"), c(Subbands)), 1,
+                  seq({
+                      assign("q", sub(hashMod(add(mul(v("g"), c(37)),
+                                                  v("s")),
+                                              512),
+                                      c(256))),
+                      store(v("fifo"), mul(v("s"), c(WinLen)),
+                            shr(mul(v("q"), ld(v("scale"), v("s"))),
+                                c(6))),
+                  })),
+              // Windowed synthesis: one dot product per subband.
+              forLoop(
+                  "s", c(0), lt(v("s"), c(Subbands)), 1,
+                  seq({
+                      assign("acc", c(0)),
+                      forLoop(
+                          "k", c(0), lt(v("k"), c(WinLen)), 1,
+                          assign("acc",
+                                 add(v("acc"),
+                                     mul(ld(v("fifo"),
+                                            add(mul(v("s"), c(WinLen)),
+                                                v("k"))),
+                                         ld(v("win"),
+                                            add(mul(v("s"), c(WinLen)),
+                                                v("k"))))))),
+                      // Clamp to 16-bit PCM.
+                      assign("out", shr(v("acc"), c(15))),
+                      iff(lt(v("out"), c(-32768)),
+                          assign("out", c(-32768))),
+                      iff(gt(v("out"), c(32767)),
+                          assign("out", c(32767))),
+                      store(v("pcm"),
+                            add(mul(v("g"), c(Subbands)), v("s")),
+                            v("out")),
+                  })),
+          })),
+
+      assign("sum", c(0)),
+      forLoop("i", c(0), lt(v("i"), c(Granules * Subbands)), 1,
+              assign("sum", add(mul(v("sum"), c(3)),
+                                band(ld(v("pcm"), v("i")),
+                                     c(0xFFFF))))),
+      ret(band(v("sum"), c(0x7FFFFFFFFFFFLL))),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

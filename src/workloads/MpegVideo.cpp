@@ -1,0 +1,130 @@
+//===- workloads/MpegVideo.cpp - MPEG-style video decoder (mediabench) -----==//
+//
+// A coarser-grained decoder than h263dec: per macroblock, four 8x8 blocks
+// are dequantized and inverse transformed, then merged with a
+// motion-compensated prediction. One macroblock is one thread (~700
+// cycles in the paper), with the per-block loops nested inside.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+ir::Module workloads::buildMpegVideo() {
+  constexpr std::int64_t MBW = 8, MBH = 6;
+  constexpr std::int64_t W = MBW * 16, H = MBH * 16;
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      assign("ref", allocWords(c(W * H))),
+      assign("cur", allocWords(c(W * H))),
+      assign("coef", allocWords(c(MBW * MBH * 4 * 64))),
+      assign("blk", allocWords(c(64))),
+      forLoop("i", c(0), lt(v("i"), c(W * H)), 1,
+              store(v("ref"), v("i"), hashMod(v("i"), 256))),
+      forLoop("i", c(0), lt(v("i"), c(MBW * MBH * 4 * 64)), 1,
+              store(v("coef"), v("i"), sub(hashMod(v("i"), 33), c(16)))),
+
+      forLoop(
+          "mb", c(0), lt(v("mb"), c(MBW * MBH)), 1,
+          seq({
+              assign("bx", mul(srem(v("mb"), c(MBW)), c(16))),
+              assign("by", mul(sdiv(v("mb"), c(MBW)), c(16))),
+              assign("mvx", sub(hashMod(v("mb"), 5), c(2))),
+              assign("mvy", sub(hashMod(mul(v("mb"), c(11)), 5), c(2))),
+              forLoop(
+                  "sb", c(0), lt(v("sb"), c(4)), 1,
+                  seq({
+                      assign("cbase",
+                             mul(add(mul(v("mb"), c(4)), v("sb")), c(64))),
+                      assign("ox", add(v("bx"),
+                                       mul(srem(v("sb"), c(2)), c(8)))),
+                      assign("oy", add(v("by"),
+                                       mul(sdiv(v("sb"), c(2)), c(8)))),
+                      // Dequantize + separable integer transform.
+                      forLoop("i", c(0), lt(v("i"), c(64)), 1,
+                              store(v("blk"), v("i"),
+                                    mul(ld(v("coef"),
+                                           add(v("cbase"), v("i"))),
+                                        add(c(2),
+                                            srem(v("i"), c(6)))))),
+                      forLoop(
+                          "r", c(0), lt(v("r"), c(8)), 1,
+                          forLoop(
+                              "k", c(0), lt(v("k"), c(4)), 1,
+                              seq({
+                                  assign("p", add(mul(v("r"), c(8)),
+                                                  v("k"))),
+                                  assign("q", add(mul(v("r"), c(8)),
+                                                  sub(c(7), v("k")))),
+                                  assign("s", add(ld(v("blk"), v("p")),
+                                                  ld(v("blk"), v("q")))),
+                                  assign("d", sub(ld(v("blk"), v("p")),
+                                                  ld(v("blk"), v("q")))),
+                                  store(v("blk"), v("p"),
+                                        shr(add(mul(v("s"), c(3)),
+                                                v("d")),
+                                            c(2))),
+                                  store(v("blk"), v("q"),
+                                        shr(sub(mul(v("d"), c(3)),
+                                                v("s")),
+                                            c(2))),
+                              }))),
+                      // Merge with motion-compensated prediction.
+                      forLoop(
+                          "r", c(0), lt(v("r"), c(8)), 1,
+                          forLoop(
+                              "cc", c(0), lt(v("cc"), c(8)), 1,
+                              seq({
+                                  assign("sx", add(v("ox"),
+                                                   add(v("cc"),
+                                                       v("mvx")))),
+                                  assign("sy", add(v("oy"),
+                                                   add(v("r"), v("mvy")))),
+                                  iff(lt(v("sx"), c(0)),
+                                      assign("sx", c(0))),
+                                  iff(ge(v("sx"), c(W)),
+                                      assign("sx", c(W - 1))),
+                                  iff(lt(v("sy"), c(0)),
+                                      assign("sy", c(0))),
+                                  iff(ge(v("sy"), c(H)),
+                                      assign("sy", c(H - 1))),
+                                  assign("px",
+                                         add(ld(v("ref"),
+                                                add(mul(v("sy"), c(W)),
+                                                    v("sx"))),
+                                             shr(ld(v("blk"),
+                                                    add(mul(v("r"), c(8)),
+                                                        v("cc"))),
+                                                 c(3)))),
+                                  iff(lt(v("px"), c(0)),
+                                      assign("px", c(0))),
+                                  iff(gt(v("px"), c(255)),
+                                      assign("px", c(255))),
+                                  store(v("cur"),
+                                        add(mul(add(v("oy"), v("r")),
+                                                c(W)),
+                                            add(v("ox"), v("cc"))),
+                                        v("px")),
+                              }))),
+                  })),
+          })),
+
+      assign("sum", c(0)),
+      forLoop("i", c(0), lt(v("i"), c(W * H)), 1,
+              assign("sum", add(v("sum"),
+                                mul(ld(v("cur"), v("i")),
+                                    add(srem(v("i"), c(9)), c(1)))))),
+      ret(v("sum")),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

@@ -1,0 +1,174 @@
+//===- workloads/NeuralNet.cpp - Back-propagation net (jBYTEmark) ----------==//
+//
+// The paper's 35-8-8 network: forward pass, output/hidden deltas, and
+// weight updates over a training set. Per-neuron dot products are the
+// fine STLs (the paper reports 9 threads per entry — the 8-neuron loops —
+// at ~600 cycles each). A piecewise-rational activation stands in for the
+// sigmoid. Training is inherently sequential across samples (weights are
+// carried), matching the benchmark's modest overall speedup.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+ir::Module workloads::buildNeuralNet() {
+  constexpr std::int64_t In = 35;
+  constexpr std::int64_t Hid = 8;
+  constexpr std::int64_t Out = 8;
+  constexpr std::int64_t Samples = 40;
+  constexpr std::int64_t Epochs = 2;
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      assign("w1", allocWords(c(In * Hid))),
+      assign("w2", allocWords(c(Hid * Out))),
+      assign("hval", allocWords(c(Hid))),
+      assign("oval", allocWords(c(Out))),
+      assign("odel", allocWords(c(Out))),
+      assign("hdel", allocWords(c(Hid))),
+      assign("data", allocWords(c(Samples * In))),
+      assign("label", allocWords(c(Samples))),
+      forLoop("i", c(0), lt(v("i"), c(In * Hid)), 1,
+              store(v("w1"), v("i"),
+                    fsub(fmul(itof(hashMod(v("i"), 100)), cf(0.01)),
+                         cf(0.5)))),
+      forLoop("i", c(0), lt(v("i"), c(Hid * Out)), 1,
+              store(v("w2"), v("i"),
+                    fsub(fmul(itof(hashMod(add(v("i"), c(931)), 100)),
+                              cf(0.01)),
+                         cf(0.5)))),
+      forLoop("i", c(0), lt(v("i"), c(Samples * In)), 1,
+              store(v("data"), v("i"),
+                    fmul(itof(hashMod(v("i"), 100)), cf(0.01)))),
+      forLoop("i", c(0), lt(v("i"), c(Samples)), 1,
+              store(v("label"), v("i"), hashMod(v("i"), Out))),
+
+      forLoop(
+          "ep", c(0), lt(v("ep"), c(Epochs)), 1,
+          forLoop(
+              "s", c(0), lt(v("s"), c(Samples)), 1,
+              seq({
+                  // Forward: hidden layer.
+                  forLoop(
+                      "h", c(0), lt(v("h"), c(Hid)), 1,
+                      seq({
+                          assign("acc", cf(0.0)),
+                          forLoop(
+                              "i", c(0), lt(v("i"), c(In)), 1,
+                              assign("acc",
+                                     fadd(v("acc"),
+                                          fmul(ld(v("data"),
+                                                  add(mul(v("s"), c(In)),
+                                                      v("i"))),
+                                               ld(v("w1"),
+                                                  add(mul(v("i"), c(Hid)),
+                                                      v("h"))))))),
+                          // Fast sigmoid: x / (1 + |x|) shifted to (0,1).
+                          assign("ax", v("acc")),
+                          iff(flt(v("ax"), cf(0.0)),
+                              assign("ax", fneg(v("ax")))),
+                          store(v("hval"), v("h"),
+                                fadd(cf(0.5),
+                                     fmul(cf(0.5),
+                                          fdiv(v("acc"),
+                                               fadd(cf(1.0), v("ax")))))),
+                      })),
+                  // Forward: output layer.
+                  forLoop(
+                      "o", c(0), lt(v("o"), c(Out)), 1,
+                      seq({
+                          assign("acc", cf(0.0)),
+                          forLoop(
+                              "h", c(0), lt(v("h"), c(Hid)), 1,
+                              assign("acc",
+                                     fadd(v("acc"),
+                                          fmul(ld(v("hval"), v("h")),
+                                               ld(v("w2"),
+                                                  add(mul(v("h"), c(Out)),
+                                                      v("o"))))))),
+                          assign("ax", v("acc")),
+                          iff(flt(v("ax"), cf(0.0)),
+                              assign("ax", fneg(v("ax")))),
+                          store(v("oval"), v("o"),
+                                fadd(cf(0.5),
+                                     fmul(cf(0.5),
+                                          fdiv(v("acc"),
+                                               fadd(cf(1.0), v("ax")))))),
+                      })),
+                  // Output deltas.
+                  forLoop(
+                      "o", c(0), lt(v("o"), c(Out)), 1,
+                      seq({
+                          assign("want", cf(0.1)),
+                          iff(eq(ld(v("label"), v("s")), v("o")),
+                              assign("want", cf(0.9))),
+                          assign("ov", ld(v("oval"), v("o"))),
+                          store(v("odel"), v("o"),
+                                fmul(fsub(v("want"), v("ov")),
+                                     fmul(v("ov"),
+                                          fsub(cf(1.0), v("ov"))))),
+                      })),
+                  // Hidden deltas.
+                  forLoop(
+                      "h", c(0), lt(v("h"), c(Hid)), 1,
+                      seq({
+                          assign("acc", cf(0.0)),
+                          forLoop(
+                              "o", c(0), lt(v("o"), c(Out)), 1,
+                              assign("acc",
+                                     fadd(v("acc"),
+                                          fmul(ld(v("odel"), v("o")),
+                                               ld(v("w2"),
+                                                  add(mul(v("h"), c(Out)),
+                                                      v("o"))))))),
+                          assign("hv", ld(v("hval"), v("h"))),
+                          store(v("hdel"), v("h"),
+                                fmul(v("acc"),
+                                     fmul(v("hv"),
+                                          fsub(cf(1.0), v("hv"))))),
+                      })),
+                  // Weight updates.
+                  forLoop(
+                      "h", c(0), lt(v("h"), c(Hid)), 1,
+                      forLoop(
+                          "o", c(0), lt(v("o"), c(Out)), 1,
+                          store(v("w2"), add(mul(v("h"), c(Out)), v("o")),
+                                fadd(ld(v("w2"),
+                                        add(mul(v("h"), c(Out)), v("o"))),
+                                     fmul(cf(0.25),
+                                          fmul(ld(v("odel"), v("o")),
+                                               ld(v("hval"),
+                                                  v("h")))))))),
+                  forLoop(
+                      "i", c(0), lt(v("i"), c(In)), 1,
+                      forLoop(
+                          "h", c(0), lt(v("h"), c(Hid)), 1,
+                          store(v("w1"), add(mul(v("i"), c(Hid)), v("h")),
+                                fadd(ld(v("w1"),
+                                        add(mul(v("i"), c(Hid)), v("h"))),
+                                     fmul(cf(0.25),
+                                          fmul(ld(v("hdel"), v("h")),
+                                               ld(v("data"),
+                                                  add(mul(v("s"), c(In)),
+                                                      v("i"))))))))),
+              }))),
+
+      assign("sum", c(0)),
+      forLoop("i", c(0), lt(v("i"), c(In * Hid)), 1,
+              assign("sum", add(v("sum"), fix16(ld(v("w1"), v("i")))))),
+      forLoop("i", c(0), lt(v("i"), c(Hid * Out)), 1,
+              assign("sum", add(v("sum"), fix16(ld(v("w2"), v("i")))))),
+      ret(v("sum")),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

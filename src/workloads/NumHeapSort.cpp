@@ -1,0 +1,98 @@
+//===- workloads/NumHeapSort.cpp - Heap sort (jBYTEmark) -------------------==//
+//
+// Classic heap sort: build-heap followed by repeated extract-max, with the
+// sift-down walk factored into a helper function called from both loops —
+// the call-inside-loop structure exercises the tracer's handling of loops
+// reached through calls. The extract loop's array dependencies limit
+// parallelism; the build loop's sub-heaps are largely independent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+namespace {
+
+FuncDef makeSiftDown() {
+  FuncDef F;
+  F.Name = "siftdown";
+  F.Params = {"a", "start", "end"};
+  F.Body = seq({
+      assign("root", v("start")),
+      assign("going", c(1)),
+      whileLoop(
+          v("going"),
+          seq({
+              assign("child", add(mul(v("root"), c(2)), c(1))),
+              iffElse(
+                  gt(v("child"), v("end")),
+                  assign("going", c(0)),
+                  seq({
+                      iff(band(lt(v("child"), v("end")),
+                               lt(ld(v("a"), v("child")),
+                                  ld(v("a"), add(v("child"), c(1))))),
+                          assign("child", add(v("child"), c(1)))),
+                      iffElse(
+                          lt(ld(v("a"), v("root")), ld(v("a"), v("child"))),
+                          seq({
+                              assign("t", ld(v("a"), v("root"))),
+                              store(v("a"), v("root"),
+                                    ld(v("a"), v("child"))),
+                              store(v("a"), v("child"), v("t")),
+                              assign("root", v("child")),
+                          }),
+                          assign("going", c(0))),
+                  })),
+          })),
+      ret(),
+  });
+  return F;
+}
+
+} // namespace
+
+ir::Module workloads::buildNumHeapSort() {
+  constexpr std::int64_t N = 2000;
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      // One padding word: the sift guard's non-short-circuiting `band`
+      // evaluates a[child+1] even when child == end.
+      assign("a", allocWords(c(N + 4))),
+      forLoop("i", c(0), lt(v("i"), c(N)), 1,
+              store(v("a"), v("i"), hashMod(v("i"), 1000000))),
+
+      // Build heap.
+      forLoop("s", c(N / 2 - 1), ge(v("s"), c(0)), -1,
+              exprStmt(call("siftdown", {v("a"), v("s"), c(N - 1)}))),
+      // Extract max repeatedly.
+      forLoop("end", c(N - 1), gt(v("end"), c(0)), -1,
+              seq({
+                  assign("t", ld(v("a"), c(0))),
+                  store(v("a"), c(0), ld(v("a"), v("end"))),
+                  store(v("a"), v("end"), v("t")),
+                  exprStmt(call("siftdown",
+                                {v("a"), c(0), sub(v("end"), c(1))})),
+              })),
+
+      // Checksum: sortedness plus sampled content.
+      assign("sum", c(0)),
+      forLoop("i", c(1), lt(v("i"), c(N)), 1,
+              iff(le(ld(v("a"), sub(v("i"), c(1))), ld(v("a"), v("i"))),
+                  assign("sum", add(v("sum"), c(1))))),
+      forLoop("i", c(0), lt(v("i"), c(N)), 13,
+              assign("sum", add(v("sum"), ld(v("a"), v("i"))))),
+      ret(v("sum")),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(makeSiftDown());
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

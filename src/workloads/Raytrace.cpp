@@ -1,0 +1,137 @@
+//===- workloads/Raytrace.cpp - Ray tracer (SPECjvm98 205_raytrace) --------==//
+//
+// A small sphere-scene ray caster: one primary ray per pixel, intersected
+// against every sphere, with Lambert shading on the nearest hit. Pixels
+// are independent, so the pixel loops are clean STLs; per-pixel work is a
+// few hundred cycles, matching the paper's fine raytrace threads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include "frontend/Lower.h"
+#include "workloads/Common.h"
+
+using namespace jrpm;
+using namespace jrpm::front;
+
+ir::Module workloads::buildRaytrace() {
+  constexpr std::int64_t W = 36;
+  constexpr std::int64_t H = 36;
+  constexpr std::int64_t Spheres = 5;
+
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({
+      // Scene: sphere centers (double), radius^2, and an image plane.
+      assign("sx", allocWords(c(Spheres))),
+      assign("sy", allocWords(c(Spheres))),
+      assign("sz", allocWords(c(Spheres))),
+      assign("sr2", allocWords(c(Spheres))),
+      forLoop("i", c(0), lt(v("i"), c(Spheres)), 1,
+              seq({
+                  assign("fi", itof(v("i"))),
+                  store(v("sx"), v("i"),
+                        fsub(fmul(v("fi"), cf(1.4)), cf(2.8))),
+                  store(v("sy"), v("i"),
+                        fsub(fmul(v("fi"), cf(0.9)), cf(1.8))),
+                  store(v("sz"), v("i"), fadd(cf(6.0), itof(srem(v("i"), c(3))))),
+                  store(v("sr2"), v("i"), fadd(cf(0.8), fmul(v("fi"), cf(0.25)))),
+              })),
+
+      assign("img", allocWords(c(W * H))),
+      forLoop(
+          "py", c(0), lt(v("py"), c(H)), 1,
+          forLoop(
+              "px", c(0), lt(v("px"), c(W)), 1,
+              seq({
+                  // Ray direction through the pixel, unnormalized is fine
+                  // for comparisons after consistent scaling.
+                  assign("dx", fsub(fmul(itof(v("px")), cf(2.0 / W)),
+                                    cf(1.0))),
+                  assign("dy", fsub(fmul(itof(v("py")), cf(2.0 / H)),
+                                    cf(1.0))),
+                  assign("dz", cf(1.0)),
+                  assign("dlen", fsqrt(fadd(fadd(fmul(v("dx"), v("dx")),
+                                                 fmul(v("dy"), v("dy"))),
+                                            cf(1.0)))),
+                  assign("dx", fdiv(v("dx"), v("dlen"))),
+                  assign("dy", fdiv(v("dy"), v("dlen"))),
+                  assign("dz", fdiv(v("dz"), v("dlen"))),
+
+                  assign("bestT", cf(1.0e30)),
+                  assign("bestS", c(-1)),
+                  forLoop(
+                      "s", c(0), lt(v("s"), c(Spheres)), 1,
+                      seq({
+                          assign("cx", ld(v("sx"), v("s"))),
+                          assign("cy", ld(v("sy"), v("s"))),
+                          assign("cz", ld(v("sz"), v("s"))),
+                          // b = d . c ; disc = b^2 - (|c|^2 - r^2)
+                          assign("b", fadd(fadd(fmul(v("dx"), v("cx")),
+                                                fmul(v("dy"), v("cy"))),
+                                           fmul(v("dz"), v("cz")))),
+                          assign("c2", fadd(fadd(fmul(v("cx"), v("cx")),
+                                                 fmul(v("cy"), v("cy"))),
+                                            fmul(v("cz"), v("cz")))),
+                          assign("disc",
+                                 fsub(fmul(v("b"), v("b")),
+                                      fsub(v("c2"),
+                                           ld(v("sr2"), v("s"))))),
+                          iff(flt(cf(0.0), v("disc")),
+                              seq({
+                                  assign("t", fsub(v("b"),
+                                                   fsqrt(v("disc")))),
+                                  iff(band(flt(cf(0.05), v("t")),
+                                           flt(v("t"), v("bestT"))),
+                                      seq({
+                                          assign("bestT", v("t")),
+                                          assign("bestS", v("s")),
+                                      })),
+                              })),
+                      })),
+
+                  // Lambert shade against a fixed light direction.
+                  assign("shade", c(8)),
+                  iff(ge(v("bestS"), c(0)),
+                      seq({
+                          assign("hx", fmul(v("dx"), v("bestT"))),
+                          assign("hy", fmul(v("dy"), v("bestT"))),
+                          assign("hz", fmul(v("dz"), v("bestT"))),
+                          assign("nx", fsub(v("hx"),
+                                            ld(v("sx"), v("bestS")))),
+                          assign("ny", fsub(v("hy"),
+                                            ld(v("sy"), v("bestS")))),
+                          assign("nz", fsub(v("hz"),
+                                            ld(v("sz"), v("bestS")))),
+                          assign("nl", fsqrt(fadd(
+                                           fadd(fmul(v("nx"), v("nx")),
+                                                fmul(v("ny"), v("ny"))),
+                                           fmul(v("nz"), v("nz"))))),
+                          assign("dot",
+                                 fdiv(fadd(fadd(fmul(v("nx"), cf(0.57)),
+                                                fmul(v("ny"), cf(0.57))),
+                                           fmul(v("nz"), cf(-0.57))),
+                                      v("nl"))),
+                          iff(flt(v("dot"), cf(0.0)),
+                              assign("dot", cf(0.0))),
+                          assign("shade",
+                                 add(c(16),
+                                     ftoi(fmul(v("dot"), cf(200.0))))),
+                      })),
+                  store(v("img"),
+                        add(mul(v("py"), c(W)), v("px")), v("shade")),
+              }))),
+
+      assign("sum", c(0)),
+      forLoop("i", c(0), lt(v("i"), c(W * H)), 1,
+              assign("sum", add(v("sum"),
+                                mul(ld(v("img"), v("i")),
+                                    add(srem(v("i"), c(7)), c(1)))))),
+      ret(v("sum")),
+  });
+
+  ProgramDef P;
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}

@@ -1,0 +1,69 @@
+//===- workloads/Registry.cpp - Table 6 benchmark registry -----------------==//
+
+#include "workloads/Workload.h"
+
+#include "workloads/Builders.h"
+
+using namespace jrpm;
+using namespace jrpm::workloads;
+
+const std::vector<Workload> &workloads::allWorkloads() {
+  static const std::vector<Workload> Table = {
+      // Integer.
+      {"Assignment", "Integer", "Resource allocation", "51x51", false, true,
+       buildAssignment},
+      {"BitOps", "Integer", "Bit array operations", "", false, false,
+       buildBitOps},
+      {"compress", "Integer", "Compression", "", false, false, buildCompress},
+      {"db", "Integer", "Database", "5000", false, true, buildDb},
+      {"deltaBlue", "Integer", "Constraint solver", "", false, false,
+       buildDeltaBlue},
+      {"EmFloatPnt", "Integer", "FP emulation", "", false, false,
+       buildEmFloatPnt},
+      {"Huffman", "Integer", "Compression", "", false, false, buildHuffman},
+      {"IDEA", "Integer", "Encryption", "", true, false, buildIdea},
+      {"jess", "Integer", "Expert system", "", false, false, buildJess},
+      {"jLex", "Integer", "Lexical analyzer gen", "", false, false,
+       buildJLex},
+      {"MipsSimulator", "Integer", "CPU simulator", "", false, false,
+       buildMipsSimulator},
+      {"monteCarlo", "Integer", "Monte carlo sim", "", false, false,
+       buildMonteCarlo},
+      {"NumHeapSort", "Integer", "Heap sort", "", false, false,
+       buildNumHeapSort},
+      {"raytrace", "Integer", "Raytracer", "", false, false, buildRaytrace},
+      // Floating point.
+      {"euler", "Floating point", "Fluid dynamics", "33x9", true, true,
+       buildEuler},
+      {"fft", "Floating point", "Fast fourier transform", "1024", true, true,
+       buildFft},
+      {"FourierTest", "Floating point", "Fourier coefficients", "", true,
+       false, buildFourierTest},
+      {"LuFactor", "Floating point", "LU factorization", "101x101", true,
+       true, buildLuFactor},
+      {"moldyn", "Floating point", "Molecular dynamics", "", true, false,
+       buildMoldyn},
+      {"NeuralNet", "Floating point", "Neural net", "35x8x8", true, true,
+       buildNeuralNet},
+      {"shallow", "Floating point", "Shallow water sim", "256x256", true,
+       true, buildShallow},
+      // Multimedia.
+      {"decJpeg", "Multimedia", "Image decoder", "", false, false,
+       buildDecJpeg},
+      {"encJpeg", "Multimedia", "Image compression", "", false, false,
+       buildEncJpeg},
+      {"h263dec", "Multimedia", "Video decoder", "", false, false,
+       buildH263Dec},
+      {"mpegVideo", "Multimedia", "Video decoder", "", false, false,
+       buildMpegVideo},
+      {"mp3", "Multimedia", "mp3 decoder", "", false, false, buildMp3},
+  };
+  return Table;
+}
+
+const Workload *workloads::findWorkload(const std::string &Name) {
+  for (const Workload &W : allWorkloads())
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}

@@ -1,0 +1,40 @@
+//===- workloads/Workload.h - Benchmark registry ---------------------------==//
+//
+// The 26 benchmarks of Table 6, re-implemented in the frontend DSL. Each
+// entry carries the paper's metadata columns: category, data set, whether a
+// traditional parallelizing compiler could analyze it (column a), and
+// whether STL selection is input-size sensitive (column b).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_WORKLOADS_WORKLOAD_H
+#define JRPM_WORKLOADS_WORKLOAD_H
+
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace jrpm {
+namespace workloads {
+
+struct Workload {
+  std::string Name;
+  std::string Category; ///< "Integer", "Floating point", "Multimedia"
+  std::string Description;
+  std::string DataSet;          ///< e.g. "51x51"; empty when not applicable
+  bool Analyzable = false;      ///< Table 6 column (a)
+  bool DataSetSensitive = false; ///< Table 6 column (b)
+  ir::Module (*Build)() = nullptr;
+};
+
+/// All workloads in Table 6 order.
+const std::vector<Workload> &allWorkloads();
+
+/// Finds a workload by name; returns nullptr when absent.
+const Workload *findWorkload(const std::string &Name);
+
+} // namespace workloads
+} // namespace jrpm
+
+#endif // JRPM_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,43 @@
+//===- tests/TestUtil.h - Shared helpers for the test suites ---------------==//
+
+#ifndef JRPM_TESTS_TESTUTIL_H
+#define JRPM_TESTS_TESTUTIL_H
+
+#include "frontend/Ast.h"
+#include "frontend/Lower.h"
+#include "interp/Machine.h"
+#include "sim/Config.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jrpm {
+namespace testutil {
+
+/// Lowers a single-function program named "main" from \p Body.
+inline ir::Module makeMain(front::St Body) {
+  front::ProgramDef P;
+  front::FuncDef Main;
+  Main.Name = "main";
+  Main.Body = std::move(Body);
+  P.Functions.push_back(std::move(Main));
+  return front::lowerProgram(P);
+}
+
+/// Runs \p M sequentially and returns the result.
+inline interp::RunResult runModule(const ir::Module &M,
+                                   const sim::HydraConfig &Cfg = {}) {
+  interp::Machine Machine(M, Cfg);
+  return Machine.run();
+}
+
+/// Convenience: lower and run, returning main's value.
+inline std::uint64_t evalMain(front::St Body) {
+  ir::Module M = makeMain(std::move(Body));
+  return runModule(M).ReturnValue;
+}
+
+} // namespace testutil
+} // namespace jrpm
+
+#endif // JRPM_TESTS_TESTUTIL_H

@@ -1,0 +1,191 @@
+//===- tests/frontend_test.cpp - DSL lowering + interpreter semantics ------==//
+//
+// Each test lowers a small structured program and executes it, checking
+// the returned value — covering the frontend and the interpreter together.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace jrpm;
+using namespace jrpm::front;
+using jrpm::testutil::evalMain;
+using jrpm::testutil::makeMain;
+
+TEST(Frontend, ArithmeticTree) {
+  EXPECT_EQ(evalMain(seq({ret(add(mul(c(6), c(7)), c(0)))})), 42u);
+  EXPECT_EQ(evalMain(seq({ret(sub(c(100), add(c(30), c(12))))})), 58u);
+}
+
+TEST(Frontend, IntegerOps) {
+  EXPECT_EQ(evalMain(seq({ret(sdiv(c(-7), c(2)))})),
+            static_cast<std::uint64_t>(-3)); // C/Java truncation
+  EXPECT_EQ(evalMain(seq({ret(srem(c(-7), c(2)))})),
+            static_cast<std::uint64_t>(-1));
+  EXPECT_EQ(evalMain(seq({ret(shl(c(3), c(4)))})), 48u);
+  EXPECT_EQ(evalMain(seq({ret(shr(c(-16), c(2)))})),
+            static_cast<std::uint64_t>(-4)); // arithmetic shift
+  EXPECT_EQ(evalMain(seq({ret(bxor(c(0xF0), c(0xFF)))})), 0x0Fu);
+}
+
+TEST(Frontend, Comparisons) {
+  EXPECT_EQ(evalMain(seq({ret(lt(c(-5), c(3)))})), 1u);
+  EXPECT_EQ(evalMain(seq({ret(ge(c(3), c(3)))})), 1u);
+  EXPECT_EQ(evalMain(seq({ret(lnot(eq(c(1), c(2))))})), 1u);
+}
+
+TEST(Frontend, FloatingPoint) {
+  EXPECT_EQ(evalMain(seq({ret(ftoi(fadd(cf(1.5), cf(2.25))))})), 3u);
+  EXPECT_EQ(evalMain(seq({ret(ftoi(fmul(cf(1.5), cf(4.0))))})), 6u);
+  EXPECT_EQ(evalMain(seq({ret(ftoi(fsqrt(cf(81.0))))})), 9u);
+  EXPECT_EQ(evalMain(seq({ret(ftoi(fneg(cf(-3.0))))})), 3u);
+  EXPECT_EQ(evalMain(seq({ret(flt(cf(1.0), cf(2.0)))})), 1u);
+  EXPECT_EQ(evalMain(seq({ret(ftoi(fdiv(itof(c(10)), cf(4.0))))})), 2u);
+}
+
+TEST(Frontend, IfElse) {
+  EXPECT_EQ(evalMain(seq({
+                assign("x", c(10)),
+                iffElse(gt(v("x"), c(5)), assign("r", c(1)),
+                        assign("r", c(2))),
+                ret(v("r")),
+            })),
+            1u);
+  EXPECT_EQ(evalMain(seq({
+                assign("x", c(3)),
+                iff(gt(v("x"), c(5)), assign("x", c(0))),
+                ret(v("x")),
+            })),
+            3u);
+}
+
+TEST(Frontend, ForLoopSumsRange) {
+  EXPECT_EQ(evalMain(seq({
+                assign("s", c(0)),
+                forLoop("i", c(0), lt(v("i"), c(10)), 1,
+                        assign("s", add(v("s"), v("i")))),
+                ret(v("s")),
+            })),
+            45u);
+}
+
+TEST(Frontend, ForLoopNegativeStep) {
+  EXPECT_EQ(evalMain(seq({
+                assign("s", c(0)),
+                forLoop("i", c(9), ge(v("i"), c(0)), -1,
+                        assign("s", add(v("s"), v("i")))),
+                ret(v("s")),
+            })),
+            45u);
+}
+
+TEST(Frontend, WhileAndDoWhile) {
+  EXPECT_EQ(evalMain(seq({
+                assign("n", c(100)),
+                assign("steps", c(0)),
+                whileLoop(gt(v("n"), c(1)),
+                          seq({
+                              assign("n", sdiv(v("n"), c(2))),
+                              assign("steps", add(v("steps"), c(1))),
+                          })),
+                ret(v("steps")),
+            })),
+            6u);
+  // A do/while body runs at least once even when the condition is false.
+  EXPECT_EQ(evalMain(seq({
+                assign("x", c(0)),
+                doWhile(lt(v("x"), c(0)), assign("x", add(v("x"), c(1)))),
+                ret(v("x")),
+            })),
+            1u);
+}
+
+TEST(Frontend, BreakAndContinue) {
+  EXPECT_EQ(evalMain(seq({
+                assign("s", c(0)),
+                forLoop("i", c(0), lt(v("i"), c(100)), 1,
+                        seq({
+                            iff(eq(v("i"), c(5)), brk()),
+                            assign("s", add(v("s"), v("i"))),
+                        })),
+                ret(v("s")),
+            })),
+            10u); // 0+1+2+3+4
+  EXPECT_EQ(evalMain(seq({
+                assign("s", c(0)),
+                forLoop("i", c(0), lt(v("i"), c(10)), 1,
+                        seq({
+                            iff(eq(srem(v("i"), c(2)), c(0)), cont()),
+                            assign("s", add(v("s"), v("i"))),
+                        })),
+                ret(v("s")),
+            })),
+            25u); // 1+3+5+7+9
+}
+
+TEST(Frontend, HeapLoadStore) {
+  EXPECT_EQ(evalMain(seq({
+                assign("a", allocWords(c(8))),
+                store(v("a"), c(3), c(77)),
+                store(v("a"), Ex(), 1, c(5)),
+                ret(add(ld(v("a"), c(3)), ld(v("a"), Ex(), 1))),
+            })),
+            82u);
+}
+
+TEST(Frontend, CallsAndRecursionDepth) {
+  ProgramDef P;
+  FuncDef Fib;
+  Fib.Name = "fib";
+  Fib.Params = {"n"};
+  Fib.Body = seq({
+      iff(le(v("n"), c(1)), ret(v("n"))),
+      ret(add(call("fib", {sub(v("n"), c(1))}),
+              call("fib", {sub(v("n"), c(2))}))),
+  });
+  FuncDef Main;
+  Main.Name = "main";
+  Main.Body = seq({ret(call("fib", {c(12)}))});
+  P.Functions.push_back(std::move(Fib));
+  P.Functions.push_back(std::move(Main));
+  ir::Module M = front::lowerProgram(P);
+  EXPECT_EQ(testutil::runModule(M).ReturnValue, 144u);
+}
+
+TEST(Frontend, NamedLocalsRecorded) {
+  ir::Module M = makeMain(seq({
+      assign("alpha", c(1)),
+      assign("beta", add(v("alpha"), c(1))),
+      ret(v("beta")),
+  }));
+  const auto &Named = M.Functions[M.EntryFunction].NamedLocals;
+  bool HasAlpha = false, HasBeta = false;
+  for (const auto &[Name, Reg] : Named) {
+    HasAlpha |= Name == "alpha";
+    HasBeta |= Name == "beta";
+  }
+  EXPECT_TRUE(HasAlpha);
+  EXPECT_TRUE(HasBeta);
+}
+
+TEST(Frontend, InductorLowersToAddImm) {
+  ir::Module M = makeMain(seq({
+      assign("s", c(0)),
+      forLoop("i", c(0), lt(v("i"), c(4)), 1,
+              assign("s", add(v("s"), v("i")))),
+      ret(v("s")),
+  }));
+  // Some AddImm on identical src/dst registers must exist (the i++ step).
+  bool FoundSelfAddImm = false;
+  for (const auto &BB : M.Functions[0].Blocks)
+    for (const auto &I : BB.Instructions)
+      if (I.Op == ir::Opcode::AddImm && I.Dst == I.A && I.Imm == 1)
+        FoundSelfAddImm = true;
+  EXPECT_TRUE(FoundSelfAddImm);
+}
+
+TEST(Frontend, FallthroughReturnsZero) {
+  EXPECT_EQ(evalMain(seq({assign("x", c(5))})), 0u);
+}

@@ -1,0 +1,95 @@
+//===- tests/fuzz_test.cpp - Randomized whole-stack property tests ---------==//
+//
+// Feeds generated programs (tests/RandomProgram.h) through every layer and
+// checks the invariants that must hold for *any* program:
+//
+//   * sequential execution is deterministic,
+//   * the annotated module computes the same result and the tracer's bank
+//     stack balances,
+//   * speculative execution is bit-identical to sequential execution under
+//     every engine configuration (restart, sync, line-granular),
+//   * Equation 1 estimates stay within [~0, p].
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgram.h"
+#include "TestUtil.h"
+#include "analysis/Candidates.h"
+#include "hydra/TlsEngine.h"
+#include "jit/Annotator.h"
+#include "jit/TlsPlan.h"
+#include "jrpm/Pipeline.h"
+#include "tracer/TraceEngine.h"
+
+#include <gtest/gtest.h>
+
+using namespace jrpm;
+
+namespace {
+
+interp::RunResult runTls(const ir::Module &M, const sim::HydraConfig &Cfg) {
+  analysis::ModuleAnalysis MA(M);
+  std::vector<jit::TlsLoopPlan> Plans;
+  for (const auto &C : MA.candidates())
+    if (!C.Rejected)
+      Plans.push_back(jit::buildTlsPlan(MA, C));
+  hydra::TlsEngine Engine(M, Cfg, std::move(Plans));
+  interp::Machine Machine(M, Cfg);
+  Machine.setDispatcher(&Engine);
+  return Machine.run();
+}
+
+} // namespace
+
+class FuzzSuite : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSuite, WholeStackInvariants) {
+  testutil::ProgramGenerator Gen(GetParam());
+  ir::Module M = Gen.generate();
+  sim::HydraConfig Cfg;
+
+  // Sequential determinism.
+  auto Seq1 = testutil::runModule(M, Cfg);
+  auto Seq2 = testutil::runModule(M, Cfg);
+  ASSERT_EQ(Seq1.ReturnValue, Seq2.ReturnValue);
+  ASSERT_EQ(Seq1.Cycles, Seq2.Cycles);
+
+  // Annotated execution: same result, balanced tracer, sane estimates.
+  analysis::ModuleAnalysis MA(M);
+  jit::AnnotatedModule AM =
+      jit::annotateModule(M, MA, jit::AnnotationLevel::Optimized);
+  tracer::TraceEngine Tracer(Cfg, AM.LoopInfos);
+  interp::Machine Profiled(AM.Module, Cfg);
+  Profiled.setTraceSink(&Tracer);
+  auto Prof = Profiled.run();
+  EXPECT_EQ(Prof.ReturnValue, Seq1.ReturnValue);
+  EXPECT_GE(Prof.Cycles, Seq1.Cycles);
+  tracer::SelectionResult Sel =
+      tracer::selectStls(Tracer, Prof.Cycles, Cfg);
+  for (const auto &Rep : Sel.Loops) {
+    EXPECT_GE(Rep.Estimate.Speedup, 0.0);
+    EXPECT_LE(Rep.Estimate.BaseSpeedup, 4.0 + 1e-9);
+  }
+
+  // Speculative execution under three configurations.
+  EXPECT_EQ(runTls(M, Cfg).ReturnValue, Seq1.ReturnValue)
+      << "restart mode diverged (seed " << GetParam() << ")";
+  sim::HydraConfig Sync = Cfg;
+  Sync.SyncCarriedLocals = true;
+  EXPECT_EQ(runTls(M, Sync).ReturnValue, Seq1.ReturnValue)
+      << "sync mode diverged (seed " << GetParam() << ")";
+  sim::HydraConfig Line = Cfg;
+  Line.ViolationGrain = sim::ViolationGranularity::Line;
+  EXPECT_EQ(runTls(M, Line).ReturnValue, Seq1.ReturnValue)
+      << "line-grain mode diverged (seed " << GetParam() << ")";
+}
+
+TEST_P(FuzzSuite, FullPipelineMatches) {
+  testutil::ProgramGenerator Gen(GetParam() * 7919 + 13);
+  pipeline::Jrpm J(Gen.generate(), pipeline::PipelineConfig{});
+  pipeline::PipelineResult R = J.runAll();
+  EXPECT_EQ(R.TlsRun.ReturnValue, R.PlainRun.ReturnValue)
+      << "pipeline diverged (seed " << GetParam() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSuite, ::testing::Range<std::uint64_t>(1, 41));

@@ -1,0 +1,174 @@
+//===- tests/ir_test.cpp - IR container / builder / verifier tests ---------==//
+
+#include "ir/IR.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace jrpm;
+using namespace jrpm::ir;
+
+namespace {
+
+/// Builds: main() { r = 1 + 2; ret r; }
+Module makeTinyModule() {
+  Module M;
+  IRBuilder B(M);
+  B.createFunction("main", 0);
+  std::uint16_t One = B.emitConstI(1);
+  std::uint16_t Two = B.emitConstI(2);
+  std::uint16_t Sum = B.emitBinary(Opcode::Add, One, Two);
+  B.emitRet(Sum);
+  M.finalize();
+  return M;
+}
+
+} // namespace
+
+TEST(Opcode, NamesAndClasses) {
+  EXPECT_STREQ(opcodeName(Opcode::Add), "add");
+  EXPECT_STREQ(opcodeName(Opcode::SLoop), "sloop");
+  EXPECT_TRUE(isTerminator(Opcode::Br));
+  EXPECT_TRUE(isTerminator(Opcode::CondBr));
+  EXPECT_TRUE(isTerminator(Opcode::Ret));
+  EXPECT_FALSE(isTerminator(Opcode::Call));
+  EXPECT_TRUE(definesDst(Opcode::Load));
+  EXPECT_FALSE(definesDst(Opcode::Store));
+  EXPECT_TRUE(isAnnotation(Opcode::LwlAnno));
+  EXPECT_FALSE(isAnnotation(Opcode::Load));
+}
+
+TEST(IR, SuccessorsOfTerminators) {
+  Module M;
+  IRBuilder B(M);
+  B.createFunction("f", 0);
+  std::uint32_t B1 = B.newBlock();
+  std::uint32_t B2 = B.newBlock();
+  std::uint16_t C = B.emitConstI(1);
+  B.emitCondBr(C, B1, B2);
+  B.setBlock(B1);
+  B.emitBr(B2);
+  B.setBlock(B2);
+  B.emitRet();
+
+  std::vector<std::uint32_t> Succs;
+  M.Functions[0].Blocks[0].appendSuccessors(Succs);
+  ASSERT_EQ(Succs.size(), 2u);
+  EXPECT_EQ(Succs[0], B1);
+  EXPECT_EQ(Succs[1], B2);
+
+  auto Preds = M.Functions[0].computePredecessors();
+  EXPECT_EQ(Preds[B2].size(), 2u);
+  EXPECT_TRUE(Preds[0].empty());
+}
+
+TEST(IR, FinalizeAssignsDensePcs) {
+  Module M = makeTinyModule();
+  EXPECT_EQ(M.totalInstructions(), 4u);
+  int Expected = 0;
+  for (const Instruction &I : M.Functions[0].Blocks[0].Instructions)
+    EXPECT_EQ(I.Pc, Expected++);
+}
+
+TEST(IR, FindFunction) {
+  Module M = makeTinyModule();
+  EXPECT_EQ(M.findFunction("main"), 0);
+  EXPECT_EQ(M.findFunction("missing"), -1);
+}
+
+TEST(IR, DumpContainsMnemonics) {
+  Module M = makeTinyModule();
+  std::string Text = M.dump();
+  EXPECT_NE(Text.find("func main"), std::string::npos);
+  EXPECT_NE(Text.find("consti"), std::string::npos);
+  EXPECT_NE(Text.find("add"), std::string::npos);
+  EXPECT_NE(Text.find("ret"), std::string::npos);
+}
+
+TEST(Verifier, AcceptsWellFormed) {
+  Module M = makeTinyModule();
+  EXPECT_TRUE(verifyModule(M).empty());
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Module M;
+  IRBuilder B(M);
+  B.createFunction("main", 0);
+  B.emitConstI(7); // no terminator
+  EXPECT_FALSE(verifyModule(M).empty());
+}
+
+TEST(Verifier, RejectsBadBranchTarget) {
+  Module M;
+  IRBuilder B(M);
+  B.createFunction("main", 0);
+  B.emitBr(99);
+  EXPECT_FALSE(verifyModule(M).empty());
+}
+
+TEST(Verifier, RejectsOutOfRangeRegister) {
+  Module M;
+  IRBuilder B(M);
+  B.createFunction("main", 0);
+  Instruction I;
+  I.Op = Opcode::Mov;
+  I.Dst = 0;
+  I.A = 500; // never allocated
+  B.emit(I);
+  B.emitRet();
+  // Dst 0 is also unallocated in a zero-register function.
+  EXPECT_FALSE(verifyModule(M).empty());
+}
+
+TEST(Verifier, RejectsCallArityMismatch) {
+  Module M;
+  IRBuilder B(M);
+  std::uint32_t Callee = B.createFunction("callee", 2);
+  B.emitRet();
+  B.createFunction("main", 0);
+  std::uint16_t X = B.emitConstI(1);
+  B.emitCall(Callee, {X}); // one arg, needs two
+  B.emitRet();
+  EXPECT_FALSE(verifyModule(M).empty());
+}
+
+TEST(Verifier, RejectsDanglingArgs) {
+  Module M;
+  IRBuilder B(M);
+  B.createFunction("main", 0);
+  std::uint16_t X = B.emitConstI(1);
+  Instruction Arg;
+  Arg.Op = Opcode::Arg;
+  Arg.A = X;
+  Arg.Imm = 0;
+  B.emit(Arg);
+  B.emitRet(); // args never consumed by a call
+  EXPECT_FALSE(verifyModule(M).empty());
+}
+
+TEST(Verifier, RejectsTerminatorMidBlock) {
+  Module M;
+  IRBuilder B(M);
+  B.createFunction("main", 0);
+  // Force a terminator followed by more instructions via direct access.
+  Instruction RetI;
+  RetI.Op = Opcode::Ret;
+  M.Functions[0].Blocks[0].Instructions.push_back(RetI);
+  Instruction Nop;
+  Nop.Op = Opcode::Nop;
+  M.Functions[0].Blocks[0].Instructions.push_back(Nop);
+  Instruction Ret2;
+  Ret2.Op = Opcode::Ret;
+  M.Functions[0].Blocks[0].Instructions.push_back(Ret2);
+  EXPECT_FALSE(verifyModule(M).empty());
+}
+
+TEST(IRBuilder, RegisterAllocationIsSequential) {
+  Module M;
+  IRBuilder B(M);
+  B.createFunction("f", 3);
+  EXPECT_EQ(B.newReg(), 3);
+  EXPECT_EQ(B.newReg(), 4);
+  EXPECT_EQ(M.Functions[0].NumRegs, 5u);
+}

@@ -1,0 +1,152 @@
+//===- tests/speedup_model_test.cpp - Equation 1 property tests ------------==//
+
+#include "sim/Config.h"
+#include "tracer/SpeedupModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace jrpm;
+using namespace jrpm::tracer;
+
+namespace {
+
+/// Builds stats for a loop of \p Threads iterations of size \p ThreadSize
+/// with an arc of length \p ArcLen on every transition.
+StlStats makeStats(std::uint64_t Threads, double ThreadSize, double ArcLen,
+                   double ArcFreq = 1.0, double OverflowFreq = 0.0) {
+  StlStats S;
+  S.Entries = 1;
+  S.Threads = Threads;
+  S.Cycles = static_cast<std::uint64_t>(ThreadSize * Threads);
+  std::uint64_t Arcs =
+      static_cast<std::uint64_t>(ArcFreq * static_cast<double>(Threads - 1));
+  S.CritArcsPrev = Arcs;
+  S.CritLenPrev = static_cast<std::uint64_t>(ArcLen * Arcs);
+  S.OverflowThreads =
+      static_cast<std::uint64_t>(OverflowFreq * static_cast<double>(Threads));
+  return S;
+}
+
+} // namespace
+
+TEST(SpeedupModel, NoArcsApproachFullSpeedup) {
+  sim::HydraConfig Cfg;
+  StlStats S = makeStats(10000, 1000.0, 0.0, /*ArcFreq=*/0.0);
+  SpeedupEstimate E = estimateSpeedup(S, Cfg);
+  EXPECT_NEAR(E.BaseSpeedup, 4.0, 1e-9);
+  EXPECT_GT(E.Speedup, 3.8); // overheads shave a little
+}
+
+TEST(SpeedupModel, PaperThreeQuarterRule) {
+  // "We expect maximal speedup if the average critical arc length is at
+  // least 3/4 the average thread size" (plus the store-to-load latency in
+  // our timing-faithful variant).
+  sim::HydraConfig Cfg;
+  double T = 1000.0;
+  double L = 0.75 * T + Cfg.StoreLoadCommCycles;
+  StlStats S = makeStats(10000, T, L);
+  SpeedupEstimate E = estimateSpeedup(S, Cfg);
+  EXPECT_NEAR(E.BaseSpeedup, 4.0, 1e-6);
+}
+
+TEST(SpeedupModel, ShortArcsSerialize) {
+  sim::HydraConfig Cfg;
+  StlStats S = makeStats(10000, 1000.0, /*ArcLen=*/10.0);
+  SpeedupEstimate E = estimateSpeedup(S, Cfg);
+  // Offset is forced to T - L + comm = 1000: essentially serial.
+  EXPECT_LT(E.BaseSpeedup, 1.05);
+  EXPECT_LT(E.Speedup, 1.0); // overheads make it a slowdown
+}
+
+TEST(SpeedupModel, MonotonicInArcLength) {
+  sim::HydraConfig Cfg;
+  double Prev = 0.0;
+  for (double L = 0; L <= 1000; L += 50) {
+    SpeedupEstimate E = estimateSpeedup(makeStats(5000, 1000.0, L), Cfg);
+    EXPECT_GE(E.BaseSpeedup + 1e-9, Prev);
+    Prev = E.BaseSpeedup;
+  }
+}
+
+TEST(SpeedupModel, OverflowDegradesTowardSerial) {
+  sim::HydraConfig Cfg;
+  SpeedupEstimate None =
+      estimateSpeedup(makeStats(10000, 1000.0, 0.0, 0.0, 0.0), Cfg);
+  SpeedupEstimate Half =
+      estimateSpeedup(makeStats(10000, 1000.0, 0.0, 0.0, 0.5), Cfg);
+  SpeedupEstimate All =
+      estimateSpeedup(makeStats(10000, 1000.0, 0.0, 0.0, 1.0), Cfg);
+  EXPECT_GT(None.EffectiveSpeedup, Half.EffectiveSpeedup);
+  EXPECT_GT(Half.EffectiveSpeedup, All.EffectiveSpeedup);
+  EXPECT_NEAR(All.EffectiveSpeedup, 1.0, 1e-9);
+}
+
+TEST(SpeedupModel, SmallLoopsSufferOverheads) {
+  sim::HydraConfig Cfg;
+  // 10 threads of 30 cycles: fixed overheads eat most of the gain
+  // (50 startup/shutdown + 50 eoi cycles against 300 cycles of work).
+  StlStats S = makeStats(10, 30.0, 0.0, 0.0);
+  SpeedupEstimate E = estimateSpeedup(S, Cfg);
+  EXPECT_LT(E.Speedup, 2.0);
+  // Same shape, far more work per entry: overheads amortize.
+  StlStats Big = makeStats(10000, 30.0, 0.0, 0.0);
+  SpeedupEstimate EBig = estimateSpeedup(Big, Cfg);
+  EXPECT_GT(EBig.Speedup, E.Speedup);
+}
+
+TEST(SpeedupModel, EmptyStatsAreNeutral) {
+  sim::HydraConfig Cfg;
+  StlStats S;
+  SpeedupEstimate E = estimateSpeedup(S, Cfg);
+  EXPECT_DOUBLE_EQ(E.Speedup, 1.0);
+}
+
+// Property sweep: the estimate never exceeds the processor count and the
+// estimated time is never below cycles/p.
+struct SweepParams {
+  double ThreadSize;
+  double ArcFrac; // arc length as a fraction of thread size
+  double ArcFreq;
+  double OverflowFreq;
+};
+
+class SpeedupSweep : public ::testing::TestWithParam<SweepParams> {};
+
+TEST_P(SpeedupSweep, BoundsHold) {
+  const SweepParams &P = GetParam();
+  sim::HydraConfig Cfg;
+  StlStats S = makeStats(4000, P.ThreadSize, P.ArcFrac * P.ThreadSize,
+                         P.ArcFreq, P.OverflowFreq);
+  SpeedupEstimate E = estimateSpeedup(S, Cfg);
+  EXPECT_GT(E.Speedup, 0.0);
+  EXPECT_LE(E.BaseSpeedup, 4.0 + 1e-9);
+  EXPECT_GE(E.SpecCycles,
+            static_cast<double>(S.Cycles) / 4.0 - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SpeedupSweep,
+    ::testing::Values(SweepParams{50, 0.0, 0.0, 0.0},
+                      SweepParams{50, 0.5, 1.0, 0.0},
+                      SweepParams{200, 0.25, 0.5, 0.1},
+                      SweepParams{200, 0.9, 1.0, 0.0},
+                      SweepParams{1000, 0.75, 1.0, 0.0},
+                      SweepParams{1000, 0.1, 0.2, 0.9},
+                      SweepParams{20000, 0.5, 0.7, 0.3},
+                      SweepParams{20000, 1.0, 1.0, 1.0}));
+
+TEST(SpeedupModel, EarlierBinArcsHurtLessThanPrevBin) {
+  // An arc of the same length two threads back constrains the pipeline
+  // half as much as one to the immediately preceding thread.
+  sim::HydraConfig Cfg;
+  StlStats Prev = makeStats(5000, 1000.0, 300.0, 1.0);
+  StlStats Earlier;
+  Earlier.Entries = 1;
+  Earlier.Threads = 5000;
+  Earlier.Cycles = 5000 * 1000;
+  Earlier.CritArcsEarlier = 4999;
+  Earlier.CritLenEarlier = 4999 * 300;
+  SpeedupEstimate EPrev = estimateSpeedup(Prev, Cfg);
+  SpeedupEstimate EEarlier = estimateSpeedup(Earlier, Cfg);
+  EXPECT_GT(EEarlier.BaseSpeedup, EPrev.BaseSpeedup);
+}

@@ -1,0 +1,132 @@
+//===- tests/support_test.cpp - Support library unit tests -----------------==//
+
+#include "support/BitVector.h"
+#include "support/Format.h"
+#include "support/Prng.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace jrpm;
+
+TEST(Format, FormatString) {
+  EXPECT_EQ(formatString("x=%d y=%s", 42, "ok"), "x=42 y=ok");
+  EXPECT_EQ(formatString("%s", ""), "");
+  // Long output must not truncate.
+  std::string Long(500, 'a');
+  EXPECT_EQ(formatString("%s", Long.c_str()), Long);
+}
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(withCommas(0), "0");
+  EXPECT_EQ(withCommas(999), "999");
+  EXPECT_EQ(withCommas(1000), "1,000");
+  EXPECT_EQ(withCommas(98304000), "98,304,000");
+  EXPECT_EQ(withCommas(-1234567), "-1,234,567");
+}
+
+TEST(Format, AsPercent) {
+  EXPECT_EQ(asPercent(0.8491), "84.91%");
+  EXPECT_EQ(asPercent(0.0028), "0.28%");
+  EXPECT_EQ(asPercent(1.0, 0), "100%");
+}
+
+TEST(Format, AsKiloCycles) {
+  EXPECT_EQ(asKiloCycles(18941000), "18941K");
+  EXPECT_EQ(asKiloCycles(18941499), "18941K");
+  EXPECT_EQ(asKiloCycles(18941500), "18942K");
+  EXPECT_EQ(asKiloCycles(0), "0K");
+}
+
+TEST(Prng, DeterministicAcrossInstances) {
+  Prng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Prng, SeedZeroIsValid) {
+  Prng P(0);
+  EXPECT_NE(P.next(), 0u);
+}
+
+TEST(Prng, BoundsRespected) {
+  Prng P(7);
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_LT(P.nextBelow(17), 17u);
+    double D = P.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(BitVector, SetTestReset) {
+  BitVector B(130);
+  EXPECT_FALSE(B.test(0));
+  B.set(0);
+  B.set(64);
+  B.set(129);
+  EXPECT_TRUE(B.test(0));
+  EXPECT_TRUE(B.test(64));
+  EXPECT_TRUE(B.test(129));
+  EXPECT_EQ(B.count(), 3u);
+  B.reset(64);
+  EXPECT_FALSE(B.test(64));
+  EXPECT_EQ(B.count(), 2u);
+}
+
+TEST(BitVector, UnionAndSubtract) {
+  BitVector A(70), B(70);
+  A.set(1);
+  A.set(65);
+  B.set(2);
+  B.set(65);
+  EXPECT_TRUE(A.unionWith(B));
+  EXPECT_TRUE(A.test(1));
+  EXPECT_TRUE(A.test(2));
+  EXPECT_TRUE(A.test(65));
+  // Union with a subset changes nothing.
+  EXPECT_FALSE(A.unionWith(B));
+  A.subtract(B);
+  EXPECT_TRUE(A.test(1));
+  EXPECT_FALSE(A.test(2));
+  EXPECT_FALSE(A.test(65));
+}
+
+TEST(BitVector, Equality) {
+  BitVector A(10), B(10);
+  EXPECT_TRUE(A == B);
+  A.set(3);
+  EXPECT_FALSE(A == B);
+  B.set(3);
+  EXPECT_TRUE(A == B);
+}
+
+TEST(RunningStat, Accumulates) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  S.addSample(2.0);
+  S.addSample(4.0);
+  S.addSample(6.0);
+  EXPECT_EQ(S.count(), 3u);
+  EXPECT_DOUBLE_EQ(S.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 6.0);
+  S.reset();
+  EXPECT_EQ(S.count(), 0u);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable T;
+  T.setHeader({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addSeparator();
+  T.addRow({"long-name", "23"});
+  // Rendering must not crash and should handle missing cells.
+  T.addRow({"only-one"});
+  FILE *Null = fopen("/dev/null", "w");
+  ASSERT_NE(Null, nullptr);
+  T.print(Null);
+  fclose(Null);
+}

@@ -1,0 +1,334 @@
+//===- tests/tracer_engine_test.cpp - Comparator-bank analysis tests -------==//
+//
+// Drives the TraceEngine with synthetic event streams that mirror the
+// paper's Figure 3 and Figure 4 walk-throughs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Config.h"
+#include "tracer/TraceEngine.h"
+
+#include <gtest/gtest.h>
+
+using namespace jrpm;
+using namespace jrpm::tracer;
+
+namespace {
+
+sim::HydraConfig smallConfig() {
+  sim::HydraConfig Cfg;
+  Cfg.ComparatorBanks = 2;
+  Cfg.LocalVarSlots = 4;
+  return Cfg;
+}
+
+std::vector<LoopTraceInfo> loops(std::size_t N,
+                                 std::vector<std::uint16_t> Locals = {}) {
+  std::vector<LoopTraceInfo> L(N);
+  for (auto &Info : L)
+    Info.AnnotatedLocals = Locals;
+  return L;
+}
+
+} // namespace
+
+TEST(TraceEngine, CriticalArcToPreviousThread) {
+  sim::HydraConfig Cfg;
+  TraceEngine E(Cfg, loops(1));
+  E.onLoopStart(0, 1, 100);
+  // Thread 0: two stores.
+  E.onHeapStore(40, 110, 1);
+  E.onHeapStore(44, 118, 2);
+  E.onLoopIter(0, 120); // thread 1 starts
+  // Thread 1 loads both; arcs 130-110=20 and 134-118=16; critical = 16.
+  E.onHeapLoad(40, 130, 3);
+  E.onHeapLoad(44, 134, 4);
+  E.onLoopEnd(0, 140);
+
+  const StlStats &S = E.stats(0);
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_EQ(S.Threads, 2u);
+  EXPECT_EQ(S.Cycles, 40u);
+  EXPECT_EQ(S.CritArcsPrev, 1u);
+  EXPECT_EQ(S.CritLenPrev, 16u);
+  EXPECT_EQ(S.CritArcsEarlier, 0u);
+}
+
+TEST(TraceEngine, ArcToEarlierThreadBinnedSeparately) {
+  sim::HydraConfig Cfg;
+  TraceEngine E(Cfg, loops(1));
+  E.onLoopStart(0, 1, 0);
+  E.onHeapStore(40, 5, 1); // thread 0
+  E.onLoopIter(0, 10);     // thread 1
+  E.onLoopIter(0, 20);     // thread 2
+  E.onHeapLoad(40, 25, 2); // store was before thread 1 start: earlier bin
+  E.onLoopEnd(0, 30);
+  const StlStats &S = E.stats(0);
+  EXPECT_EQ(S.CritArcsPrev, 0u);
+  EXPECT_EQ(S.CritArcsEarlier, 1u);
+  EXPECT_EQ(S.CritLenEarlier, 20u);
+}
+
+TEST(TraceEngine, SameThreadStoreLoadIsNotAnArc) {
+  sim::HydraConfig Cfg;
+  TraceEngine E(Cfg, loops(1));
+  E.onLoopStart(0, 1, 0);
+  E.onHeapStore(40, 5, 1);
+  E.onHeapLoad(40, 8, 2); // same thread
+  E.onLoopEnd(0, 10);
+  EXPECT_EQ(E.stats(0).CritArcsPrev, 0u);
+  EXPECT_EQ(E.stats(0).CritArcsEarlier, 0u);
+}
+
+TEST(TraceEngine, PreLoopStoreIgnored) {
+  sim::HydraConfig Cfg;
+  TraceEngine E(Cfg, loops(1));
+  E.onHeapStore(40, 5, 1); // before the loop
+  E.onLoopStart(0, 1, 10);
+  E.onLoopIter(0, 20);
+  E.onHeapLoad(40, 25, 2); // depends on pre-loop code, not a thread
+  E.onLoopEnd(0, 30);
+  EXPECT_EQ(E.stats(0).CritArcsPrev, 0u);
+  EXPECT_EQ(E.stats(0).CritArcsEarlier, 0u);
+}
+
+TEST(TraceEngine, LocalVariableArcs) {
+  sim::HydraConfig Cfg;
+  TraceEngine E(Cfg, loops(1, {/*reg*/ 7}));
+  E.onLoopStart(0, /*activation*/ 9, 0);
+  E.onLocalStore(9, 7, 4, 1);
+  E.onLoopIter(0, 10);
+  E.onLocalLoad(9, 7, 12, 2); // arc of length 8, like Figure 3's in_p
+  E.onLoopEnd(0, 20);
+  EXPECT_EQ(E.stats(0).CritArcsPrev, 1u);
+  EXPECT_EQ(E.stats(0).CritLenPrev, 8u);
+}
+
+TEST(TraceEngine, LocalsOfOtherActivationsIgnored) {
+  sim::HydraConfig Cfg;
+  TraceEngine E(Cfg, loops(1, {7}));
+  E.onLoopStart(0, 9, 0);
+  E.onLocalStore(42, 7, 4, 1); // different activation: no slot
+  E.onLoopIter(0, 10);
+  E.onLocalLoad(42, 7, 12, 2);
+  E.onLoopEnd(0, 20);
+  EXPECT_EQ(E.stats(0).CritArcsPrev, 0u);
+}
+
+TEST(TraceEngine, OverflowCountsThreadsExceedingStoreLimit) {
+  sim::HydraConfig Cfg;
+  Cfg.SpecStoreLines = 2;
+  TraceEngine E(Cfg, loops(1));
+  E.onLoopStart(0, 1, 0);
+  // Thread 0 writes three distinct lines (words 0, 4, 8).
+  E.onHeapStore(0, 1, 1);
+  E.onHeapStore(4, 2, 1);
+  E.onHeapStore(8, 3, 1);
+  E.onLoopIter(0, 10);
+  // Thread 1 writes a single line twice: no overflow.
+  E.onHeapStore(16, 11, 1);
+  E.onHeapStore(17, 12, 1);
+  E.onLoopEnd(0, 20);
+  const StlStats &S = E.stats(0);
+  EXPECT_EQ(S.Threads, 2u);
+  EXPECT_EQ(S.OverflowThreads, 1u);
+  EXPECT_EQ(S.MaxStoreLines, 3u);
+}
+
+TEST(TraceEngine, OverflowCountsLoadLines) {
+  sim::HydraConfig Cfg;
+  Cfg.SpecLoadLines = 2;
+  TraceEngine E(Cfg, loops(1));
+  E.onLoopStart(0, 1, 0);
+  E.onHeapLoad(0, 1, 1);
+  E.onHeapLoad(4, 2, 1);
+  E.onHeapLoad(8, 3, 1);
+  E.onLoopEnd(0, 10);
+  EXPECT_EQ(E.stats(0).OverflowThreads, 1u);
+  EXPECT_EQ(E.stats(0).MaxLoadLines, 3u);
+}
+
+TEST(TraceEngine, RepeatedLineInSameThreadCountsOnce) {
+  sim::HydraConfig Cfg;
+  TraceEngine E(Cfg, loops(1));
+  E.onLoopStart(0, 1, 0);
+  E.onHeapLoad(0, 1, 1);
+  E.onHeapLoad(1, 2, 1); // same line
+  E.onHeapLoad(2, 3, 1);
+  E.onLoopEnd(0, 10);
+  EXPECT_EQ(E.stats(0).MaxLoadLines, 1u);
+}
+
+TEST(TraceEngine, BankExhaustionSkipsDeepLoops) {
+  sim::HydraConfig Cfg = smallConfig(); // 2 banks
+  TraceEngine E(Cfg, loops(3));
+  E.onLoopStart(0, 1, 0);
+  E.onLoopStart(1, 1, 1);
+  E.onLoopStart(2, 1, 2); // no bank left
+  E.onLoopIter(2, 5);
+  E.onLoopEnd(2, 6);
+  E.onLoopEnd(1, 8);
+  E.onLoopEnd(0, 10);
+  EXPECT_EQ(E.stats(2).Entries, 0u);
+  EXPECT_EQ(E.stats(2).UntracedEntries, 1u);
+  EXPECT_EQ(E.stats(0).Entries, 1u);
+  EXPECT_EQ(E.peakBanksInUse(), 2u);
+}
+
+TEST(TraceEngine, SlotExhaustionSkipsLoop) {
+  sim::HydraConfig Cfg = smallConfig(); // 4 local slots
+  TraceEngine E(Cfg, loops(2, {1, 2, 3}));
+  E.onLoopStart(0, 1, 0); // reserves 3 slots
+  E.onLoopStart(1, 2, 1); // different activation: needs 3 more, only 1 free
+  E.onLoopEnd(1, 5);
+  E.onLoopEnd(0, 10);
+  EXPECT_EQ(E.stats(0).Entries, 1u);
+  EXPECT_EQ(E.stats(1).UntracedEntries, 1u);
+}
+
+TEST(TraceEngine, SharedLocalSlotAcrossNestedLoops) {
+  // The inner loop annotates the same register in the same activation; it
+  // must not reserve a second slot.
+  sim::HydraConfig Cfg = smallConfig();
+  TraceEngine E(Cfg, loops(2, {1, 2, 3}));
+  E.onLoopStart(0, 1, 0);
+  E.onLoopStart(1, 1, 1); // same activation: registers already covered
+  EXPECT_EQ(E.peakLocalSlots(), 3u);
+  E.onLoopEnd(1, 5);
+  E.onLoopEnd(0, 10);
+  EXPECT_EQ(E.stats(1).Entries, 1u);
+}
+
+TEST(TraceEngine, DisableAfterThreadsFreesBank) {
+  sim::HydraConfig Cfg;
+  TraceEngine E(Cfg, loops(1));
+  E.setDisableLoopAfterThreads(2);
+  for (int Entry = 0; Entry < 3; ++Entry) {
+    std::uint64_t T = 100 * Entry;
+    E.onLoopStart(0, 1, T);
+    E.onLoopIter(0, T + 10);
+    E.onLoopEnd(0, T + 20);
+  }
+  // Two threads per traced entry; after the first entry the count (2)
+  // reaches the threshold, so later entries are untraced.
+  EXPECT_EQ(E.stats(0).Threads, 2u);
+  EXPECT_EQ(E.stats(0).UntracedEntries, 2u);
+}
+
+TEST(TraceEngine, DynamicParentsFollowNesting) {
+  sim::HydraConfig Cfg;
+  TraceEngine E(Cfg, loops(3));
+  E.onLoopStart(0, 1, 0);
+  E.onLoopStart(1, 1, 1);
+  E.onLoopEnd(1, 5);
+  E.onLoopEnd(0, 10);
+  E.onLoopStart(2, 1, 20);
+  E.onLoopEnd(2, 25);
+  std::vector<int> P = E.dynamicParents();
+  EXPECT_EQ(P[0], -1);
+  EXPECT_EQ(P[1], 0);
+  EXPECT_EQ(P[2], -1);
+}
+
+TEST(TraceEngine, ReturnClosesOpenBanks) {
+  sim::HydraConfig Cfg;
+  TraceEngine E(Cfg, loops(2));
+  E.onLoopStart(0, 5, 0);
+  E.onLoopStart(1, 5, 10);
+  E.onHeapLoad(0, 15, 1);
+  E.onReturn(5); // both banks belong to activation 5
+  // Stats were finalized; re-entering works normally.
+  EXPECT_EQ(E.stats(0).Entries, 1u);
+  EXPECT_EQ(E.stats(1).Entries, 1u);
+  E.onLoopStart(0, 6, 20);
+  E.onLoopEnd(0, 30);
+  EXPECT_EQ(E.stats(0).Entries, 2u);
+}
+
+TEST(TraceEngine, MismatchedELoopIgnored) {
+  sim::HydraConfig Cfg;
+  TraceEngine E(Cfg, loops(2));
+  E.onLoopStart(0, 1, 0);
+  E.onLoopEnd(1, 5); // loop 1 never started: must not pop loop 0
+  E.onLoopIter(0, 8);
+  E.onLoopEnd(0, 10);
+  EXPECT_EQ(E.stats(0).Threads, 2u);
+  EXPECT_EQ(E.stats(1).Entries, 0u);
+}
+
+TEST(TraceEngine, PcBinningRecordsCriticalArcSites) {
+  sim::HydraConfig Cfg;
+  TraceEngine E(Cfg, loops(1), /*ExtendedPcBinning=*/true);
+  E.onLoopStart(0, 1, 0);
+  E.onHeapStore(40, 4, 1);
+  E.onHeapStore(44, 6, 1);
+  E.onLoopIter(0, 10);
+  E.onHeapLoad(40, 12, /*Pc=*/101); // len 8
+  E.onHeapLoad(44, 18, /*Pc=*/102); // len 12: not critical
+  E.onLoopEnd(0, 20);
+  const StlStats &S = E.stats(0);
+  ASSERT_EQ(S.PcBins.size(), 1u);
+  EXPECT_EQ(S.PcBins.begin()->first, 101);
+  EXPECT_EQ(S.PcBins.begin()->second.CriticalArcs, 1u);
+  EXPECT_EQ(S.PcBins.begin()->second.AccumulatedLength, 8u);
+}
+
+TEST(TraceEngine, HistoryFifoLimitsArcDetection) {
+  sim::HydraConfig Cfg;
+  Cfg.HeapTimestampFifoLines = 2;
+  TraceEngine E(Cfg, loops(1));
+  E.onLoopStart(0, 1, 0);
+  E.onHeapStore(0, 1, 1);   // line 0
+  E.onHeapStore(16, 2, 1);  // line 4
+  E.onHeapStore(32, 3, 1);  // line 8 -> line 0 evicted
+  E.onLoopIter(0, 10);
+  E.onHeapLoad(0, 12, 2); // history lost: no arc
+  E.onLoopEnd(0, 20);
+  EXPECT_EQ(E.stats(0).CritArcsPrev, 0u);
+}
+
+TEST(TraceEngine, SlotsReleasedInStackOrderAcrossNesting) {
+  // Three nested loops each reserving locals; the eloop order releases
+  // them innermost-first and the file ends empty (reusable).
+  sim::HydraConfig Cfg;
+  Cfg.LocalVarSlots = 8;
+  std::vector<LoopTraceInfo> Infos(3);
+  Infos[0].AnnotatedLocals = {1, 2};
+  Infos[1].AnnotatedLocals = {3};
+  Infos[2].AnnotatedLocals = {4, 5, 6};
+  TraceEngine E(Cfg, Infos);
+  for (int Round = 0; Round < 3; ++Round) {
+    std::uint64_t T = Round * 100;
+    E.onLoopStart(0, 1, T);
+    E.onLoopStart(1, 1, T + 1);
+    E.onLoopStart(2, 1, T + 2);
+    E.onLoopEnd(2, T + 10);
+    E.onLoopEnd(1, T + 20);
+    E.onLoopEnd(0, T + 30);
+  }
+  EXPECT_EQ(E.peakLocalSlots(), 6u);
+  EXPECT_EQ(E.stats(0).Entries, 3u);
+  EXPECT_EQ(E.stats(2).Entries, 3u);
+}
+
+TEST(TraceEngine, OutOfOrderELoopClosesInnerBanks) {
+  // An eloop for the outer loop with the inner still open (a return-like
+  // unwinding) must close the inner bank too and keep slot accounting
+  // consistent for later entries.
+  sim::HydraConfig Cfg;
+  std::vector<LoopTraceInfo> Infos(2);
+  Infos[0].AnnotatedLocals = {1};
+  Infos[1].AnnotatedLocals = {2};
+  TraceEngine E(Cfg, Infos);
+  E.onLoopStart(0, 1, 0);
+  E.onLoopStart(1, 1, 5);
+  E.onLoopEnd(0, 20); // inner (1) never closed explicitly
+  EXPECT_EQ(E.stats(1).Entries, 1u);
+  // The slot file must be empty again: a fresh deep nest fits.
+  E.onLoopStart(0, 2, 100);
+  E.onLoopStart(1, 2, 105);
+  E.onLoopEnd(1, 110);
+  E.onLoopEnd(0, 120);
+  EXPECT_EQ(E.stats(0).Entries, 2u);
+  EXPECT_EQ(E.stats(1).Entries, 2u);
+}

@@ -1,0 +1,85 @@
+//===- tests/tracer_stores_test.cpp - Timestamp storage unit tests ---------==//
+
+#include "tracer/TimestampStores.h"
+
+#include <gtest/gtest.h>
+
+using namespace jrpm;
+using namespace jrpm::tracer;
+
+TEST(HeapStoreTimestamps, RecordsAndLooksUpWords) {
+  HeapStoreTimestamps H(/*CapacityLines=*/4, /*WordsPerLine=*/4);
+  EXPECT_EQ(H.lookup(100), NoTimestamp);
+  H.recordStore(100, 55);
+  EXPECT_EQ(H.lookup(100), 55u);
+  // Same line, different word: independent timestamps.
+  H.recordStore(101, 77);
+  EXPECT_EQ(H.lookup(100), 55u);
+  EXPECT_EQ(H.lookup(101), 77u);
+  EXPECT_EQ(H.lookup(102), NoTimestamp);
+}
+
+TEST(HeapStoreTimestamps, FifoEvictsOldestLine) {
+  HeapStoreTimestamps H(2, 4);
+  H.recordStore(0, 1);  // line 0
+  H.recordStore(4, 2);  // line 1
+  H.recordStore(8, 3);  // line 2 -> evicts line 0
+  EXPECT_EQ(H.lookup(0), NoTimestamp);
+  EXPECT_EQ(H.lookup(4), 2u);
+  EXPECT_EQ(H.lookup(8), 3u);
+}
+
+TEST(HeapStoreTimestamps, RewriteDoesNotGrow) {
+  HeapStoreTimestamps H(2, 4);
+  H.recordStore(0, 1);
+  H.recordStore(1, 2); // same line
+  H.recordStore(4, 3);
+  H.recordStore(0, 9); // overwrite word 0, still same line
+  EXPECT_EQ(H.lookup(0), 9u);
+  EXPECT_EQ(H.lookup(4), 3u);
+}
+
+TEST(CacheLineTimestamps, DirectMappedExchange) {
+  CacheLineTimestampTable T(/*NumEntries=*/4, /*WordsPerLine=*/4);
+  EXPECT_EQ(T.exchange(0, 10), NoTimestamp);
+  EXPECT_EQ(T.exchange(1, 20), 10u); // same line: returns old
+  // 4 entries x 4 words: address 64 maps to the same set as address 0
+  // (line 16 % 4 == line 0 % 4) with a different tag -> miss, evict.
+  EXPECT_EQ(T.exchange(64, 30), NoTimestamp);
+  EXPECT_EQ(T.exchange(0, 40), NoTimestamp); // was evicted
+}
+
+TEST(CacheLineTimestamps, AssociativeAvoidsConflict) {
+  CacheLineTimestampTable T(/*NumEntries=*/4, /*WordsPerLine=*/4,
+                            /*Associativity=*/2);
+  // Two lines mapping to the same set coexist with 2-way associativity.
+  EXPECT_EQ(T.exchange(0, 10), NoTimestamp);
+  EXPECT_EQ(T.exchange(32, 20), NoTimestamp); // line 8, set 0 with 2 sets
+  EXPECT_EQ(T.exchange(0, 30), 10u);
+  EXPECT_EQ(T.exchange(32, 40), 20u);
+}
+
+TEST(LocalVarTimestamps, StackDiscipline) {
+  LocalVarTimestampFile F(8);
+  int A = F.reserve(3);
+  ASSERT_EQ(A, 0);
+  int B = F.reserve(4);
+  ASSERT_EQ(B, 3);
+  EXPECT_EQ(F.used(), 7u);
+  // Full: a reservation of 2 must fail.
+  EXPECT_EQ(F.reserve(2), -1);
+  F.write(4, 99);
+  EXPECT_EQ(F.read(4), 99u);
+  F.release(3, 4);
+  EXPECT_EQ(F.used(), 3u);
+  // Slots are cleared on (re-)reservation.
+  int C = F.reserve(4);
+  ASSERT_EQ(C, 3);
+  EXPECT_EQ(F.read(4), NoTimestamp);
+}
+
+TEST(LocalVarTimestamps, ZeroSizedReservation) {
+  LocalVarTimestampFile F(4);
+  EXPECT_EQ(F.reserve(0), 0);
+  EXPECT_EQ(F.used(), 0u);
+}

@@ -1,0 +1,101 @@
+//===- tests/workloads_test.cpp - Full-suite integration tests -------------==//
+//
+// Parameterized over all 26 Table 6 benchmarks: the whole Jrpm pipeline
+// must run, speculative execution must be bit-identical to sequential
+// execution, and profiling overhead must stay within the paper's ballpark.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jrpm/Pipeline.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace jrpm;
+using namespace jrpm::pipeline;
+
+class WorkloadSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadSuite, PipelineRunsAndTlsMatchesSequential) {
+  const workloads::Workload *W = workloads::findWorkload(GetParam());
+  ASSERT_NE(W, nullptr);
+  Jrpm J(W->Build(), PipelineConfig{});
+  PipelineResult R = J.runAll();
+
+  // Determinism of the sequential baseline.
+  auto Again = J.runPlain();
+  EXPECT_EQ(Again.Cycles, R.PlainRun.Cycles);
+  EXPECT_EQ(Again.ReturnValue, R.PlainRun.ReturnValue);
+
+  // TLS correctness: speculative execution preserves sequential semantics.
+  EXPECT_EQ(R.TlsRun.ReturnValue, R.PlainRun.ReturnValue)
+      << "speculative result diverged for " << W->Name;
+
+  // TEST hardware profiling overhead stays mild (paper: 3-25%; we accept
+  // up to 60% before calling it a regression).
+  EXPECT_LT(R.profilingSlowdown(), 1.6) << W->Name;
+  EXPECT_GE(R.profilingSlowdown(), 1.0) << W->Name;
+
+  // The tracer must have seen every annotated loop entry it claims.
+  EXPECT_LE(R.PeakBanksInUse, J.config().Hw.ComparatorBanks);
+
+  // TLS never slows the program beyond mild overhead.
+  EXPECT_GT(R.actualSpeedup(), 0.8) << W->Name;
+}
+
+TEST_P(WorkloadSuite, SelectionIsStableAcrossProfilingLevels) {
+  const workloads::Workload *W = workloads::findWorkload(GetParam());
+  PipelineConfig Base;
+  Base.Level = jit::AnnotationLevel::Base;
+  Jrpm J(W->Build(), Base);
+  auto P = J.profileAndSelect();
+  // Selected loops must be traced, non-rejected candidates.
+  for (std::uint32_t L : P.Selection.SelectedLoops) {
+    EXPECT_GT(P.Selection.Loops[L].Stats.Threads, 0u);
+    EXPECT_FALSE(J.moduleAnalysis().candidate(L).Rejected);
+  }
+}
+
+namespace {
+
+std::vector<std::string> allNames() {
+  std::vector<std::string> Names;
+  for (const auto &W : workloads::allWorkloads())
+    Names.push_back(W.Name);
+  return Names;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Table6, WorkloadSuite,
+                         ::testing::ValuesIn(allNames()),
+                         [](const ::testing::TestParamInfo<std::string> &I) {
+                           std::string Name = I.param;
+                           for (char &C : Name)
+                             if (!isalnum(static_cast<unsigned char>(C)))
+                               C = '_';
+                           return Name;
+                         });
+
+#include "workloads/Builders.h"
+
+TEST(DataSetSensitivity, SelectionMovesDownTheNestOnLargeInputs) {
+  // Section 6.1: larger data sets overflow speculative state when
+  // speculating high in a nest, pushing selection toward inner loops.
+  auto AvgSelectedHeight = [](std::int64_t N) {
+    pipeline::Jrpm J(workloads::buildAssignmentSized(N),
+                     PipelineConfig{});
+    auto P = J.profileAndSelect();
+    double Sum = 0;
+    std::uint32_t Count = 0;
+    for (const auto &Rep : P.Selection.Loops) {
+      if (!Rep.Selected || Rep.Coverage <= 0.005)
+        continue;
+      const auto &C = J.moduleAnalysis().candidate(Rep.LoopId);
+      Sum += J.moduleAnalysis().func(C.FuncIndex).LI.heightOf(C.LoopIdx);
+      ++Count;
+    }
+    return Count ? Sum / Count : 0.0;
+  };
+  EXPECT_GT(AvgSelectedHeight(51), AvgSelectedHeight(288));
+}

@@ -1,0 +1,289 @@
+//===- tools/jrpm_run.cpp - Command-line driver for the Jrpm pipeline ------==//
+//
+// Usage:
+//   jrpm-run list
+//       List the Table 6 workloads.
+//   jrpm-run run <workload> [options]
+//       Run the full pipeline (sequential baseline, TEST profiling, STL
+//       selection, speculative execution) and print a summary.
+//   jrpm-run report <workload> [options]
+//       Like `run`, plus the per-loop TEST statistics, Equation 1
+//       estimates, PC-binned dependency sites, and TLS engine counters.
+//   jrpm-run dump-ir <workload>
+//       Print the lowered IR of the workload.
+//   jrpm-run trace <workload> [--events <n>]
+//       Print the first n annotated-execution trace events (default 40).
+//
+// Options:
+//   --base             use base (unoptimized) annotations
+//   --sync             synchronize globalized loop locals (Section 3.2)
+//   --line-grain       per-line violation detection instead of per-word
+//   --banks <n>        number of comparator banks (default 8)
+//   --history <n>      heap store-timestamp FIFO lines (default 192)
+//   --disable-after <n> stop tracing a loop after n threads (default off)
+//
+//===----------------------------------------------------------------------===//
+
+#include "jrpm/Pipeline.h"
+#include "support/Format.h"
+#include "support/Table.h"
+#include "workloads/Workload.h"
+
+#include "analysis/Candidates.h"
+#include "jit/Annotator.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace jrpm;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: jrpm-run list\n"
+               "       jrpm-run run <workload> [options]\n"
+               "       jrpm-run report <workload> [options]\n"
+               "       jrpm-run dump-ir <workload>\n"
+               "options: --base --sync --line-grain --banks <n> "
+               "--history <n> --disable-after <n>\n");
+  return 2;
+}
+
+int listWorkloads() {
+  TextTable T;
+  T.setHeader({"Name", "Category", "Description", "Data set"});
+  for (const auto &W : workloads::allWorkloads())
+    T.addRow({W.Name, W.Category, W.Description, W.DataSet});
+  T.print();
+  return 0;
+}
+
+/// Prints the first N events of the annotated run, for debugging
+/// annotation placement and tracer behaviour.
+class EventPrinter : public interp::TraceSink {
+public:
+  explicit EventPrinter(std::uint64_t Limit) : Remaining(Limit) {}
+
+  std::uint32_t onHeapLoad(std::uint32_t Addr, std::uint64_t Cycle,
+                           std::int32_t Pc) override {
+    emit(formatString("%8llu  LD   addr=%u pc=%d",
+                      (unsigned long long)Cycle, Addr, Pc));
+    return 0;
+  }
+  std::uint32_t onHeapStore(std::uint32_t Addr, std::uint64_t Cycle,
+                            std::int32_t Pc) override {
+    emit(formatString("%8llu  ST   addr=%u pc=%d",
+                      (unsigned long long)Cycle, Addr, Pc));
+    return 0;
+  }
+  std::uint32_t onLocalLoad(std::uint64_t Act, std::uint16_t Reg,
+                            std::uint64_t Cycle, std::int32_t) override {
+    emit(formatString("%8llu  lwl  r%u act=%llu", (unsigned long long)Cycle,
+                      Reg, (unsigned long long)Act));
+    return 0;
+  }
+  std::uint32_t onLocalStore(std::uint64_t Act, std::uint16_t Reg,
+                             std::uint64_t Cycle, std::int32_t) override {
+    emit(formatString("%8llu  swl  r%u act=%llu", (unsigned long long)Cycle,
+                      Reg, (unsigned long long)Act));
+    return 0;
+  }
+  std::uint32_t onLoopStart(std::uint32_t LoopId, std::uint64_t,
+                            std::uint64_t Cycle) override {
+    emit(formatString("%8llu  sloop #%u", (unsigned long long)Cycle,
+                      LoopId));
+    return 0;
+  }
+  std::uint32_t onLoopIter(std::uint32_t LoopId,
+                           std::uint64_t Cycle) override {
+    emit(formatString("%8llu  eoi   #%u", (unsigned long long)Cycle,
+                      LoopId));
+    return 0;
+  }
+  std::uint32_t onLoopEnd(std::uint32_t LoopId,
+                          std::uint64_t Cycle) override {
+    emit(formatString("%8llu  eloop #%u", (unsigned long long)Cycle,
+                      LoopId));
+    return 0;
+  }
+  void onReturn(std::uint64_t) override {}
+
+private:
+  void emit(const std::string &Line) {
+    if (!Remaining)
+      return;
+    --Remaining;
+    std::printf("%s\n", Line.c_str());
+  }
+  std::uint64_t Remaining;
+};
+
+struct Options {
+  pipeline::PipelineConfig Cfg;
+  bool Ok = true;
+};
+
+Options parseOptions(int Argc, char **Argv, int First) {
+  Options O;
+  O.Cfg.ExtendedPcBinning = true;
+  for (int I = First; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto NextInt = [&](std::uint32_t &Out) {
+      if (I + 1 >= Argc) {
+        O.Ok = false;
+        return;
+      }
+      Out = static_cast<std::uint32_t>(std::atoi(Argv[++I]));
+    };
+    if (A == "--base")
+      O.Cfg.Level = jit::AnnotationLevel::Base;
+    else if (A == "--sync")
+      O.Cfg.Hw.SyncCarriedLocals = true;
+    else if (A == "--line-grain")
+      O.Cfg.Hw.ViolationGrain = sim::ViolationGranularity::Line;
+    else if (A == "--banks")
+      NextInt(O.Cfg.Hw.ComparatorBanks);
+    else if (A == "--history")
+      NextInt(O.Cfg.Hw.HeapTimestampFifoLines);
+    else if (A == "--disable-after") {
+      std::uint32_t N = 0;
+      NextInt(N);
+      O.Cfg.DisableLoopAfterThreads = N;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", A.c_str());
+      O.Ok = false;
+    }
+  }
+  return O;
+}
+
+void printSummary(const pipeline::PipelineResult &R) {
+  std::printf("sequential   : %s cycles (checksum %llu)\n",
+              withCommas(static_cast<std::int64_t>(R.PlainRun.Cycles))
+                  .c_str(),
+              (unsigned long long)R.PlainRun.ReturnValue);
+  std::printf("profiling    : %s cycles (%.1f%% slowdown, peak banks %u, "
+              "peak local slots %u)\n",
+              withCommas(static_cast<std::int64_t>(R.ProfiledRun.Cycles))
+                  .c_str(),
+              (R.profilingSlowdown() - 1.0) * 100.0, R.PeakBanksInUse,
+              R.PeakLocalSlots);
+  std::printf("selection    : %zu of %zu loops, predicted speedup %.2fx\n",
+              R.Selection.SelectedLoops.size(), R.Selection.Loops.size(),
+              R.Selection.PredictedSpeedup);
+  std::printf("speculative  : %s cycles (checksum %llu) -> %.2fx actual\n",
+              withCommas(static_cast<std::int64_t>(R.TlsRun.Cycles)).c_str(),
+              (unsigned long long)R.TlsRun.ReturnValue, R.actualSpeedup());
+  std::printf("verification : %s\n",
+              R.TlsRun.ReturnValue == R.PlainRun.ReturnValue
+                  ? "speculative result identical to sequential"
+                  : "MISMATCH — engine bug");
+}
+
+void printLoopReport(const pipeline::Jrpm &J,
+                     const pipeline::PipelineResult &R) {
+  TextTable T;
+  T.setHeader({"loop", "state", "cov%", "threads", "thr size", "arcs(t-1)",
+               "arc len", "ovf%", "Eq.1", "violations", "restarts"});
+  for (const auto &Rep : R.Selection.Loops) {
+    const analysis::CandidateStl &C = J.moduleAnalysis().candidate(
+        Rep.LoopId);
+    std::string State = C.Rejected ? "rejected"
+                        : Rep.Stats.Threads == 0
+                            ? "untraced"
+                            : (Rep.Selected ? "SELECTED" : "candidate");
+    std::uint64_t Violations = 0, Restarts = 0;
+    auto It = R.TlsLoopStats.find(Rep.LoopId);
+    if (It != R.TlsLoopStats.end()) {
+      Violations = It->second.Violations;
+      Restarts = It->second.Restarts;
+    }
+    T.addRow({formatString("#%u", Rep.LoopId), State,
+              formatString("%.1f", Rep.Coverage * 100),
+              formatString("%llu",
+                           (unsigned long long)Rep.Stats.Threads),
+              formatString("%.0f", Rep.Stats.avgThreadSize()),
+              formatString("%llu",
+                           (unsigned long long)Rep.Stats.CritArcsPrev),
+              formatString("%.0f", Rep.Stats.avgArcPrev()),
+              formatString("%.1f", Rep.Stats.overflowFreq() * 100),
+              formatString("%.2f", Rep.Estimate.Speedup),
+              formatString("%llu", (unsigned long long)Violations),
+              formatString("%llu", (unsigned long long)Restarts)});
+  }
+  T.print();
+
+  // PC-binned dependency sites of selected loops (extended mode).
+  for (const auto &Rep : R.Selection.Loops) {
+    if (!Rep.Selected || Rep.Stats.PcBins.empty())
+      continue;
+    std::printf("\nloop #%u dependency sites (extended TEST):\n",
+                Rep.LoopId);
+    for (const auto &[Pc, Bin] : Rep.Stats.PcBins)
+      std::printf("  load pc=%-6d critical arcs=%-8llu avg length=%.0f\n",
+                  Pc, (unsigned long long)Bin.CriticalArcs,
+                  Bin.averageLength());
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Cmd = Argv[1];
+  if (Cmd == "list")
+    return listWorkloads();
+  if (Argc < 3)
+    return usage();
+
+  const workloads::Workload *W = workloads::findWorkload(Argv[2]);
+  if (!W) {
+    std::fprintf(stderr, "unknown workload '%s' (try: jrpm-run list)\n",
+                 Argv[2]);
+    return 2;
+  }
+
+  if (Cmd == "dump-ir") {
+    std::string Text = W->Build().dump();
+    std::fputs(Text.c_str(), stdout);
+    return 0;
+  }
+
+  if (Cmd == "trace") {
+    std::uint64_t Events = 40;
+    for (int I = 3; I + 1 < Argc; ++I)
+      if (std::string(Argv[I]) == "--events")
+        Events = static_cast<std::uint64_t>(std::atoll(Argv[I + 1]));
+    ir::Module M = W->Build();
+    analysis::ModuleAnalysis MA(M);
+    jit::AnnotatedModule AM =
+        jit::annotateModule(M, MA, jit::AnnotationLevel::Optimized);
+    EventPrinter Printer(Events);
+    interp::Machine Machine(AM.Module, sim::HydraConfig{});
+    Machine.setTraceSink(&Printer);
+    Machine.run();
+    return 0;
+  }
+
+  Options O = parseOptions(Argc, Argv, 3);
+  if (!O.Ok)
+    return usage();
+
+  if (Cmd == "run" || Cmd == "report") {
+    pipeline::Jrpm J(W->Build(), O.Cfg);
+    pipeline::PipelineResult R = J.runAll();
+    std::printf("== %s (%s) ==\n", W->Name.c_str(), W->Category.c_str());
+    printSummary(R);
+    if (Cmd == "report") {
+      std::printf("\n");
+      printLoopReport(J, R);
+    }
+    return R.TlsRun.ReturnValue == R.PlainRun.ReturnValue ? 0 : 1;
+  }
+  return usage();
+}
