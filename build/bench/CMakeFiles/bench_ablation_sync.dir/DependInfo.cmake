@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_sync.cpp" "bench/CMakeFiles/bench_ablation_sync.dir/bench_ablation_sync.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_sync.dir/bench_ablation_sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jrpm/CMakeFiles/jrpm_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/jrpm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcost/CMakeFiles/jrpm_hwcost.dir/DependInfo.cmake"
+  "/root/repo/build/src/hydra/CMakeFiles/jrpm_hydra.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/jrpm_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracer/CMakeFiles/jrpm_tracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/jrpm_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/jrpm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/jrpm_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/jrpm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jrpm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

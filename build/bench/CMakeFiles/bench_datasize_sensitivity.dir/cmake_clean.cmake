@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datasize_sensitivity.dir/bench_datasize_sensitivity.cpp.o"
+  "CMakeFiles/bench_datasize_sensitivity.dir/bench_datasize_sensitivity.cpp.o.d"
+  "bench_datasize_sensitivity"
+  "bench_datasize_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datasize_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

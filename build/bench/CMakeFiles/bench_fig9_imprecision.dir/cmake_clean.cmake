@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_imprecision.dir/bench_fig9_imprecision.cpp.o"
+  "CMakeFiles/bench_fig9_imprecision.dir/bench_fig9_imprecision.cpp.o.d"
+  "bench_fig9_imprecision"
+  "bench_fig9_imprecision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_imprecision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_hw.dir/bench_future_hw.cpp.o"
+  "CMakeFiles/bench_future_hw.dir/bench_future_hw.cpp.o.d"
+  "bench_future_hw"
+  "bench_future_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

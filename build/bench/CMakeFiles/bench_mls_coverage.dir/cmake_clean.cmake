@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mls_coverage.dir/bench_mls_coverage.cpp.o"
+  "CMakeFiles/bench_mls_coverage.dir/bench_mls_coverage.cpp.o.d"
+  "bench_mls_coverage"
+  "bench_mls_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mls_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pc_binning.dir/bench_pc_binning.cpp.o"
+  "CMakeFiles/bench_pc_binning.dir/bench_pc_binning.cpp.o.d"
+  "bench_pc_binning"
+  "bench_pc_binning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pc_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

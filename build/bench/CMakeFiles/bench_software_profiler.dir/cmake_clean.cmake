@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_software_profiler.dir/bench_software_profiler.cpp.o"
+  "CMakeFiles/bench_software_profiler.dir/bench_software_profiler.cpp.o.d"
+  "bench_software_profiler"
+  "bench_software_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_software_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

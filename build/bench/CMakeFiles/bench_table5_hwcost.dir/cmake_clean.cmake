@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_hwcost.dir/bench_table5_hwcost.cpp.o"
+  "CMakeFiles/bench_table5_hwcost.dir/bench_table5_hwcost.cpp.o.d"
+  "bench_table5_hwcost"
+  "bench_table5_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

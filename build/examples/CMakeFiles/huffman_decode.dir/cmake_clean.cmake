@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/huffman_decode.dir/huffman_decode.cpp.o"
+  "CMakeFiles/huffman_decode.dir/huffman_decode.cpp.o.d"
+  "huffman_decode"
+  "huffman_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/huffman_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_tuning.dir/loop_tuning.cpp.o"
+  "CMakeFiles/loop_tuning.dir/loop_tuning.cpp.o.d"
+  "loop_tuning"
+  "loop_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("frontend")
+subdirs("analysis")
+subdirs("sim")
+subdirs("interp")
+subdirs("tracer")
+subdirs("jit")
+subdirs("hydra")
+subdirs("workloads")
+subdirs("hwcost")
+subdirs("jrpm")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_analysis.dir/Candidates.cpp.o"
+  "CMakeFiles/jrpm_analysis.dir/Candidates.cpp.o.d"
+  "CMakeFiles/jrpm_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/jrpm_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/jrpm_analysis.dir/InductionInfo.cpp.o"
+  "CMakeFiles/jrpm_analysis.dir/InductionInfo.cpp.o.d"
+  "CMakeFiles/jrpm_analysis.dir/Liveness.cpp.o"
+  "CMakeFiles/jrpm_analysis.dir/Liveness.cpp.o.d"
+  "CMakeFiles/jrpm_analysis.dir/LoopInfo.cpp.o"
+  "CMakeFiles/jrpm_analysis.dir/LoopInfo.cpp.o.d"
+  "libjrpm_analysis.a"
+  "libjrpm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_frontend.dir/Ast.cpp.o"
+  "CMakeFiles/jrpm_frontend.dir/Ast.cpp.o.d"
+  "CMakeFiles/jrpm_frontend.dir/Lower.cpp.o"
+  "CMakeFiles/jrpm_frontend.dir/Lower.cpp.o.d"
+  "libjrpm_frontend.a"
+  "libjrpm_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_hwcost.dir/TransistorModel.cpp.o"
+  "CMakeFiles/jrpm_hwcost.dir/TransistorModel.cpp.o.d"
+  "libjrpm_hwcost.a"
+  "libjrpm_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_hydra.dir/TlsCodegen.cpp.o"
+  "CMakeFiles/jrpm_hydra.dir/TlsCodegen.cpp.o.d"
+  "CMakeFiles/jrpm_hydra.dir/TlsEngine.cpp.o"
+  "CMakeFiles/jrpm_hydra.dir/TlsEngine.cpp.o.d"
+  "libjrpm_hydra.a"
+  "libjrpm_hydra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_hydra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_interp.dir/ExecContext.cpp.o"
+  "CMakeFiles/jrpm_interp.dir/ExecContext.cpp.o.d"
+  "CMakeFiles/jrpm_interp.dir/Machine.cpp.o"
+  "CMakeFiles/jrpm_interp.dir/Machine.cpp.o.d"
+  "libjrpm_interp.a"
+  "libjrpm_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_ir.dir/IR.cpp.o"
+  "CMakeFiles/jrpm_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/jrpm_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/jrpm_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/jrpm_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/jrpm_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/jrpm_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/jrpm_ir.dir/Verifier.cpp.o.d"
+  "libjrpm_ir.a"
+  "libjrpm_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

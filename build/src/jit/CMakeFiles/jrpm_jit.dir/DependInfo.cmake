@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jit/Annotator.cpp" "src/jit/CMakeFiles/jrpm_jit.dir/Annotator.cpp.o" "gcc" "src/jit/CMakeFiles/jrpm_jit.dir/Annotator.cpp.o.d"
+  "/root/repo/src/jit/TlsPlan.cpp" "src/jit/CMakeFiles/jrpm_jit.dir/TlsPlan.cpp.o" "gcc" "src/jit/CMakeFiles/jrpm_jit.dir/TlsPlan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/jrpm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracer/CMakeFiles/jrpm_tracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/jrpm_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/jrpm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jrpm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

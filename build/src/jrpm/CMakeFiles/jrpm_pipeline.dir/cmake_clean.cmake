@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_pipeline.dir/Pipeline.cpp.o"
+  "CMakeFiles/jrpm_pipeline.dir/Pipeline.cpp.o.d"
+  "libjrpm_pipeline.a"
+  "libjrpm_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_support.dir/Format.cpp.o"
+  "CMakeFiles/jrpm_support.dir/Format.cpp.o.d"
+  "CMakeFiles/jrpm_support.dir/Table.cpp.o"
+  "CMakeFiles/jrpm_support.dir/Table.cpp.o.d"
+  "libjrpm_support.a"
+  "libjrpm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm_tracer.dir/Selector.cpp.o"
+  "CMakeFiles/jrpm_tracer.dir/Selector.cpp.o.d"
+  "CMakeFiles/jrpm_tracer.dir/SpeedupModel.cpp.o"
+  "CMakeFiles/jrpm_tracer.dir/SpeedupModel.cpp.o.d"
+  "CMakeFiles/jrpm_tracer.dir/TraceEngine.cpp.o"
+  "CMakeFiles/jrpm_tracer.dir/TraceEngine.cpp.o.d"
+  "libjrpm_tracer.a"
+  "libjrpm_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Assignment.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/Assignment.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/Assignment.cpp.o.d"
+  "/root/repo/src/workloads/BitOps.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/BitOps.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/BitOps.cpp.o.d"
+  "/root/repo/src/workloads/Compress.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/Compress.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/Compress.cpp.o.d"
+  "/root/repo/src/workloads/Db.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/Db.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/Db.cpp.o.d"
+  "/root/repo/src/workloads/DecJpeg.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/DecJpeg.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/DecJpeg.cpp.o.d"
+  "/root/repo/src/workloads/DeltaBlue.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/DeltaBlue.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/DeltaBlue.cpp.o.d"
+  "/root/repo/src/workloads/EmFloatPnt.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/EmFloatPnt.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/EmFloatPnt.cpp.o.d"
+  "/root/repo/src/workloads/EncJpeg.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/EncJpeg.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/EncJpeg.cpp.o.d"
+  "/root/repo/src/workloads/Euler.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/Euler.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/Euler.cpp.o.d"
+  "/root/repo/src/workloads/Fft.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/Fft.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/Fft.cpp.o.d"
+  "/root/repo/src/workloads/FourierTest.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/FourierTest.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/FourierTest.cpp.o.d"
+  "/root/repo/src/workloads/H263Dec.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/H263Dec.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/H263Dec.cpp.o.d"
+  "/root/repo/src/workloads/Huffman.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/Huffman.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/Huffman.cpp.o.d"
+  "/root/repo/src/workloads/Idea.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/Idea.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/Idea.cpp.o.d"
+  "/root/repo/src/workloads/JLex.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/JLex.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/JLex.cpp.o.d"
+  "/root/repo/src/workloads/Jess.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/Jess.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/Jess.cpp.o.d"
+  "/root/repo/src/workloads/LuFactor.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/LuFactor.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/LuFactor.cpp.o.d"
+  "/root/repo/src/workloads/MipsSimulator.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/MipsSimulator.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/MipsSimulator.cpp.o.d"
+  "/root/repo/src/workloads/Moldyn.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/Moldyn.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/Moldyn.cpp.o.d"
+  "/root/repo/src/workloads/MonteCarlo.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/MonteCarlo.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/MonteCarlo.cpp.o.d"
+  "/root/repo/src/workloads/Mp3.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/Mp3.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/Mp3.cpp.o.d"
+  "/root/repo/src/workloads/MpegVideo.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/MpegVideo.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/MpegVideo.cpp.o.d"
+  "/root/repo/src/workloads/NeuralNet.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/NeuralNet.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/NeuralNet.cpp.o.d"
+  "/root/repo/src/workloads/NumHeapSort.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/NumHeapSort.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/NumHeapSort.cpp.o.d"
+  "/root/repo/src/workloads/Raytrace.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/Raytrace.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/Raytrace.cpp.o.d"
+  "/root/repo/src/workloads/Registry.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/Registry.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/Registry.cpp.o.d"
+  "/root/repo/src/workloads/Shallow.cpp" "src/workloads/CMakeFiles/jrpm_workloads.dir/Shallow.cpp.o" "gcc" "src/workloads/CMakeFiles/jrpm_workloads.dir/Shallow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/jrpm_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/jrpm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jrpm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/jrpm_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/jrpm_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/annotator_test.cpp" "tests/CMakeFiles/jrpm_tests.dir/annotator_test.cpp.o" "gcc" "tests/CMakeFiles/jrpm_tests.dir/annotator_test.cpp.o.d"
+  "/root/repo/tests/frontend_test.cpp" "tests/CMakeFiles/jrpm_tests.dir/frontend_test.cpp.o" "gcc" "tests/CMakeFiles/jrpm_tests.dir/frontend_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/jrpm_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/jrpm_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/hwcost_test.cpp" "tests/CMakeFiles/jrpm_tests.dir/hwcost_test.cpp.o" "gcc" "tests/CMakeFiles/jrpm_tests.dir/hwcost_test.cpp.o.d"
+  "/root/repo/tests/hydra_test.cpp" "tests/CMakeFiles/jrpm_tests.dir/hydra_test.cpp.o" "gcc" "tests/CMakeFiles/jrpm_tests.dir/hydra_test.cpp.o.d"
+  "/root/repo/tests/interp_test.cpp" "tests/CMakeFiles/jrpm_tests.dir/interp_test.cpp.o" "gcc" "tests/CMakeFiles/jrpm_tests.dir/interp_test.cpp.o.d"
+  "/root/repo/tests/ir_test.cpp" "tests/CMakeFiles/jrpm_tests.dir/ir_test.cpp.o" "gcc" "tests/CMakeFiles/jrpm_tests.dir/ir_test.cpp.o.d"
+  "/root/repo/tests/mls_test.cpp" "tests/CMakeFiles/jrpm_tests.dir/mls_test.cpp.o" "gcc" "tests/CMakeFiles/jrpm_tests.dir/mls_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/jrpm_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/jrpm_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/selector_test.cpp" "tests/CMakeFiles/jrpm_tests.dir/selector_test.cpp.o" "gcc" "tests/CMakeFiles/jrpm_tests.dir/selector_test.cpp.o.d"
+  "/root/repo/tests/speedup_model_test.cpp" "tests/CMakeFiles/jrpm_tests.dir/speedup_model_test.cpp.o" "gcc" "tests/CMakeFiles/jrpm_tests.dir/speedup_model_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/jrpm_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/jrpm_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/tracer_engine_test.cpp" "tests/CMakeFiles/jrpm_tests.dir/tracer_engine_test.cpp.o" "gcc" "tests/CMakeFiles/jrpm_tests.dir/tracer_engine_test.cpp.o.d"
+  "/root/repo/tests/tracer_stores_test.cpp" "tests/CMakeFiles/jrpm_tests.dir/tracer_stores_test.cpp.o" "gcc" "tests/CMakeFiles/jrpm_tests.dir/tracer_stores_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/jrpm_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/jrpm_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jrpm/CMakeFiles/jrpm_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/jrpm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcost/CMakeFiles/jrpm_hwcost.dir/DependInfo.cmake"
+  "/root/repo/build/src/hydra/CMakeFiles/jrpm_hydra.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/jrpm_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracer/CMakeFiles/jrpm_tracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/jrpm_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/jrpm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/jrpm_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/jrpm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jrpm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

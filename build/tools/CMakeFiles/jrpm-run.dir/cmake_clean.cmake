@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrpm-run.dir/jrpm_run.cpp.o"
+  "CMakeFiles/jrpm-run.dir/jrpm_run.cpp.o.d"
+  "jrpm-run"
+  "jrpm-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrpm-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
