@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the tier-1 test suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+# Usage: scripts/ci_sanitize.sh [extra cmake args...]
+#
+# Configures a dedicated build tree with -DJRPM_SANITIZE=ON (see the option
+# in the top-level CMakeLists.txt), builds everything, and runs ctest.
+# Sanitizer failures are fatal (-fno-sanitize-recover=all), so any report
+# fails the suite.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-sanitize"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "${BUILD}" -S "${ROOT}" -DJRPM_SANITIZE=ON "$@"
+cmake --build "${BUILD}" -j"${JOBS}"
+ctest --test-dir "${BUILD}" --output-on-failure -j"${JOBS}"

@@ -1,0 +1,123 @@
+//===- analysis/AliasClasses.cpp ------------------------------------------==//
+
+#include "analysis/AliasClasses.h"
+
+#include "ir/RegUse.h"
+
+#include <unordered_map>
+
+using namespace jrpm;
+using namespace jrpm::analysis;
+
+bool AliasSet::disjointFrom(const AliasSet &Other) const {
+  if (Unknown || Other.Unknown)
+    return false;
+  BitVector Tmp = Sites;
+  Tmp.subtract(Other.Sites);
+  // Disjoint iff removing the other set changes nothing, i.e. no shared bit.
+  return Tmp == Sites;
+}
+
+AliasClasses::AliasClasses(const ir::Function &F) {
+  // Number the Alloc sites.
+  std::unordered_map<const ir::Instruction *, std::uint32_t> SiteOf;
+  for (const ir::BasicBlock &BB : F.Blocks)
+    for (const ir::Instruction &I : BB.Instructions)
+      if (I.Op == ir::Opcode::Alloc)
+        SiteOf.emplace(&I, NumSites++);
+
+  Sets.resize(F.NumRegs);
+  for (AliasSet &S : Sets)
+    S.Sites = BitVector(NumSites);
+
+  // Parameters can carry pointers from the caller.
+  for (std::uint32_t P = 0; P < F.NumParams && P < F.NumRegs; ++P)
+    Sets[P].Unknown = true;
+
+  // Flow-insensitive fixpoint: every definition merges into its register's
+  // summary. Mov/AddImm propagate; additive arithmetic unions (pointer plus
+  // offset in either operand); anything else that produces a value a later
+  // address could be built from is Unknown.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const ir::BasicBlock &BB : F.Blocks) {
+      for (const ir::Instruction &I : BB.Instructions) {
+        std::uint16_t Dst = ir::definedReg(I);
+        if (Dst == ir::NoReg || Dst >= F.NumRegs)
+          continue;
+        AliasSet &D = Sets[Dst];
+        auto MergeReg = [&](std::uint16_t R) {
+          if (R == ir::NoReg || R >= F.NumRegs)
+            return;
+          const AliasSet &S = Sets[R];
+          if (S.Unknown && !D.Unknown) {
+            D.Unknown = true;
+            Changed = true;
+          }
+          Changed |= D.Sites.unionWith(S.Sites);
+        };
+        switch (I.Op) {
+        case ir::Opcode::Alloc: {
+          std::uint32_t Site = SiteOf.at(&I);
+          if (!D.Sites.test(Site)) {
+            D.Sites.set(Site);
+            Changed = true;
+          }
+          break;
+        }
+        case ir::Opcode::Mov:
+        case ir::Opcode::AddImm:
+          MergeReg(I.A);
+          break;
+        case ir::Opcode::Add:
+        case ir::Opcode::Sub:
+          MergeReg(I.A);
+          MergeReg(I.B);
+          break;
+        case ir::Opcode::ConstI:
+        case ir::Opcode::ConstF:
+          // Constants are pure scalars: empty set.
+          break;
+        case ir::Opcode::CmpEQ:
+        case ir::Opcode::CmpNE:
+        case ir::Opcode::CmpLT:
+        case ir::Opcode::CmpLE:
+        case ir::Opcode::CmpGT:
+        case ir::Opcode::CmpGE:
+        case ir::Opcode::FCmpEQ:
+        case ir::Opcode::FCmpLT:
+        case ir::Opcode::FCmpLE:
+          // Comparison results are 0/1 flags, never addresses.
+          break;
+        default:
+          // Load, Call, Mul, Div, float ops, conversions, ...: the result
+          // may encode a pointer we cannot track.
+          if (!D.Unknown) {
+            D.Unknown = true;
+            Changed = true;
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+AliasSet AliasClasses::addressSet(std::uint16_t A, std::uint16_t B) const {
+  AliasSet Out;
+  Out.Sites = BitVector(NumSites);
+  bool AnyReg = false;
+  for (std::uint16_t R : {A, B}) {
+    if (R == ir::NoReg || R >= Sets.size())
+      continue;
+    AnyReg = true;
+    Out.Unknown |= Sets[R].Unknown;
+    Out.Sites.unionWith(Sets[R].Sites);
+  }
+  // An address built from no register, or only from registers with no known
+  // site, is an absolute heap address: it can alias anything.
+  if (!Out.Unknown && (!AnyReg || Out.Sites.count() == 0))
+    Out.Unknown = true;
+  return Out;
+}

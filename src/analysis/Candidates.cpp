@@ -15,6 +15,25 @@ FunctionAnalysis::FunctionAnalysis(const ir::Function &F)
   LoopScalars.reserve(LI.loops().size());
   for (const Loop &L : LI.loops())
     LoopScalars.push_back(analyzeLoopScalars(F, L, DT, LV));
+  MemDep = std::make_unique<MemDepAnalysis>(F, DT, LI, LoopScalars);
+}
+
+const char *analysis::rejectKindName(RejectKind Kind) {
+  switch (Kind) {
+  case RejectKind::None:
+    return "none";
+  case RejectKind::ReturnsFromFunction:
+    return "returns";
+  case RejectKind::AllocatesHeap:
+    return "allocates";
+  case RejectKind::CallsAllocator:
+    return "calls-allocator";
+  case RejectKind::SerialCarriedScalar:
+    return "serial-scalar";
+  case RejectKind::SerialMemoryRecurrence:
+    return "serial-memory";
+  }
+  return "none";
 }
 
 /// Returns true if \p Reg is used before any definition in \p Block.
@@ -85,7 +104,9 @@ static std::vector<bool> computeTransitiveAlloc(const ir::Module &M) {
   return Allocates;
 }
 
-ModuleAnalysis::ModuleAnalysis(const ir::Module &Mod) : M(Mod) {
+ModuleAnalysis::ModuleAnalysis(const ir::Module &Mod,
+                               const AnalysisOptions &Opts)
+    : M(Mod) {
   Funcs.reserve(M.Functions.size());
   for (const ir::Function &F : M.Functions)
     Funcs.push_back(std::make_unique<FunctionAnalysis>(F));
@@ -114,13 +135,16 @@ ModuleAnalysis::ModuleAnalysis(const ir::Module &Mod) : M(Mod) {
         for (const ir::Instruction &I : F.Blocks[B].Instructions) {
           if (I.Op == ir::Opcode::Ret) {
             C.Rejected = true;
+            C.Kind = RejectKind::ReturnsFromFunction;
             C.RejectReason = "loop body returns from the function";
           } else if (I.Op == ir::Opcode::Alloc) {
             C.Rejected = true;
+            C.Kind = RejectKind::AllocatesHeap;
             C.RejectReason = "loop body allocates heap memory";
           } else if (I.Op == ir::Opcode::Call &&
                      FuncAllocates[static_cast<std::uint32_t>(I.Imm)]) {
             C.Rejected = true;
+            C.Kind = RejectKind::CallsAllocator;
             C.RejectReason = "loop body calls an allocating function";
           }
         }
@@ -129,6 +153,7 @@ ModuleAnalysis::ModuleAnalysis(const ir::Module &Mod) : M(Mod) {
       for (std::uint16_t Reg : Scalars.OtherCarried) {
         if (isObviousSerializer(F, L, Reg)) {
           C.Rejected = true;
+          C.Kind = RejectKind::SerialCarriedScalar;
           C.RejectReason = "carried scalar stored at end of body and loaded "
                            "at start of body";
         }
@@ -138,6 +163,24 @@ ModuleAnalysis::ModuleAnalysis(const ir::Module &Mod) : M(Mod) {
           C.AnnotatedLocals.push_back(Reg);
       }
       std::sort(C.AnnotatedLocals.begin(), C.AnnotatedLocals.end());
+
+      // The static dependence pre-filter (flag-gated; off reproduces the
+      // paper's optimistic policy exactly). A loop whose every iteration
+      // reloads at the header a cell stored at the latch, with the whole
+      // store-to-reload window inside the forwarding budget, can never
+      // produce an arc the speedup model values above 1x — profiling it
+      // would only pay Figure-6 overhead for a guaranteed "no".
+      if (Opts.StaticPrefilter && !C.Rejected) {
+        const LoopMemDep &MD = FA.MemDep->loopDep(LIdx);
+        if (MD.Serial.Found &&
+            MD.Serial.WindowCycles <= Opts.SerialArcBudget) {
+          C.Rejected = true;
+          C.Kind = RejectKind::SerialMemoryRecurrence;
+          C.RejectReason = "serial memory recurrence: header reloads a cell "
+                           "stored at every latch within the forwarding "
+                           "budget";
+        }
+      }
       Candidates.push_back(std::move(C));
     }
   }

@@ -16,6 +16,7 @@
 #include "analysis/InductionInfo.h"
 #include "analysis/Liveness.h"
 #include "analysis/LoopInfo.h"
+#include "analysis/MemDep.h"
 #include "ir/IR.h"
 
 #include <memory>
@@ -34,6 +35,38 @@ struct FunctionAnalysis {
   Liveness LV;
   /// Scalar classification per loop (parallel to LI.loops()).
   std::vector<InductionInfo> LoopScalars;
+  /// Memory dependence summary per loop (parallel to LI.loops()).
+  std::unique_ptr<MemDepAnalysis> MemDep;
+};
+
+/// Why a loop was removed from the candidate list. The paper's optimistic
+/// policy (Section 4.1) covers the first four kinds; SerialMemoryRecurrence
+/// is the flag-gated static pre-filter on top of it.
+enum class RejectKind : std::uint8_t {
+  None,
+  ReturnsFromFunction,
+  AllocatesHeap,
+  CallsAllocator,
+  SerialCarriedScalar,
+  SerialMemoryRecurrence,
+};
+
+/// Returns a short stable name for \p Kind (for tables and logs).
+const char *rejectKindName(RejectKind Kind);
+
+/// Tuning knobs for candidate screening.
+struct AnalysisOptions {
+  /// Enables the static dependence pre-filter: loops whose memory traffic
+  /// provably serialises every iteration pair are rejected before they are
+  /// ever annotated, saving their share of the Figure-6 profiling
+  /// slowdown. Off by default so the paper-figure benches keep measuring
+  /// the paper's optimistic policy.
+  bool StaticPrefilter = false;
+  /// A serial memory recurrence is rejected only when its worst-case
+  /// store-to-reload window is at most this many cycles — i.e. the
+  /// cross-iteration arc can never beat the Hydra forwarding delay
+  /// (sim::HydraConfig::StoreLoadCommCycles, default 10).
+  std::uint32_t SerialArcBudget = 10;
 };
 
 /// One potential STL (or a rejected loop, kept for reporting).
@@ -42,6 +75,7 @@ struct CandidateStl {
   std::uint32_t LoopIdx = 0; // index into the function's LoopInfo
   std::uint32_t LoopId = 0;  // module-global id, used by annotations
   bool Rejected = false;
+  RejectKind Kind = RejectKind::None;
   std::string RejectReason;
   /// Carried named locals needing `lwl`/`swl` annotations, in slot order.
   std::vector<std::uint16_t> AnnotatedLocals;
@@ -50,7 +84,8 @@ struct CandidateStl {
 /// Module-wide analysis results and candidate list.
 class ModuleAnalysis {
 public:
-  explicit ModuleAnalysis(const ir::Module &M);
+  explicit ModuleAnalysis(const ir::Module &M,
+                          const AnalysisOptions &Opts = {});
 
   const FunctionAnalysis &func(std::uint32_t F) const { return *Funcs[F]; }
   const std::vector<CandidateStl> &candidates() const { return Candidates; }

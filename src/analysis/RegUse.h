@@ -1,62 +1,20 @@
 //===- analysis/RegUse.h - Per-instruction register use/def ----------------==//
+//
+// The implementation moved to ir/RegUse.h so the IR verifier can share it;
+// this header keeps the analysis-namespace spelling every pass uses.
+//
+//===----------------------------------------------------------------------===//
 
 #ifndef JRPM_ANALYSIS_REGUSE_H
 #define JRPM_ANALYSIS_REGUSE_H
 
-#include "ir/Instruction.h"
+#include "ir/RegUse.h"
 
 namespace jrpm {
 namespace analysis {
 
-/// Calls \p Fn for every register \p I reads. Annotation opcodes are
-/// observers and report no uses.
-template <typename FnT> void forEachUsedReg(const ir::Instruction &I, FnT Fn) {
-  using ir::NoReg;
-  using ir::Opcode;
-  switch (I.Op) {
-  case Opcode::Store:
-    if (I.Dst != NoReg)
-      Fn(I.Dst); // the stored value
-    if (I.A != NoReg)
-      Fn(I.A);
-    if (I.B != NoReg)
-      Fn(I.B);
-    return;
-  case Opcode::CondBr:
-  case Opcode::Arg:
-    Fn(I.A);
-    return;
-  case Opcode::Ret:
-    if (I.A != NoReg)
-      Fn(I.A);
-    return;
-  case Opcode::Br:
-  case Opcode::ConstI:
-  case Opcode::ConstF:
-  case Opcode::Call:
-  case Opcode::SLoop:
-  case Opcode::Eoi:
-  case Opcode::ELoop:
-  case Opcode::LwlAnno:
-  case Opcode::SwlAnno:
-  case Opcode::ReadStats:
-  case Opcode::Nop:
-    return;
-  default:
-    if (I.A != NoReg)
-      Fn(I.A);
-    if (I.B != NoReg)
-      Fn(I.B);
-    return;
-  }
-}
-
-/// Returns the register \p I defines, or NoReg.
-inline std::uint16_t definedReg(const ir::Instruction &I) {
-  if (!ir::definesDst(I.Op))
-    return ir::NoReg;
-  return I.Dst;
-}
+using ir::definedReg;
+using ir::forEachUsedReg;
 
 } // namespace analysis
 } // namespace jrpm

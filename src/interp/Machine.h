@@ -90,7 +90,7 @@ struct RunResult {
 class Machine {
 public:
   Machine(const ir::Module &M, const sim::HydraConfig &Cfg)
-      : M(M), Cfg(Cfg), Ctx(M, Cfg), Port(TheHeap, Cfg) {}
+      : M(M), Cfg(Cfg), Ctx(M, this->Cfg), Port(TheHeap, this->Cfg) {}
 
   void setTraceSink(TraceSink *S) { Sink = S; }
   void setDispatcher(LoopDispatcher *D) { Dispatcher = D; }
@@ -106,7 +106,9 @@ public:
 
 private:
   const ir::Module &M;
-  const sim::HydraConfig &Cfg;
+  /// Held by value: callers routinely pass temporaries, and the contexts
+  /// below keep references into this copy for the machine's lifetime.
+  sim::HydraConfig Cfg;
   Heap TheHeap;
   ExecContext Ctx;
   DirectMemoryPort Port;

@@ -1,0 +1,206 @@
+//===- ir/AnnotationVerifier.cpp ------------------------------------------==//
+
+#include "ir/AnnotationVerifier.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+
+using namespace jrpm;
+using namespace jrpm::ir;
+
+namespace {
+
+using LoopStack = std::vector<std::uint32_t>;
+
+class AnnotationVerifierImpl {
+public:
+  AnnotationVerifierImpl(const Module &M,
+                         const std::vector<LoopAnnotationInfo> &Loops)
+      : M(M), Loops(Loops) {}
+
+  std::vector<std::string> run() {
+    for (std::uint32_t F = 0; F < M.Functions.size(); ++F)
+      verifyFunction(F);
+    return std::move(Errors);
+  }
+
+private:
+  void report(std::string Message) { Errors.push_back(std::move(Message)); }
+
+  bool validLoopId(std::int64_t Id) const {
+    return Id >= 0 && Id < static_cast<std::int64_t>(Loops.size());
+  }
+
+  bool watched(const LoopStack &Stack, std::uint16_t Reg) const {
+    for (std::uint32_t Id : Stack) {
+      const auto &Regs = Loops[Id].AnnotatedLocals;
+      if (std::find(Regs.begin(), Regs.end(), Reg) != Regs.end())
+        return true;
+    }
+    return false;
+  }
+
+  /// Walks \p BB from \p Stack, reporting violations and returning the
+  /// stack at the block's end (nullopt after an unrecoverable mismatch).
+  std::optional<LoopStack> walkBlock(const Function &F, std::uint32_t FIdx,
+                                     std::uint32_t B, LoopStack Stack) {
+    for (const Instruction &I : F.Blocks[B].Instructions) {
+      switch (I.Op) {
+      case Opcode::SLoop:
+        if (!validLoopId(I.Imm)) {
+          report(formatString("func %u bb%u: sloop with unknown loop id %lld",
+                              FIdx, B, static_cast<long long>(I.Imm)));
+          return std::nullopt;
+        }
+        if (std::find(Stack.begin(), Stack.end(),
+                      static_cast<std::uint32_t>(I.Imm)) != Stack.end()) {
+          report(formatString("func %u bb%u: sloop %lld while loop %lld is "
+                              "already active",
+                              FIdx, B, static_cast<long long>(I.Imm),
+                              static_cast<long long>(I.Imm)));
+          return std::nullopt;
+        }
+        if (I.Imm2 != static_cast<std::int32_t>(
+                          Loops[static_cast<std::size_t>(I.Imm)]
+                              .AnnotatedLocals.size()))
+          report(formatString(
+              "func %u bb%u: sloop %lld declares %d locals, trace info has %u",
+              FIdx, B, static_cast<long long>(I.Imm), I.Imm2,
+              static_cast<std::uint32_t>(
+                  Loops[static_cast<std::size_t>(I.Imm)]
+                      .AnnotatedLocals.size())));
+        Stack.push_back(static_cast<std::uint32_t>(I.Imm));
+        SawSLoop.insert(static_cast<std::uint32_t>(I.Imm));
+        break;
+      case Opcode::Eoi:
+        if (Stack.empty() ||
+            Stack.back() != static_cast<std::uint32_t>(I.Imm)) {
+          report(formatString(
+              "func %u bb%u: eoi %lld does not match innermost active loop",
+              FIdx, B, static_cast<long long>(I.Imm)));
+          return std::nullopt;
+        }
+        break;
+      case Opcode::ELoop:
+        if (Stack.empty() ||
+            Stack.back() != static_cast<std::uint32_t>(I.Imm)) {
+          report(formatString(
+              "func %u bb%u: eloop %lld does not match innermost active loop",
+              FIdx, B, static_cast<long long>(I.Imm)));
+          return std::nullopt;
+        }
+        Stack.pop_back();
+        break;
+      case Opcode::ReadStats:
+        // Fires after its eloop, outside the loop: only the id must exist.
+        if (!validLoopId(I.Imm))
+          report(formatString(
+              "func %u bb%u: readstats with unknown loop id %lld", FIdx, B,
+              static_cast<long long>(I.Imm)));
+        break;
+      case Opcode::LwlAnno:
+      case Opcode::SwlAnno: {
+        const char *Name = I.Op == Opcode::LwlAnno ? "lwl" : "swl";
+        if (!watched(Stack, I.A)) {
+          report(formatString(
+              "func %u bb%u: %s r%u outside any loop watching that local",
+              FIdx, B, Name, I.A));
+        } else if (I.Op == Opcode::SwlAnno) {
+          for (std::uint32_t Id : Stack) {
+            const auto &Regs = Loops[Id].AnnotatedLocals;
+            if (std::find(Regs.begin(), Regs.end(), I.A) != Regs.end())
+              SwlSeen[Id].insert(I.A);
+          }
+        }
+        break;
+      }
+      case Opcode::Ret:
+        if (!Stack.empty()) {
+          report(formatString(
+              "func %u bb%u: return while loop %u is still active (missing "
+              "eloop)",
+              FIdx, B, Stack.back()));
+          return std::nullopt;
+        }
+        break;
+      default:
+        break;
+      }
+    }
+    return Stack;
+  }
+
+  void verifyFunction(std::uint32_t FIdx) {
+    const Function &F = M.Functions[FIdx];
+    if (F.Blocks.empty() || !F.Blocks[0].hasTerminator())
+      return; // structurally broken; the structural verifier reports it
+
+    // Forward dataflow of the active-loop stack. Every join must agree:
+    // two paths reaching one block with different stacks means some path
+    // skips an eoi/eloop and the tracer's bank bookkeeping diverges.
+    std::map<std::uint32_t, LoopStack> AtEntry;
+    std::deque<std::uint32_t> Work;
+    AtEntry[0] = {};
+    Work.push_back(0);
+    std::set<std::uint32_t> Done;
+    while (!Work.empty()) {
+      std::uint32_t B = Work.front();
+      Work.pop_front();
+      if (Done.count(B))
+        continue;
+      Done.insert(B);
+      std::optional<LoopStack> Exit = walkBlock(F, FIdx, B, AtEntry[B]);
+      if (!Exit)
+        return; // unrecoverable: later checks would cascade
+      if (!F.Blocks[B].hasTerminator())
+        continue;
+      std::vector<std::uint32_t> Succs;
+      F.Blocks[B].appendSuccessors(Succs);
+      for (std::uint32_t S : Succs) {
+        auto It = AtEntry.find(S);
+        if (It == AtEntry.end()) {
+          AtEntry[S] = *Exit;
+          Work.push_back(S);
+        } else if (It->second != *Exit) {
+          report(formatString(
+              "func %u bb%u: inconsistent loop nesting at join (from bb%u)",
+              FIdx, S, B));
+          return;
+        }
+      }
+    }
+
+    // Coverage: every local the trace info promises to watch must produce
+    // at least one swl inside the loop (each carried local is defined in
+    // the loop, and even optimized annotation keeps the last definition).
+    for (std::uint32_t Id : SawSLoop) {
+      for (std::uint16_t Reg : Loops[Id].AnnotatedLocals)
+        if (!SwlSeen[Id].count(Reg))
+          report(formatString(
+              "func %u: loop %u watches r%u but no swl annotates it", FIdx,
+              Id, Reg));
+    }
+    SawSLoop.clear();
+    SwlSeen.clear();
+  }
+
+  const Module &M;
+  const std::vector<LoopAnnotationInfo> &Loops;
+  std::vector<std::string> Errors;
+  /// Loops whose sloop marker appeared in the current function.
+  std::set<std::uint32_t> SawSLoop;
+  std::map<std::uint32_t, std::set<std::uint16_t>> SwlSeen;
+};
+
+} // namespace
+
+std::vector<std::string>
+ir::verifyAnnotations(const Module &M,
+                      const std::vector<LoopAnnotationInfo> &Loops) {
+  return AnnotationVerifierImpl(M, Loops).run();
+}

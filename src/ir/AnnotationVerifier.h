@@ -1,0 +1,44 @@
+//===- ir/AnnotationVerifier.h - Lint for profiling annotations ------------==//
+//
+// Static checks over an annotated module, run after pipeline step 1
+// (annotation) and usable on any transformed module: `sloop`/`eoi`/`eloop`
+// markers must nest like balanced brackets along every control-flow path,
+// every path joining two others must agree on the active loop stack, and
+// the `lwl`/`swl` local-variable annotations must match the per-loop
+// annotated-locals lists the tracer was configured with (`sloop` slot
+// counts included). The tracer trusts these invariants — a stray `eoi`
+// charges the wrong comparator bank, an unbalanced `eloop` corrupts the
+// bank free-list — so the lint turns silent statistics corruption into a
+// pipeline-time failure.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_IR_ANNOTATIONVERIFIER_H
+#define JRPM_IR_ANNOTATIONVERIFIER_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jrpm {
+namespace ir {
+
+/// What the verifier needs to know about one candidate loop: the named
+/// locals the annotator promised to watch (mirrors the tracer's
+/// LoopTraceInfo, which lives above this layer).
+struct LoopAnnotationInfo {
+  std::vector<std::uint16_t> AnnotatedLocals;
+};
+
+/// Lints the annotation structure of \p M against the per-loop watch lists
+/// \p Loops (indexed by loop id). Returns all violations found; empty means
+/// the module is safe to profile.
+std::vector<std::string>
+verifyAnnotations(const Module &M, const std::vector<LoopAnnotationInfo> &Loops);
+
+} // namespace ir
+} // namespace jrpm
+
+#endif // JRPM_IR_ANNOTATIONVERIFIER_H

@@ -2,6 +2,8 @@
 
 #include "ir/Verifier.h"
 
+#include "ir/RegUse.h"
+#include "support/BitVector.h"
 #include "support/Format.h"
 
 using namespace jrpm;
@@ -54,6 +56,213 @@ private:
 
     for (std::uint32_t B = 0; B < F.numBlocks(); ++B)
       verifyBlock(F, FIdx, B);
+
+    bool Structural = true;
+    for (const BasicBlock &BB : F.Blocks)
+      Structural &= BB.hasTerminator();
+    if (Structural && F.NumRegs > 0) {
+      verifyDefBeforeUse(F, FIdx);
+      verifyTypes(F, FIdx);
+    }
+  }
+
+  /// Must-defined dataflow over compiler temporaries: every temporary read
+  /// must be written on *every* path from the entry to the use. Parameters
+  /// arrive defined, and named locals are zero-initialised by the machine
+  /// (source programs may legally read a local before assigning it), so
+  /// both count as defined at entry; only unnamed temporaries — which the
+  /// frontend guarantees to define right before their uses — are checked.
+  void verifyDefBeforeUse(const Function &F, std::uint32_t FIdx) {
+    std::uint32_t N = F.numBlocks();
+    BitVector Universe(F.NumRegs);
+    for (std::uint32_t R = 0; R < F.NumRegs; ++R)
+      Universe.set(R);
+
+    std::vector<BitVector> In(N, Universe), Out(N, Universe);
+    In[0] = BitVector(F.NumRegs);
+    for (std::uint32_t P = 0; P < F.NumParams; ++P)
+      In[0].set(P);
+    for (const auto &[Name, Reg] : F.NamedLocals)
+      if (Reg < F.NumRegs)
+        In[0].set(Reg);
+
+    auto Transfer = [&](std::uint32_t B, const BitVector &InSet) {
+      BitVector R = InSet;
+      for (const Instruction &I : F.Blocks[B].Instructions) {
+        std::uint16_t D = definedReg(I);
+        if (D != NoReg && D < F.NumRegs)
+          R.set(D);
+      }
+      return R;
+    };
+    auto Intersect = [](BitVector &X, const BitVector &Y) {
+      BitVector Diff = X;
+      Diff.subtract(Y);
+      X.subtract(Diff); // X & Y, via X - (X - Y)
+    };
+
+    auto Preds = F.computePredecessors();
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (std::uint32_t B = 0; B < N; ++B) {
+        if (B != 0 && !Preds[B].empty()) {
+          BitVector NewIn = Universe;
+          for (std::uint32_t P : Preds[B])
+            Intersect(NewIn, Out[P]);
+          if (!(NewIn == In[B])) {
+            In[B] = NewIn;
+            Changed = true;
+          }
+        }
+        BitVector NewOut = Transfer(B, In[B]);
+        if (!(NewOut == Out[B])) {
+          Out[B] = NewOut;
+          Changed = true;
+        }
+      }
+    }
+
+    // Unreachable blocks keep the universal set and stay silent; the dead
+    // code cannot read anything at run time.
+    for (std::uint32_t B = 0; B < N; ++B) {
+      BitVector Defined = In[B];
+      for (std::uint32_t Idx = 0; Idx < F.Blocks[B].Instructions.size();
+           ++Idx) {
+        const Instruction &I = F.Blocks[B].Instructions[Idx];
+        forEachUsedReg(I, [&](std::uint16_t R) {
+          if (R < F.NumRegs && !Defined.test(R))
+            report(formatString(
+                "func %u bb%u i%u: r%u may be read before any definition",
+                FIdx, B, Idx, R));
+        });
+        std::uint16_t D = definedReg(I);
+        if (D != NoReg && D < F.NumRegs)
+          Defined.set(D);
+      }
+    }
+  }
+
+  /// Flow-insensitive register typing. The IR stores doubles as bit
+  /// patterns in the same registers as integers, so only two definite
+  /// mismatches are flagged: an integer-only register fed to a floating
+  /// point operation, and a float-only register used to address memory.
+  /// Mixed (reinterpreting) registers and untyped sources (loads, calls,
+  /// zero constants) are left alone.
+  enum class RegType : std::uint8_t { Unknown, Int, Float, Mixed };
+
+  void verifyTypes(const Function &F, std::uint32_t FIdx) {
+    std::vector<RegType> Ty(F.NumRegs, RegType::Unknown);
+    auto Join = [](RegType A, RegType B) {
+      if (A == RegType::Unknown || A == B)
+        return B == RegType::Unknown ? A : B;
+      if (B == RegType::Unknown)
+        return A;
+      return RegType::Mixed;
+    };
+    auto DefType = [&](const Instruction &I) {
+      switch (I.Op) {
+      case Opcode::ConstI:
+        return I.Imm == 0 ? RegType::Unknown : RegType::Int;
+      case Opcode::ConstF:
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::FMul:
+      case Opcode::FDiv:
+      case Opcode::FNeg:
+      case Opcode::FSqrt:
+      case Opcode::IToF:
+        return RegType::Float;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::AddImm:
+      case Opcode::CmpEQ:
+      case Opcode::CmpNE:
+      case Opcode::CmpLT:
+      case Opcode::CmpLE:
+      case Opcode::CmpGT:
+      case Opcode::CmpGE:
+      case Opcode::FCmpEQ:
+      case Opcode::FCmpLT:
+      case Opcode::FCmpLE:
+      case Opcode::FToI:
+      case Opcode::Alloc:
+        return RegType::Int;
+      case Opcode::Mov:
+        return I.A < F.NumRegs ? Ty[I.A] : RegType::Unknown;
+      default:
+        return RegType::Unknown; // Load, Call: untyped sources
+      }
+    };
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const BasicBlock &BB : F.Blocks)
+        for (const Instruction &I : BB.Instructions) {
+          std::uint16_t D = definedReg(I);
+          if (D == NoReg || D >= F.NumRegs)
+            continue;
+          RegType New = Join(Ty[D], DefType(I));
+          if (New != Ty[D]) {
+            Ty[D] = New;
+            Changed = true;
+          }
+        }
+    }
+
+    auto CheckFloatUse = [&](std::uint16_t R, std::uint32_t B,
+                             const char *Which) {
+      if (R != NoReg && R < F.NumRegs && Ty[R] == RegType::Int)
+        report(formatString(
+            "func %u bb%u: integer register r%u used as %s operand", FIdx, B,
+            R, Which));
+    };
+    auto CheckAddrUse = [&](std::uint16_t R, std::uint32_t B,
+                            const char *Which) {
+      if (R != NoReg && R < F.NumRegs && Ty[R] == RegType::Float)
+        report(formatString(
+            "func %u bb%u: float register r%u used as %s operand", FIdx, B, R,
+            Which));
+    };
+
+    for (std::uint32_t B = 0; B < F.numBlocks(); ++B)
+      for (const Instruction &I : F.Blocks[B].Instructions)
+        switch (I.Op) {
+        case Opcode::FAdd:
+        case Opcode::FSub:
+        case Opcode::FMul:
+        case Opcode::FDiv:
+        case Opcode::FCmpEQ:
+        case Opcode::FCmpLT:
+        case Opcode::FCmpLE:
+          CheckFloatUse(I.A, B, "float");
+          CheckFloatUse(I.B, B, "float");
+          break;
+        case Opcode::FNeg:
+        case Opcode::FSqrt:
+        case Opcode::FToI:
+          CheckFloatUse(I.A, B, "float");
+          break;
+        case Opcode::Load:
+        case Opcode::Store:
+          CheckAddrUse(I.A, B, "address base");
+          CheckAddrUse(I.B, B, "address index");
+          break;
+        case Opcode::Alloc:
+          CheckAddrUse(I.A, B, "allocation size");
+          break;
+        default:
+          break;
+        }
   }
 
   void verifyBlock(const Function &F, std::uint32_t FIdx, std::uint32_t B) {

@@ -47,6 +47,14 @@ struct TlsLoopPlan {
 TlsLoopPlan buildTlsPlan(const analysis::ModuleAnalysis &MA,
                          const analysis::CandidateStl &C);
 
+/// Lints \p Plan against \p M before the Hydra TLS engine trusts it
+/// (pipeline step 4): indices in range, body blocks sorted and containing
+/// the header, the register classes (globalized / inductor / reduction)
+/// disjoint, and no instruction the TLS recompiler cannot speculate
+/// (returns, heap allocation) inside the body. Returns all violations.
+std::vector<std::string> verifyTlsPlan(const ir::Module &M,
+                                       const TlsLoopPlan &Plan);
+
 } // namespace jit
 } // namespace jrpm
 

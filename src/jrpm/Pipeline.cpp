@@ -2,12 +2,30 @@
 
 #include "jrpm/Pipeline.h"
 
+#include "ir/AnnotationVerifier.h"
+#include "support/Compiler.h"
+
 using namespace jrpm;
 using namespace jrpm::pipeline;
 
+namespace {
+
+void failOnErrors(const char *Stage, const std::vector<std::string> &Errors) {
+  if (Errors.empty())
+    return;
+  for (const std::string &E : Errors)
+    std::fprintf(stderr, "%s: %s\n", Stage, E.c_str());
+  JRPM_FATAL("pipeline verification failed");
+}
+
+} // namespace
+
 Jrpm::Jrpm(ir::Module Program, PipelineConfig Config)
     : M(std::move(Program)), Cfg(std::move(Config)) {
-  MA = std::make_unique<analysis::ModuleAnalysis>(M);
+  analysis::AnalysisOptions Opts;
+  Opts.StaticPrefilter = Cfg.StaticPrefilter;
+  Opts.SerialArcBudget = Cfg.SerialArcBudget;
+  MA = std::make_unique<analysis::ModuleAnalysis>(M, Opts);
 }
 
 interp::RunResult Jrpm::runPlain(const std::vector<std::uint64_t> &Args) {
@@ -17,9 +35,17 @@ interp::RunResult Jrpm::runPlain(const std::vector<std::uint64_t> &Args) {
 
 Jrpm::ProfileOutcome
 Jrpm::profileAndSelect(const std::vector<std::uint64_t> &Args) {
-  if (!Annotated)
+  if (!Annotated) {
     Annotated = std::make_unique<jit::AnnotatedModule>(
         jit::annotateModule(M, *MA, Cfg.Level));
+    // Step-1 lint: the tracer trusts marker nesting and lwl/swl coverage.
+    std::vector<ir::LoopAnnotationInfo> Infos;
+    Infos.reserve(Annotated->LoopInfos.size());
+    for (const tracer::LoopTraceInfo &Info : Annotated->LoopInfos)
+      Infos.push_back({Info.AnnotatedLocals});
+    failOnErrors("annotation verifier",
+                 ir::verifyAnnotations(Annotated->Module, Infos));
+  }
 
   Tracer = std::make_unique<tracer::TraceEngine>(
       Cfg.Hw, Annotated->LoopInfos, Cfg.ExtendedPcBinning);
@@ -46,6 +72,8 @@ Jrpm::runSpeculative(const tracer::SelectionResult &Selection,
     if (C.Rejected)
       continue;
     Plans.push_back(jit::buildTlsPlan(*MA, C));
+    // Step-4 lint: the Hydra engine executes the plan unchecked.
+    failOnErrors("tls plan verifier", jit::verifyTlsPlan(M, Plans.back()));
   }
   hydra::TlsEngine Engine(M, Cfg.Hw, std::move(Plans));
   interp::Machine Machine(M, Cfg.Hw);

@@ -31,6 +31,13 @@ struct PipelineConfig {
   bool ExtendedPcBinning = false;
   /// Forwarded to TraceEngine::setDisableLoopAfterThreads.
   std::uint64_t DisableLoopAfterThreads = 0;
+  /// Enables the static dependence pre-filter (analysis::AnalysisOptions):
+  /// provably-serial loops are rejected before annotation, so they never
+  /// pay profiling overhead. Off by default — the paper's figures measure
+  /// the optimistic policy.
+  bool StaticPrefilter = false;
+  /// Arc budget for the pre-filter, in cycles (see AnalysisOptions).
+  std::uint32_t SerialArcBudget = 10;
 };
 
 struct PipelineResult {

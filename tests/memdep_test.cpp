@@ -1,0 +1,360 @@
+//===- tests/memdep_test.cpp - Memory dependence analysis unit tests -------==//
+//
+// Hand-built loops with known carried dependences exercise the static
+// layer: DefUseChains, AliasClasses, the per-loop RAW/WAW/May
+// classification, the serial-recurrence detector, and the candidate
+// pre-filter built on top of it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "analysis/Candidates.h"
+#include "analysis/MemDep.h"
+#include "ir/Opcode.h"
+#include "jrpm/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace jrpm;
+using namespace jrpm::analysis;
+using namespace jrpm::front;
+using jrpm::testutil::makeMain;
+
+namespace {
+
+const ir::Function &mainFunc(const ir::Module &M) {
+  return M.Functions[M.EntryFunction];
+}
+
+std::uint16_t localReg(const ir::Function &F, const std::string &Name) {
+  for (const auto &[N, Reg] : F.NamedLocals)
+    if (N == Name)
+      return Reg;
+  ADD_FAILURE() << "no local named " << Name;
+  return ir::NoReg;
+}
+
+/// Finds the first instruction with opcode \p Op; returns {block, index}.
+std::pair<std::uint32_t, std::uint32_t> findOp(const ir::Function &F,
+                                               ir::Opcode Op) {
+  for (std::uint32_t B = 0; B < F.numBlocks(); ++B)
+    for (std::uint32_t I = 0; I < F.Blocks[B].Instructions.size(); ++I)
+      if (F.Blocks[B].Instructions[I].Op == Op)
+        return {B, I};
+  ADD_FAILURE() << "opcode not found";
+  return {0, 0};
+}
+
+/// The memory dependence summary of the single loop in main().
+const LoopMemDep &singleLoopDep(const ModuleAnalysis &MA) {
+  const FunctionAnalysis &FA = MA.func(0);
+  EXPECT_EQ(FA.LI.loops().size(), 1u);
+  return FA.MemDep->loopDep(0);
+}
+
+/// while (heap[p] < bound) { ...; heap[p] = heap[p] + 1; ... }
+/// The canonical serial memory recurrence: the header reloads the exact
+/// cell the latch stored, a handful of cycles earlier.
+St serialRecurrenceLoop(St ExtraAfterStore = St()) {
+  std::vector<St> Body;
+  Body.push_back(store(v("p"), Ex(), 0, add(ld(v("p")), c(1))));
+  if (ExtraAfterStore.valid())
+    Body.push_back(std::move(ExtraAfterStore));
+  return seq({
+      assign("p", allocWords(c(8))),
+      store(v("p"), Ex(), 0, c(0)),
+      whileLoop(lt(ld(v("p")), c(50)), seq(std::move(Body))),
+      ret(ld(v("p"))),
+  });
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// DefUseChains
+//===----------------------------------------------------------------------===//
+
+TEST(DefUseChains, StraightLineRedefinitionKills) {
+  ir::Module M = makeMain(seq({
+      assign("x", c(1)),
+      assign("x", c(2)),
+      ret(v("x")),
+  }));
+  const ir::Function &F = mainFunc(M);
+  DefUseChains DU(F);
+  auto [RB, RI] = findOp(F, ir::Opcode::Ret);
+  std::uint16_t X = localReg(F, "x");
+  auto Defs = DU.reachingDefs(RB, RI, X);
+  ASSERT_EQ(Defs.size(), 1u);
+  // The surviving definition is the later one.
+  const DefSite &S = DU.defSites()[Defs[0]];
+  EXPECT_EQ(S.Reg, X);
+  EXPECT_FALSE(DU.mayReadParam(RB, RI, X));
+}
+
+TEST(DefUseChains, DiamondMergesBothDefinitions) {
+  ir::Module M = makeMain(seq({
+      assign("x", c(1)),
+      iffElse(v("x"), assign("x", c(2)), assign("x", c(3))),
+      ret(v("x")),
+  }));
+  const ir::Function &F = mainFunc(M);
+  DefUseChains DU(F);
+  auto [RB, RI] = findOp(F, ir::Opcode::Ret);
+  std::uint16_t X = localReg(F, "x");
+  // Both branch arms redefine x; the entry definition is dead at the ret.
+  EXPECT_EQ(DU.reachingDefs(RB, RI, X).size(), 2u);
+  EXPECT_FALSE(DU.mayReadParam(RB, RI, X));
+}
+
+TEST(DefUseChains, LoopCarriedDefinitionReachesHeaderUse) {
+  ir::Module M = makeMain(seq({
+      assign("s", c(0)),
+      forLoop("i", c(0), lt(v("i"), c(4)), 1,
+              assign("s", add(v("s"), v("i")))),
+      ret(v("s")),
+  }));
+  const ir::Function &F = mainFunc(M);
+  DefUseChains DU(F);
+  auto [RB, RI] = findOp(F, ir::Opcode::Ret);
+  // Both the init and the in-loop definition can flow out of the loop.
+  EXPECT_EQ(DU.reachingDefs(RB, RI, localReg(F, "s")).size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// AliasClasses
+//===----------------------------------------------------------------------===//
+
+TEST(AliasClasses, DistinctAllocationSitesAreDisjoint) {
+  ir::Module M = makeMain(seq({
+      assign("a", allocWords(c(16))),
+      assign("b", allocWords(c(16))),
+      assign("d", add(v("a"), c(4))), // derived pointer into a
+      store(v("a"), Ex(), c(1)),
+      store(v("b"), Ex(), c(2)),
+      ret(ld(v("d"))),
+  }));
+  const ir::Function &F = mainFunc(M);
+  AliasClasses AC(F);
+  std::uint16_t A = localReg(F, "a"), B = localReg(F, "b"),
+                D = localReg(F, "d");
+  EXPECT_TRUE(AC.addressSet(A, ir::NoReg)
+                  .disjointFrom(AC.addressSet(B, ir::NoReg)));
+  // A derived pointer shares its base allocation's class.
+  EXPECT_FALSE(AC.addressSet(D, ir::NoReg)
+                   .disjointFrom(AC.addressSet(A, ir::NoReg)));
+  EXPECT_TRUE(AC.addressSet(D, ir::NoReg)
+                  .disjointFrom(AC.addressSet(B, ir::NoReg)));
+}
+
+//===----------------------------------------------------------------------===//
+// Loop dependence classification
+//===----------------------------------------------------------------------===//
+
+TEST(MemDep, DisjointArraysAreProvablyParallel) {
+  // a[i] = b[i]: reads and writes never touch the same allocation.
+  ir::Module M = makeMain(seq({
+      assign("a", allocWords(c(16))),
+      assign("b", allocWords(c(16))),
+      forLoop("i", c(0), lt(v("i"), c(16)), 1,
+              store(v("a"), v("i"), ld(v("b"), v("i")))),
+      ret(ld(v("a"), Ex(), 3)),
+  }));
+  ModuleAnalysis MA(M);
+  const LoopMemDep &MD = singleLoopDep(MA);
+  EXPECT_EQ(MD.NumLoads, 1u);
+  EXPECT_EQ(MD.NumStores, 1u);
+  EXPECT_EQ(MD.NumRaw, 0u);
+  EXPECT_EQ(MD.NumMay, 0u);
+  EXPECT_EQ(MD.IndependentPairs, 1u);
+  EXPECT_TRUE(MD.ProvablyParallel);
+  EXPECT_FALSE(MD.Serial.Found);
+}
+
+TEST(MemDep, SameIndexSameIterationIsIndependent) {
+  // a[i] = a[i] + 1: the load and store hit the same cell only within one
+  // iteration; both run before the inductor update, so no carried dep.
+  ir::Module M = makeMain(seq({
+      assign("a", allocWords(c(16))),
+      forLoop("i", c(0), lt(v("i"), c(16)), 1,
+              store(v("a"), v("i"), add(ld(v("a"), v("i")), c(1)))),
+      ret(ld(v("a"), Ex(), 3)),
+  }));
+  ModuleAnalysis MA(M);
+  const LoopMemDep &MD = singleLoopDep(MA);
+  EXPECT_EQ(MD.NumRaw, 0u);
+  EXPECT_EQ(MD.NumMay, 0u);
+  EXPECT_EQ(MD.IndependentPairs, 1u);
+  EXPECT_TRUE(MD.ProvablyParallel);
+}
+
+TEST(MemDep, OffsetGapGivesCarriedDistance) {
+  // a[i+1] = a[i]: classic flow dependence at distance 1.
+  ir::Module M = makeMain(seq({
+      assign("a", allocWords(c(20))),
+      forLoop("i", c(0), lt(v("i"), c(16)), 1,
+              store(v("a"), v("i"), 1, ld(v("a"), v("i"), 0))),
+      ret(ld(v("a"), Ex(), 8)),
+  }));
+  ModuleAnalysis MA(M);
+  const LoopMemDep &MD = singleLoopDep(MA);
+  ASSERT_EQ(MD.NumRaw, 1u);
+  EXPECT_FALSE(MD.ProvablyParallel);
+  ASSERT_FALSE(MD.Carried.empty());
+  const CarriedDep &D = MD.Carried.front();
+  EXPECT_EQ(D.Kind, DepKind::Raw);
+  EXPECT_EQ(D.Distance, 1);
+  EXPECT_TRUE(D.Src.IsStore);
+  EXPECT_FALSE(D.Dst.IsStore);
+}
+
+TEST(MemDep, StrideSkipsOddOffsets) {
+  // step 2 with an offset gap of 1: the two address lattices interleave
+  // and never collide.
+  ir::Module M = makeMain(seq({
+      assign("a", allocWords(c(20))),
+      forLoop("i", c(0), lt(v("i"), c(16)), 2,
+              store(v("a"), v("i"), 1, ld(v("a"), v("i"), 0))),
+      ret(ld(v("a"), Ex(), 8)),
+  }));
+  ModuleAnalysis MA(M);
+  const LoopMemDep &MD = singleLoopDep(MA);
+  EXPECT_EQ(MD.NumRaw, 0u);
+  EXPECT_EQ(MD.IndependentPairs, 1u);
+  EXPECT_TRUE(MD.ProvablyParallel);
+}
+
+TEST(MemDep, FixedCellStoresAreCarried) {
+  // heap[p] accumulates across iterations: carried RAW on a fixed cell.
+  ir::Module M = makeMain(seq({
+      assign("p", allocWords(c(4))),
+      store(v("p"), Ex(), c(0)),
+      forLoop("i", c(0), lt(v("i"), c(8)), 1,
+              store(v("p"), Ex(), add(ld(v("p")), v("i")))),
+      ret(ld(v("p"))),
+  }));
+  ModuleAnalysis MA(M);
+  const LoopMemDep &MD = singleLoopDep(MA);
+  EXPECT_GE(MD.NumRaw, 1u);
+  EXPECT_FALSE(MD.ProvablyParallel);
+}
+
+//===----------------------------------------------------------------------===//
+// Serial recurrence detection and the pre-filter
+//===----------------------------------------------------------------------===//
+
+TEST(MemDep, DetectsSerialRecurrence) {
+  ir::Module M = makeMain(serialRecurrenceLoop());
+  ModuleAnalysis MA(M);
+  const LoopMemDep &MD = singleLoopDep(MA);
+  ASSERT_TRUE(MD.Serial.Found);
+  // The tiny window: store, branch, eoi on the latch side plus the reload
+  // at the top of the header. Must stay within the default forwarding
+  // budget and must never be zero.
+  EXPECT_GT(MD.Serial.WindowCycles, 0u);
+  EXPECT_LE(MD.Serial.WindowCycles, 10u);
+  EXPECT_GE(MD.NumRaw, 1u);
+  // The recurrence names the header reload and a latch store of the cell.
+  const ir::Function &F = mainFunc(M);
+  const FunctionAnalysis &FA = MA.func(0);
+  EXPECT_EQ(MD.Serial.LoadBlock, FA.LI.loops()[0].Header);
+  const ir::Instruction &Ld =
+      F.Blocks[MD.Serial.LoadBlock].Instructions[MD.Serial.LoadIndex];
+  const ir::Instruction &St =
+      F.Blocks[MD.Serial.StoreBlock].Instructions[MD.Serial.StoreIndex];
+  EXPECT_EQ(Ld.Op, ir::Opcode::Load);
+  EXPECT_EQ(St.Op, ir::Opcode::Store);
+  EXPECT_EQ(Ld.Imm, St.Imm);
+}
+
+TEST(MemDep, ForLoopLatchHasNoStoreSoNoRecurrence) {
+  // The same accumulation through a for-loop: the latch is the dedicated
+  // step block (no store), so the conservative shape does not apply.
+  ir::Module M = makeMain(seq({
+      assign("p", allocWords(c(4))),
+      store(v("p"), Ex(), c(0)),
+      forLoop("i", c(0), lt(v("i"), c(50)), 1,
+              store(v("p"), Ex(), add(ld(v("p")), c(1)))),
+      ret(ld(v("p"))),
+  }));
+  ModuleAnalysis MA(M);
+  EXPECT_FALSE(singleLoopDep(MA).Serial.Found);
+}
+
+TEST(Prefilter, RejectsSerialRecurrence) {
+  ir::Module M = makeMain(serialRecurrenceLoop());
+
+  // Default options: the optimistic policy keeps the loop.
+  ModuleAnalysis Optimistic(M);
+  ASSERT_EQ(Optimistic.candidates().size(), 1u);
+  EXPECT_FALSE(Optimistic.candidates()[0].Rejected);
+
+  AnalysisOptions Opts;
+  Opts.StaticPrefilter = true;
+  ModuleAnalysis MA(M, Opts);
+  ASSERT_EQ(MA.candidates().size(), 1u);
+  const CandidateStl &C = MA.candidates()[0];
+  EXPECT_TRUE(C.Rejected);
+  EXPECT_EQ(C.Kind, RejectKind::SerialMemoryRecurrence);
+  EXPECT_NE(C.RejectReason.find("serial memory recurrence"),
+            std::string::npos);
+  EXPECT_STREQ(rejectKindName(C.Kind), "serial-memory");
+}
+
+TEST(Prefilter, KeepsParallelLoop) {
+  ir::Module M = makeMain(seq({
+      assign("a", allocWords(c(16))),
+      assign("b", allocWords(c(16))),
+      forLoop("i", c(0), lt(v("i"), c(16)), 1,
+              store(v("a"), v("i"), ld(v("b"), v("i")))),
+      ret(ld(v("a"), Ex(), 3)),
+  }));
+  AnalysisOptions Opts;
+  Opts.StaticPrefilter = true;
+  ModuleAnalysis MA(M, Opts);
+  ASSERT_EQ(MA.candidates().size(), 1u);
+  EXPECT_FALSE(MA.candidates()[0].Rejected);
+}
+
+TEST(Prefilter, BudgetGatesTheRejection) {
+  // Work after the latch store widens the store-to-reload window past the
+  // default forwarding budget: the arc could win, so the loop survives.
+  St Extra = store(v("p"), Ex(), 1, sdiv(ld(v("p"), Ex(), 1), c(3)));
+  ir::Module M = makeMain(serialRecurrenceLoop(std::move(Extra)));
+
+  ModuleAnalysis Plain(M);
+  const LoopMemDep &MD = singleLoopDep(Plain);
+  ASSERT_TRUE(MD.Serial.Found);
+  EXPECT_GT(MD.Serial.WindowCycles, 10u);
+
+  AnalysisOptions Tight;
+  Tight.StaticPrefilter = true;
+  ModuleAnalysis Kept(M, Tight);
+  ASSERT_EQ(Kept.candidates().size(), 1u);
+  EXPECT_FALSE(Kept.candidates()[0].Rejected);
+
+  AnalysisOptions Loose;
+  Loose.StaticPrefilter = true;
+  Loose.SerialArcBudget = 40;
+  ModuleAnalysis Rejected(M, Loose);
+  ASSERT_EQ(Rejected.candidates().size(), 1u);
+  EXPECT_TRUE(Rejected.candidates()[0].Rejected);
+  EXPECT_EQ(Rejected.candidates()[0].Kind,
+            RejectKind::SerialMemoryRecurrence);
+}
+
+TEST(Prefilter, FilteredProgramStillComputesTheSameResult) {
+  // End-to-end: the pre-filter must only change scheduling, never values.
+  ir::Module M = makeMain(serialRecurrenceLoop());
+  pipeline::PipelineConfig Off;
+  pipeline::PipelineConfig On;
+  On.StaticPrefilter = true;
+  pipeline::Jrpm JOff(M, Off);
+  pipeline::Jrpm JOn(M, On);
+  pipeline::PipelineResult ROff = JOff.runAll();
+  pipeline::PipelineResult ROn = JOn.runAll();
+  EXPECT_EQ(ROff.TlsRun.ReturnValue, ROn.TlsRun.ReturnValue);
+  EXPECT_EQ(ROff.PlainRun.ReturnValue, ROn.TlsRun.ReturnValue);
+  // The rejected loop pays no annotation overhead while profiling.
+  EXPECT_LT(ROn.ProfiledRun.Cycles, ROff.ProfiledRun.Cycles);
+}

@@ -1,0 +1,153 @@
+//===- tools/jrpm_lint.cpp - Static checks over workload modules -----------==//
+//
+// Usage:
+//   jrpm-lint all [options]
+//       Lint every registry workload.
+//   jrpm-lint <workload> [options]
+//       Lint one workload: the structural/def-use/type module verifier on
+//       the lowered IR, the annotation verifier at both annotation levels,
+//       and the TLS plan verifier for every candidate loop.
+//
+// Options:
+//   --prefilter   enable the static dependence pre-filter
+//   --deps        print the per-loop memory dependence report
+//
+// Exits nonzero if any verifier reports a violation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Candidates.h"
+#include "ir/AnnotationVerifier.h"
+#include "ir/Verifier.h"
+#include "jit/Annotator.h"
+#include "jit/TlsPlan.h"
+#include "support/Format.h"
+#include "support/Table.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace jrpm;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: jrpm-lint <workload>|all [--prefilter] [--deps]\n");
+  return 2;
+}
+
+std::uint32_t reportErrors(const std::string &Workload, const char *Stage,
+                           const std::vector<std::string> &Errors) {
+  for (const std::string &E : Errors)
+    std::printf("%s: %s: %s\n", Workload.c_str(), Stage, E.c_str());
+  return static_cast<std::uint32_t>(Errors.size());
+}
+
+std::vector<ir::LoopAnnotationInfo>
+annotationInfos(const analysis::ModuleAnalysis &MA) {
+  std::vector<ir::LoopAnnotationInfo> Infos;
+  Infos.reserve(MA.candidates().size());
+  for (const analysis::CandidateStl &C : MA.candidates())
+    Infos.push_back({C.AnnotatedLocals});
+  return Infos;
+}
+
+void printDepReport(const workloads::Workload &W,
+                    const analysis::ModuleAnalysis &MA) {
+  std::printf("\n== %s: memory dependence report ==\n", W.Name.c_str());
+  TextTable T;
+  T.setHeader({"loop", "state", "loads", "stores", "RAW", "WAW", "may",
+               "indep", "parallel", "serial window"});
+  for (const analysis::CandidateStl &C : MA.candidates()) {
+    const analysis::LoopMemDep &MD =
+        MA.func(C.FuncIndex).MemDep->loopDep(C.LoopIdx);
+    std::string Serial =
+        MD.Serial.Found ? formatString("%u cyc", MD.Serial.WindowCycles) : "-";
+    T.addRow({formatString("#%u", C.LoopId),
+              C.Rejected ? analysis::rejectKindName(C.Kind) : "candidate",
+              formatString("%u", MD.NumLoads),
+              formatString("%u", MD.NumStores), formatString("%u", MD.NumRaw),
+              formatString("%u", MD.NumWaw), formatString("%u", MD.NumMay),
+              formatString("%u", MD.IndependentPairs),
+              MD.ProvablyParallel ? "yes" : "-", Serial});
+  }
+  T.print();
+}
+
+std::uint32_t lintWorkload(const workloads::Workload &W,
+                           const analysis::AnalysisOptions &Opts, bool Deps) {
+  std::uint32_t Errors = 0;
+  ir::Module M = W.Build();
+  Errors += reportErrors(W.Name, "module verifier", ir::verifyModule(M));
+
+  analysis::ModuleAnalysis MA(M, Opts);
+  std::vector<ir::LoopAnnotationInfo> Infos = annotationInfos(MA);
+
+  for (jit::AnnotationLevel Level :
+       {jit::AnnotationLevel::Base, jit::AnnotationLevel::Optimized}) {
+    const char *Name = Level == jit::AnnotationLevel::Base
+                           ? "annotation verifier (base)"
+                           : "annotation verifier (optimized)";
+    jit::AnnotatedModule AM = jit::annotateModule(M, MA, Level);
+    Errors += reportErrors(W.Name, Name,
+                           ir::verifyAnnotations(AM.Module, Infos));
+    Errors += reportErrors(W.Name, "module verifier (annotated)",
+                           ir::verifyModule(AM.Module));
+  }
+
+  for (const analysis::CandidateStl &C : MA.candidates()) {
+    if (C.Rejected)
+      continue;
+    jit::TlsLoopPlan Plan = jit::buildTlsPlan(MA, C);
+    Errors +=
+        reportErrors(W.Name, "tls plan verifier", jit::verifyTlsPlan(M, Plan));
+  }
+
+  if (Deps)
+    printDepReport(W, MA);
+  return Errors;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Target = Argv[1];
+  analysis::AnalysisOptions Opts;
+  bool Deps = false;
+  for (int I = 2; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--prefilter")
+      Opts.StaticPrefilter = true;
+    else if (A == "--deps")
+      Deps = true;
+    else
+      return usage();
+  }
+
+  std::uint32_t Errors = 0;
+  std::uint32_t Linted = 0;
+  if (Target == "all") {
+    for (const workloads::Workload &W : workloads::allWorkloads()) {
+      Errors += lintWorkload(W, Opts, Deps);
+      ++Linted;
+    }
+  } else {
+    const workloads::Workload *W = workloads::findWorkload(Target);
+    if (!W) {
+      std::fprintf(stderr, "unknown workload '%s' (try: jrpm-run list)\n",
+                   Target.c_str());
+      return 2;
+    }
+    Errors += lintWorkload(*W, Opts, Deps);
+    ++Linted;
+  }
+
+  std::printf("%u workload(s) linted, %u violation(s)\n", Linted, Errors);
+  return Errors == 0 ? 0 : 1;
+}
