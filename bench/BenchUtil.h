@@ -8,6 +8,7 @@
 #include "support/Table.h"
 #include "workloads/Workload.h"
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -33,6 +34,40 @@ runPipeline(const workloads::Workload &W,
 
 inline std::string fmt(double V, int Decimals = 2) {
   return formatString("%.*f", Decimals, V);
+}
+
+/// Wall-clock stopwatch for the record-once/replay-many comparisons.
+class Stopwatch {
+public:
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - T0)
+        .count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point T0 = Clock::now();
+};
+
+/// Scratch path for a bench-recorded trace.
+inline std::string benchTracePath(const std::string &Tag) {
+  return "/tmp/jrpm-bench-" + Tag + ".jtrace";
+}
+
+/// Prints the measured cost of a configuration sweep under the old
+/// methodology (one live pipeline execution per configuration) against the
+/// trace-driven one (one recorded capture, N replayed analyses), both
+/// measured by this very bench run.
+inline void printSweepRatio(const char *Baseline, int Configs, double LiveMs,
+                            double RecordMs, double AnalyzeMs) {
+  double NewMs = RecordMs + AnalyzeMs;
+  std::printf("\nrecord-once/replay-many, %d-configuration sweep:\n"
+              "  %-44s %8.1f ms\n"
+              "  1 record + %d trace-driven analyses          %8.1f ms "
+              "(record %.1f, analyze %.1f)\n"
+              "  wall-clock reduction: %.2fx\n",
+              Configs, Baseline, LiveMs, Configs, NewMs, RecordMs, AnalyzeMs,
+              LiveMs / NewMs);
 }
 
 } // namespace benchutil

@@ -5,9 +5,16 @@
 // This ablation sweeps the bank count and reports how much of the analysis
 // survives: traced entries, selected STLs, and the predicted speedup.
 //
+// Trace-driven: each workload is interpreted once into a .jtrace capture;
+// every bank configuration is then a replayed analysis over the in-memory
+// event stream (trace::CachedTrace), not a fresh interpretation. The old
+// methodology (one annotated interpretation per configuration) is also run,
+// timed, and reported for comparison.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "trace/Replay.h"
 
 using namespace jrpm;
 using namespace jrpm::benchutil;
@@ -15,18 +22,48 @@ using namespace jrpm::benchutil;
 int main() {
   printBanner("Ablation - number of comparator banks",
               "Section 5.2 design choice (8 banks)");
+  const std::uint32_t BankCounts[] = {1, 2, 4, 8};
   TextTable T;
   T.setHeader({"Benchmark", "banks", "peak", "untraced entries",
                "selected", "pred speedup"});
+  double LiveMs = 0, RecordMs = 0, AnalyzeMs = 0;
   for (const char *Name : {"Assignment", "jess", "decJpeg", "mp3"}) {
     const workloads::Workload *W = workloads::findWorkload(Name);
-    for (std::uint32_t Banks : {1u, 2u, 4u, 8u}) {
+
+    // Old methodology, timed as the baseline: re-interpret per config.
+    for (std::uint32_t Banks : BankCounts) {
       pipeline::PipelineConfig Cfg;
+      Cfg.Hw.ComparatorBanks = Banks;
+      Cfg.DisableLoopAfterThreads = Banks < 8 ? 2000 : 0;
+      Stopwatch S;
+      pipeline::Jrpm J(W->Build(), Cfg);
+      J.profileAndSelect();
+      LiveMs += S.ms();
+    }
+
+    // Record once under the reference configuration...
+    std::string Path = benchTracePath(std::string("banks-") + Name);
+    {
+      Stopwatch S;
+      pipeline::PipelineConfig Cfg;
+      Cfg.WorkloadName = Name;
+      Cfg.RecordTracePath = Path;
+      pipeline::Jrpm J(W->Build(), Cfg);
+      J.profileAndSelect();
+      RecordMs += S.ms();
+    }
+
+    // ...then feed every bank count from the same decoded event stream.
+    Stopwatch Analyze;
+    trace::CachedTrace Trace(Path);
+    for (std::uint32_t Banks : BankCounts) {
+      trace::ReplayConfig Cfg;
+      Cfg.Hw = Trace.header().Hw;
+      Cfg.ExtendedPcBinning = Trace.header().ExtendedPcBinning;
       Cfg.Hw.ComparatorBanks = Banks;
       // Deep analysis relies on converged loops being disabled.
       Cfg.DisableLoopAfterThreads = Banks < 8 ? 2000 : 0;
-      pipeline::Jrpm J(W->Build(), Cfg);
-      auto P = J.profileAndSelect();
+      trace::ReplayOutcome P = trace::selectFromTrace(Trace, Cfg);
       std::uint64_t Untraced = 0;
       for (const auto &Rep : P.Selection.Loops)
         Untraced += Rep.Stats.UntracedEntries;
@@ -37,6 +74,8 @@ int main() {
                 formatString("%zu", P.Selection.SelectedLoops.size()),
                 fmt(P.Selection.PredictedSpeedup)});
     }
+    AnalyzeMs += Analyze.ms();
+    std::remove(Path.c_str());
     T.addSeparator();
   }
   T.print();
@@ -44,5 +83,7 @@ int main() {
               "paper: 'eight comparator banks are sufficient to analyze\n"
               "most of the benchmark programs'); starving the array loses\n"
               "inner decompositions unless dynamic disabling frees banks.\n");
+  printSweepRatio("4 annotated interpretations (one per config)", 4, LiveMs,
+                  RecordMs, AnalyzeMs);
   return 0;
 }

@@ -4,6 +4,8 @@
 
 #include "ir/AnnotationVerifier.h"
 #include "support/Compiler.h"
+#include "trace/Replay.h"
+#include "trace/Writer.h"
 
 using namespace jrpm;
 using namespace jrpm::pipeline;
@@ -16,6 +18,28 @@ void failOnErrors(const char *Stage, const std::vector<std::string> &Errors) {
   for (const std::string &E : Errors)
     std::fprintf(stderr, "%s: %s\n", Stage, E.c_str());
   JRPM_FATAL("pipeline verification failed");
+}
+
+trace::RunInfo toRunInfo(const interp::RunResult &R) {
+  trace::RunInfo I;
+  I.Cycles = R.Cycles;
+  I.Instructions = R.Instructions;
+  I.ReturnValue = R.ReturnValue;
+  I.Loads = R.Loads;
+  I.Stores = R.Stores;
+  I.L1Misses = R.L1Misses;
+  return I;
+}
+
+interp::RunResult toRunResult(const trace::RunInfo &I) {
+  interp::RunResult R;
+  R.Cycles = I.Cycles;
+  R.Instructions = I.Instructions;
+  R.ReturnValue = I.ReturnValue;
+  R.Loads = I.Loads;
+  R.Stores = I.Stores;
+  R.L1Misses = I.L1Misses;
+  return R;
 }
 
 } // namespace
@@ -35,6 +59,10 @@ interp::RunResult Jrpm::runPlain(const std::vector<std::uint64_t> &Args) {
 
 Jrpm::ProfileOutcome
 Jrpm::profileAndSelect(const std::vector<std::uint64_t> &Args) {
+  if (!Cfg.ReplayTracePath.empty()) {
+    Tracer.reset(); // the replay owns its engine; lastTracer() is null
+    return pipeline::selectFromTrace(Cfg.ReplayTracePath, Cfg);
+  }
   if (!Annotated) {
     Annotated = std::make_unique<jit::AnnotatedModule>(
         jit::annotateModule(M, *MA, Cfg.Level));
@@ -52,10 +80,31 @@ Jrpm::profileAndSelect(const std::vector<std::uint64_t> &Args) {
   if (Cfg.DisableLoopAfterThreads)
     Tracer->setDisableLoopAfterThreads(Cfg.DisableLoopAfterThreads);
 
+  // Optional capture: tee the event stream to disk while profiling.
+  std::unique_ptr<trace::Writer> Recorder;
+  std::unique_ptr<trace::RecordingSink> Tee;
+  interp::TraceSink *Sink = Tracer.get();
+  if (!Cfg.RecordTracePath.empty()) {
+    trace::TraceHeader H;
+    H.WorkloadName = Cfg.WorkloadName;
+    H.AnnotationLevel = Cfg.Level == jit::AnnotationLevel::Base ? 0 : 1;
+    H.ExtendedPcBinning = Cfg.ExtendedPcBinning;
+    H.DisableLoopAfterThreads = Cfg.DisableLoopAfterThreads;
+    H.Hw = Cfg.Hw;
+    H.LoopLocals.reserve(Annotated->LoopInfos.size());
+    for (const tracer::LoopTraceInfo &Info : Annotated->LoopInfos)
+      H.LoopLocals.push_back(Info.AnnotatedLocals);
+    Recorder = std::make_unique<trace::Writer>(Cfg.RecordTracePath, H);
+    Tee = std::make_unique<trace::RecordingSink>(*Recorder, Tracer.get());
+    Sink = Tee.get();
+  }
+
   interp::Machine Machine(Annotated->Module, Cfg.Hw);
-  Machine.setTraceSink(Tracer.get());
+  Machine.setTraceSink(Sink);
   ProfileOutcome Out;
   Out.Run = Machine.run(Args);
+  if (Recorder)
+    Recorder->finish(toRunInfo(Out.Run));
   Out.Selection = tracer::selectStls(*Tracer, Out.Run.Cycles, Cfg.Hw);
   Out.PeakBanksInUse = Tracer->peakBanksInUse();
   Out.PeakLocalSlots = Tracer->peakLocalSlots();
@@ -81,6 +130,24 @@ Jrpm::runSpeculative(const tracer::SelectionResult &Selection,
   TlsOutcome Out;
   Out.Run = Machine.run(Args);
   Out.LoopStats = Engine.loopStats();
+  return Out;
+}
+
+Jrpm::ProfileOutcome pipeline::selectFromTrace(const std::string &Path,
+                                               const PipelineConfig &Cfg) {
+  trace::Reader R(Path);
+  trace::ReplayConfig RC;
+  RC.Hw = Cfg.Hw;
+  RC.ExtendedPcBinning = Cfg.ExtendedPcBinning;
+  RC.DisableLoopAfterThreads = Cfg.DisableLoopAfterThreads;
+  trace::ReplayOutcome Replayed = trace::selectFromTrace(R, RC);
+
+  Jrpm::ProfileOutcome Out;
+  Out.Run = toRunResult(Replayed.Run);
+  Out.Selection = std::move(Replayed.Selection);
+  Out.PeakBanksInUse = Replayed.PeakBanksInUse;
+  Out.PeakLocalSlots = Replayed.PeakLocalSlots;
+  Out.PeakDynamicNest = Replayed.PeakDynamicNest;
   return Out;
 }
 

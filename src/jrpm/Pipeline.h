@@ -38,6 +38,20 @@ struct PipelineConfig {
   bool StaticPrefilter = false;
   /// Arc budget for the pre-filter, in cycles (see AnalysisOptions).
   std::uint32_t SerialArcBudget = 10;
+
+  // --- Trace capture & replay (src/trace) ---------------------------------
+  /// When non-empty, profileAndSelect tees the annotated run's event
+  /// stream into this .jtrace file while profiling. Recording never
+  /// perturbs the run: the tee forwards the tracer's cycle charges
+  /// unchanged.
+  std::string RecordTracePath;
+  /// When non-empty, profileAndSelect skips annotation and interpretation
+  /// entirely and re-drives a fresh TraceEngine from this recorded trace
+  /// (see pipeline::selectFromTrace). With a config matching the capture,
+  /// the selection is bit-identical to the live profiled run.
+  std::string ReplayTracePath;
+  /// Workload name stamped into a recorded trace's header.
+  std::string WorkloadName;
 };
 
 struct PipelineResult {
@@ -90,6 +104,8 @@ public:
   ProfileOutcome profileAndSelect(const std::vector<std::uint64_t> &Args = {});
 
   /// Access to the tracer of the most recent profiling run (PC bins etc.).
+  /// Null after a replayed profile (Cfg.ReplayTracePath): the replay owns
+  /// its engine internally.
   const tracer::TraceEngine *lastTracer() const { return Tracer.get(); }
 
   /// Steps 4–5: recompile the selected loops and run speculatively.
@@ -110,6 +126,15 @@ private:
   std::unique_ptr<jit::AnnotatedModule> Annotated;
   std::unique_ptr<tracer::TraceEngine> Tracer;
 };
+
+/// Trace-driven Steps 2–3: rebuilds the tracer from a recorded .jtrace and
+/// runs STL selection without the program or the interpreter. Uses the
+/// tracer-side knobs of \p Cfg (Hw, ExtendedPcBinning,
+/// DisableLoopAfterThreads); when they match the capture configuration the
+/// result is bit-identical to the live profiled run. ProfileOutcome.Run is
+/// the capture run's recorded result. Throws trace::Error on corruption.
+Jrpm::ProfileOutcome selectFromTrace(const std::string &Path,
+                                     const PipelineConfig &Cfg);
 
 } // namespace pipeline
 } // namespace jrpm

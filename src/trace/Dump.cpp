@@ -1,0 +1,58 @@
+//===- trace/Dump.cpp ------------------------------------------------------==//
+
+#include "trace/Dump.h"
+
+#include "support/Compiler.h"
+#include "support/Format.h"
+
+using namespace jrpm;
+using namespace jrpm::trace;
+
+std::string trace::formatEvent(const Event &E) {
+  std::string Cycle =
+      E.Kind == EventKind::Return
+          ? formatString("%8s", "-")
+          : formatString("%8llu", static_cast<unsigned long long>(E.Cycle));
+  switch (E.Kind) {
+  case EventKind::HeapLoad:
+  case EventKind::HeapStore:
+    return formatString("%s  %-5s addr=%u pc=%d", Cycle.c_str(),
+                        eventKindName(E.Kind), E.Addr, E.Pc);
+  case EventKind::LocalLoad:
+  case EventKind::LocalStore:
+    return formatString("%s  %-5s r%u act=%llu pc=%d", Cycle.c_str(),
+                        eventKindName(E.Kind), E.Reg,
+                        static_cast<unsigned long long>(E.Activation), E.Pc);
+  case EventKind::LoopStart:
+    return formatString("%s  %-5s #%u act=%llu", Cycle.c_str(),
+                        eventKindName(E.Kind), E.LoopId,
+                        static_cast<unsigned long long>(E.Activation));
+  case EventKind::LoopIter:
+  case EventKind::LoopEnd:
+  case EventKind::ReadStats:
+    return formatString("%s  %-5s #%u", Cycle.c_str(), eventKindName(E.Kind),
+                        E.LoopId);
+  case EventKind::Return:
+    return formatString("%s  %-5s act=%llu", Cycle.c_str(),
+                        eventKindName(E.Kind),
+                        static_cast<unsigned long long>(E.Activation));
+  case EventKind::CallSite:
+    return formatString("%s  %-5s pc=%d", Cycle.c_str(),
+                        eventKindName(E.Kind), E.Pc);
+  case EventKind::CallReturn:
+    return formatString("%s  %-5s", Cycle.c_str(), eventKindName(E.Kind));
+  }
+  JRPM_UNREACHABLE("bad EventKind");
+}
+
+std::uint64_t trace::dumpTrace(Reader &R, std::FILE *Out,
+                               std::uint64_t MaxEvents) {
+  Event E;
+  std::uint64_t N = 0;
+  while (N < MaxEvents && R.next(E)) {
+    std::string Line = formatEvent(E);
+    std::fprintf(Out, "%s\n", Line.c_str());
+    ++N;
+  }
+  return N;
+}

@@ -1,0 +1,84 @@
+//===- trace/Replay.cpp ----------------------------------------------------==//
+
+#include "trace/Replay.h"
+
+using namespace jrpm;
+using namespace jrpm::trace;
+
+ReplayConfig trace::recordedConfig(const Reader &R) {
+  ReplayConfig Cfg;
+  Cfg.Hw = R.header().Hw;
+  Cfg.ExtendedPcBinning = R.header().ExtendedPcBinning;
+  Cfg.DisableLoopAfterThreads = R.header().DisableLoopAfterThreads;
+  return Cfg;
+}
+
+namespace {
+
+/// Builds the replay engine for \p Header under \p Cfg. The engine keeps a
+/// reference to Cfg.Hw, so Cfg must outlive it (both callers below hold it
+/// on their stack for the whole replay).
+std::vector<tracer::LoopTraceInfo> loopInfos(const TraceHeader &Header) {
+  std::vector<tracer::LoopTraceInfo> Loops;
+  Loops.reserve(Header.LoopLocals.size());
+  for (const std::vector<std::uint16_t> &Locals : Header.LoopLocals)
+    Loops.push_back({Locals});
+  return Loops;
+}
+
+ReplayOutcome finishOutcome(tracer::TraceEngine &Engine,
+                            const ReplayConfig &Cfg, const RunInfo &Run,
+                            std::uint64_t EventsReplayed) {
+  ReplayOutcome Out;
+  Out.EventsReplayed = EventsReplayed;
+  Out.Run = Run;
+  Out.Selection = tracer::selectStls(Engine, Out.Run.Cycles, Cfg.Hw);
+  Out.PeakBanksInUse = Engine.peakBanksInUse();
+  Out.PeakLocalSlots = Engine.peakLocalSlots();
+  Out.PeakDynamicNest = Engine.peakDynamicNest();
+  return Out;
+}
+
+} // namespace
+
+ReplayOutcome trace::selectFromTrace(Reader &R, const ReplayConfig &Cfg) {
+  tracer::TraceEngine Engine(Cfg.Hw, loopInfos(R.header()),
+                             Cfg.ExtendedPcBinning);
+  if (Cfg.DisableLoopAfterThreads)
+    Engine.setDisableLoopAfterThreads(Cfg.DisableLoopAfterThreads);
+  std::uint64_t N = replay(R, Engine);
+  return finishOutcome(Engine, Cfg, R.footer().Run, N);
+}
+
+//===----------------------------------------------------------------------===//
+// CachedTrace
+//===----------------------------------------------------------------------===//
+
+CachedTrace::CachedTrace(Reader &R) : Header(R.header()) {
+  Events.reserve(R.footer().TotalEvents);
+  Event E;
+  while (R.next(E))
+    Events.push_back(E);
+  Footer = R.footer();
+}
+
+CachedTrace::CachedTrace(const std::string &Path) {
+  Reader R(Path);
+  *this = CachedTrace(R);
+}
+
+std::uint64_t CachedTrace::replay(interp::TraceSink &Sink) const {
+  for (const Event &E : Events)
+    dispatchEvent(E, Sink);
+  return Events.size();
+}
+
+ReplayOutcome trace::selectFromTrace(const CachedTrace &T,
+                                     const ReplayConfig &Cfg) {
+  tracer::TraceEngine Engine(Cfg.Hw, loopInfos(T.header()),
+                             Cfg.ExtendedPcBinning);
+  if (Cfg.DisableLoopAfterThreads)
+    Engine.setDisableLoopAfterThreads(Cfg.DisableLoopAfterThreads);
+  std::uint64_t N = T.replay(Engine);
+  return finishOutcome(Engine, Cfg, T.footer().Run, N);
+}

@@ -1,0 +1,93 @@
+//===- trace/Replay.h - Trace-driven STL selection -------------------------==//
+//
+// Rebuilds the full TEST analysis stack (TraceEngine + Equation 1/2
+// selection) from a recorded trace alone — no program, no interpretation.
+// The header's annotated-locals table constructs the engine; the footer's
+// recorded program cycles anchor the selection. Replaying under the
+// recorded hardware config reproduces the live run's SelectionResult
+// bit-for-bit; replaying under an overridden config is how one recorded
+// trace feeds N ablation configurations.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_TRACE_REPLAY_H
+#define JRPM_TRACE_REPLAY_H
+
+#include "tracer/Selector.h"
+#include "trace/Reader.h"
+
+namespace jrpm {
+namespace trace {
+
+/// Tracer-side knobs for a replayed analysis. Defaults are filled from the
+/// trace header by selectFromTrace(); override fields to sweep them.
+struct ReplayConfig {
+  sim::HydraConfig Hw;
+  bool ExtendedPcBinning = false;
+  std::uint64_t DisableLoopAfterThreads = 0;
+};
+
+struct ReplayOutcome {
+  tracer::SelectionResult Selection;
+  RunInfo Run; ///< the capture run's results, from the footer
+  std::uint32_t PeakBanksInUse = 0;
+  std::uint32_t PeakLocalSlots = 0;
+  std::uint32_t PeakDynamicNest = 0;
+  std::uint64_t EventsReplayed = 0;
+};
+
+/// The replay config a trace was captured under.
+ReplayConfig recordedConfig(const Reader &R);
+
+/// Replays \p R into a fresh TraceEngine under \p Cfg and runs STL
+/// selection against the recorded program cycles. Throws Error on any
+/// corruption.
+ReplayOutcome selectFromTrace(Reader &R, const ReplayConfig &Cfg);
+
+/// Replay under the exact capture-time configuration: bit-identical to the
+/// live profiled run's selection.
+inline ReplayOutcome selectFromTrace(Reader &R) {
+  return selectFromTrace(R, recordedConfig(R));
+}
+
+/// A fully decoded in-memory trace for sweep-style consumers: pays the
+/// disk read, checksum, and varint decode exactly once, then feeds any
+/// number of analysis configurations straight from memory. Construction
+/// performs the same strict validation as streaming the whole file.
+class CachedTrace {
+public:
+  /// Drains \p R (which must be freshly opened) and validates the stream
+  /// against its footer. Throws Error on any corruption.
+  explicit CachedTrace(Reader &R);
+  /// Convenience: open, drain, and close \p Path.
+  explicit CachedTrace(const std::string &Path);
+
+  const TraceHeader &header() const { return Header; }
+  const TraceFooter &footer() const { return Footer; }
+  const std::vector<Event> &events() const { return Events; }
+
+  /// Feeds every event to \p Sink. Returns the number of events.
+  std::uint64_t replay(interp::TraceSink &Sink) const;
+
+private:
+  TraceHeader Header;
+  TraceFooter Footer;
+  std::vector<Event> Events;
+};
+
+/// Engine construction + replay + selection from an in-memory trace: the
+/// per-configuration cost of a record-once/analyze-many sweep.
+ReplayOutcome selectFromTrace(const CachedTrace &T, const ReplayConfig &Cfg);
+
+inline ReplayOutcome selectFromTrace(const CachedTrace &T) {
+  ReplayConfig Cfg;
+  Cfg.Hw = T.header().Hw;
+  Cfg.ExtendedPcBinning = T.header().ExtendedPcBinning;
+  Cfg.DisableLoopAfterThreads = T.header().DisableLoopAfterThreads;
+  return selectFromTrace(T, Cfg);
+}
+
+} // namespace trace
+} // namespace jrpm
+
+#endif // JRPM_TRACE_REPLAY_H

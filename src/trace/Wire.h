@@ -1,0 +1,173 @@
+//===- trace/Wire.h - Payload-level encode/decode of the .jtrace format ----==//
+//
+// The wire form of events, headers, and footers, shared by Writer and
+// Reader so there is exactly one implementation of each direction. Framing
+// (record tags, sizes, CRCs) lives in Writer.cpp/Reader.cpp; this header
+// only deals in payload bytes.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_TRACE_WIRE_H
+#define JRPM_TRACE_WIRE_H
+
+#include "trace/Format.h"
+
+namespace jrpm {
+namespace trace {
+
+/// Delta predictors for the event encoding. Reset at every chunk boundary
+/// so chunks decode independently.
+struct DeltaState {
+  std::uint64_t Cycle = 0;
+  std::int64_t Pc = 0;
+  std::int64_t Addr = 0;
+  std::int64_t Activation = 0;
+};
+
+/// Upper bound on one encoded event: a kind byte plus at most four 10-byte
+/// varints. Used to size the stack staging buffer in encodeEvent.
+inline constexpr std::size_t MaxEventWireBytes = 1 + 4 * 10;
+
+/// Appends the wire form of \p E to \p Out. Inline and staged through a
+/// stack buffer: the encoder runs on every event of every recorded run, so
+/// it must cost nanoseconds, not a vector bounds check per byte.
+inline void encodeEvent(std::vector<std::uint8_t> &Out, const Event &E,
+                        DeltaState &D) {
+  std::uint8_t Tmp[MaxEventWireBytes];
+  std::uint8_t *P = Tmp;
+  *P++ = static_cast<std::uint8_t>(E.Kind);
+  auto Cycle = [&] {
+    P = writeZigzag(P, static_cast<std::int64_t>(E.Cycle) -
+                           static_cast<std::int64_t>(D.Cycle));
+    D.Cycle = E.Cycle;
+  };
+  auto Pc = [&] {
+    P = writeZigzag(P, static_cast<std::int64_t>(E.Pc) - D.Pc);
+    D.Pc = E.Pc;
+  };
+  auto Addr = [&] {
+    P = writeZigzag(P, static_cast<std::int64_t>(E.Addr) - D.Addr);
+    D.Addr = E.Addr;
+  };
+  auto Act = [&] {
+    P = writeZigzag(P, static_cast<std::int64_t>(E.Activation) -
+                           D.Activation);
+    D.Activation = static_cast<std::int64_t>(E.Activation);
+  };
+  switch (E.Kind) {
+  case EventKind::HeapLoad:
+  case EventKind::HeapStore:
+    Cycle();
+    Addr();
+    Pc();
+    break;
+  case EventKind::LocalLoad:
+  case EventKind::LocalStore:
+    Cycle();
+    Act();
+    P = writeVarint(P, E.Reg);
+    Pc();
+    break;
+  case EventKind::LoopStart:
+    Cycle();
+    P = writeVarint(P, E.LoopId);
+    Act();
+    break;
+  case EventKind::LoopIter:
+  case EventKind::LoopEnd:
+  case EventKind::ReadStats:
+    Cycle();
+    P = writeVarint(P, E.LoopId);
+    break;
+  case EventKind::Return:
+    Act();
+    break;
+  case EventKind::CallSite:
+    Cycle();
+    Pc();
+    break;
+  case EventKind::CallReturn:
+    Cycle();
+    break;
+  }
+  Out.insert(Out.end(), Tmp, P);
+}
+
+/// Decodes one event from [*P, End). Throws Error on malformed input;
+/// advances \p P past the event. Inline for the same reason as encodeEvent.
+inline Event decodeEvent(const std::uint8_t *&P, const std::uint8_t *End,
+                         DeltaState &D) {
+  if (P == End)
+    throw Error(ErrorKind::Truncated, "event kind byte missing");
+  std::uint8_t KindByte = *P++;
+  if (KindByte >= NumEventKinds)
+    throw Error(ErrorKind::UnknownEventKind,
+                "event kind " + std::to_string(KindByte));
+  Event E;
+  E.Kind = static_cast<EventKind>(KindByte);
+  auto Cycle = [&] {
+    D.Cycle = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(D.Cycle) + parseZigzag(P, End));
+    E.Cycle = D.Cycle;
+  };
+  auto Pc = [&] {
+    D.Pc += parseZigzag(P, End);
+    E.Pc = static_cast<std::int32_t>(D.Pc);
+  };
+  auto Addr = [&] {
+    D.Addr += parseZigzag(P, End);
+    E.Addr = static_cast<std::uint32_t>(D.Addr);
+  };
+  auto Act = [&] {
+    D.Activation += parseZigzag(P, End);
+    E.Activation = static_cast<std::uint64_t>(D.Activation);
+  };
+  switch (E.Kind) {
+  case EventKind::HeapLoad:
+  case EventKind::HeapStore:
+    Cycle();
+    Addr();
+    Pc();
+    return E;
+  case EventKind::LocalLoad:
+  case EventKind::LocalStore:
+    Cycle();
+    Act();
+    E.Reg = static_cast<std::uint16_t>(parseVarint(P, End));
+    Pc();
+    return E;
+  case EventKind::LoopStart:
+    Cycle();
+    E.LoopId = static_cast<std::uint32_t>(parseVarint(P, End));
+    Act();
+    return E;
+  case EventKind::LoopIter:
+  case EventKind::LoopEnd:
+  case EventKind::ReadStats:
+    Cycle();
+    E.LoopId = static_cast<std::uint32_t>(parseVarint(P, End));
+    return E;
+  case EventKind::Return:
+    Act();
+    return E;
+  case EventKind::CallSite:
+    Cycle();
+    Pc();
+    return E;
+  case EventKind::CallReturn:
+    Cycle();
+    return E;
+  }
+  return E; // unreachable: KindByte was range-checked above
+}
+
+void encodeHeader(std::vector<std::uint8_t> &Out, const TraceHeader &H);
+TraceHeader decodeHeader(const std::uint8_t *P, const std::uint8_t *End);
+
+void encodeFooter(std::vector<std::uint8_t> &Out, const TraceFooter &F);
+TraceFooter decodeFooter(const std::uint8_t *P, const std::uint8_t *End);
+
+} // namespace trace
+} // namespace jrpm
+
+#endif // JRPM_TRACE_WIRE_H

@@ -1,0 +1,91 @@
+//===- trace/Writer.cpp ----------------------------------------------------==//
+
+#include "trace/Writer.h"
+
+using namespace jrpm;
+using namespace jrpm::trace;
+
+Writer::Writer(const std::string &Path, const TraceHeader &Header)
+    : Path(Path) {
+  File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    throw Error(ErrorKind::Io, "cannot open '" + Path + "' for writing");
+  Chunk.reserve(ChunkTargetBytes + 64);
+
+  std::vector<std::uint8_t> Payload;
+  encodeHeader(Payload, Header);
+  write(FileMagic, sizeof(FileMagic));
+  writeU32(FormatVersion);
+  writeU32(static_cast<std::uint32_t>(Payload.size()));
+  writeU32(crc32(Payload.data(), Payload.size()));
+  write(Payload.data(), Payload.size());
+}
+
+Writer::~Writer() {
+  if (File)
+    std::fclose(File);
+}
+
+void Writer::write(const void *Data, std::size_t Size) {
+  if (std::fwrite(Data, 1, Size, File) != Size)
+    throw Error(ErrorKind::Io, "short write to '" + Path + "'");
+  BytesWritten += Size;
+}
+
+void Writer::writeU32(std::uint32_t V) {
+  std::uint8_t B[4] = {static_cast<std::uint8_t>(V),
+                       static_cast<std::uint8_t>(V >> 8),
+                       static_cast<std::uint8_t>(V >> 16),
+                       static_cast<std::uint8_t>(V >> 24)};
+  write(B, 4);
+}
+
+void Writer::append(const Event &E) {
+  if (!File)
+    throw Error(ErrorKind::Io, "append after finish on '" + Path + "'");
+  encodeEvent(Chunk, E, Deltas);
+  ++ChunkEvents;
+  ++Footer.EventCounts[static_cast<std::uint8_t>(E.Kind)];
+  ++Footer.TotalEvents;
+  if (E.Kind != EventKind::Return)
+    Footer.LastCycle = E.Cycle;
+  if (Chunk.size() >= ChunkTargetBytes)
+    flushChunk();
+}
+
+void Writer::flushChunk() {
+  if (Chunk.empty())
+    return;
+  std::uint8_t Tag = ChunkTag;
+  write(&Tag, 1);
+  writeU32(static_cast<std::uint32_t>(Chunk.size()));
+  writeU32(ChunkEvents);
+  writeU32(crc32(Chunk.data(), Chunk.size()));
+  write(Chunk.data(), Chunk.size());
+  Chunk.clear();
+  ChunkEvents = 0;
+  Deltas = DeltaState(); // chunks decode independently
+}
+
+void Writer::finish(const RunInfo &Run) {
+  if (!File)
+    throw Error(ErrorKind::Io, "finish called twice on '" + Path + "'");
+  flushChunk();
+  Footer.Run = Run;
+
+  std::vector<std::uint8_t> Payload;
+  encodeFooter(Payload, Footer);
+  std::uint64_t FooterStart = BytesWritten;
+  std::uint8_t Tag = FooterTag;
+  write(&Tag, 1);
+  writeU32(static_cast<std::uint32_t>(Payload.size()));
+  writeU32(crc32(Payload.data(), Payload.size()));
+  write(Payload.data(), Payload.size());
+  writeU32(static_cast<std::uint32_t>(BytesWritten - FooterStart));
+  write(EndMagic, sizeof(EndMagic));
+
+  std::FILE *F = File;
+  File = nullptr;
+  if (std::fclose(F) != 0)
+    throw Error(ErrorKind::Io, "cannot close '" + Path + "'");
+}

@@ -35,6 +35,8 @@ struct StlReport {
   double Coverage = 0.0;
   /// min(spec time, serial-plus-children time) for this subtree, in cycles.
   double BestTime = 0.0;
+
+  bool operator==(const StlReport &O) const = default;
 };
 
 /// Whole-program selection result.
@@ -47,6 +49,10 @@ struct SelectionResult {
   /// Predicted whole-program speculative execution time and speedup.
   double PredictedCycles = 0.0;
   double PredictedSpeedup = 1.0;
+
+  /// Exact (bit-identical) equality, doubles included: a replayed
+  /// selection must reproduce the live one exactly.
+  bool operator==(const SelectionResult &O) const = default;
 };
 
 /// Runs Equation 1 on every traced loop and Equation 2 over the dynamic

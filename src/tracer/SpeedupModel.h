@@ -42,6 +42,8 @@ struct SpeedupEstimate {
   double Speedup = 1.0;
   /// Estimated speculative execution time of the loop, in cycles.
   double SpecCycles = 0.0;
+
+  bool operator==(const SpeedupEstimate &O) const = default;
 };
 
 /// Applies Equation 1 to the collected statistics of one STL.

@@ -20,6 +20,8 @@ struct PcBinStats {
   std::uint64_t CriticalArcs = 0;
   std::uint64_t AccumulatedLength = 0;
 
+  bool operator==(const PcBinStats &O) const = default;
+
   double averageLength() const {
     return CriticalArcs ? static_cast<double>(AccumulatedLength) /
                               static_cast<double>(CriticalArcs)
@@ -45,6 +47,11 @@ struct StlStats {
 
   /// Extended mode: critical arcs binned by the load PC that closed them.
   std::map<std::int32_t, PcBinStats> PcBins;
+
+  /// Exact equality of every counter — the replay-equivalence contract:
+  /// re-driving a TraceEngine from a recorded trace must reproduce these
+  /// bit-for-bit.
+  bool operator==(const StlStats &O) const = default;
 
   // --- Derived values (Figure 3's right-hand column) ----------------------
 

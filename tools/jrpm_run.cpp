@@ -12,7 +12,9 @@
 //   jrpm-run dump-ir <workload>
 //       Print the lowered IR of the workload.
 //   jrpm-run trace <workload> [--events <n>]
-//       Print the first n annotated-execution trace events (default 40).
+//       Record the annotated run to a temporary .jtrace and pretty-print
+//       the first n events (default 40). Thin wrapper over the trace
+//       subsystem — `jrpm-trace` is the full record/replay tool.
 //
 // Options:
 //   --base             use base (unoptimized) annotations
@@ -27,6 +29,7 @@
 #include "jrpm/Pipeline.h"
 #include "support/Format.h"
 #include "support/Table.h"
+#include "trace/Dump.h"
 #include "workloads/Workload.h"
 
 #include "analysis/Candidates.h"
@@ -37,6 +40,8 @@
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace jrpm;
 
@@ -61,66 +66,6 @@ int listWorkloads() {
   T.print();
   return 0;
 }
-
-/// Prints the first N events of the annotated run, for debugging
-/// annotation placement and tracer behaviour.
-class EventPrinter : public interp::TraceSink {
-public:
-  explicit EventPrinter(std::uint64_t Limit) : Remaining(Limit) {}
-
-  std::uint32_t onHeapLoad(std::uint32_t Addr, std::uint64_t Cycle,
-                           std::int32_t Pc) override {
-    emit(formatString("%8llu  LD   addr=%u pc=%d",
-                      (unsigned long long)Cycle, Addr, Pc));
-    return 0;
-  }
-  std::uint32_t onHeapStore(std::uint32_t Addr, std::uint64_t Cycle,
-                            std::int32_t Pc) override {
-    emit(formatString("%8llu  ST   addr=%u pc=%d",
-                      (unsigned long long)Cycle, Addr, Pc));
-    return 0;
-  }
-  std::uint32_t onLocalLoad(std::uint64_t Act, std::uint16_t Reg,
-                            std::uint64_t Cycle, std::int32_t) override {
-    emit(formatString("%8llu  lwl  r%u act=%llu", (unsigned long long)Cycle,
-                      Reg, (unsigned long long)Act));
-    return 0;
-  }
-  std::uint32_t onLocalStore(std::uint64_t Act, std::uint16_t Reg,
-                             std::uint64_t Cycle, std::int32_t) override {
-    emit(formatString("%8llu  swl  r%u act=%llu", (unsigned long long)Cycle,
-                      Reg, (unsigned long long)Act));
-    return 0;
-  }
-  std::uint32_t onLoopStart(std::uint32_t LoopId, std::uint64_t,
-                            std::uint64_t Cycle) override {
-    emit(formatString("%8llu  sloop #%u", (unsigned long long)Cycle,
-                      LoopId));
-    return 0;
-  }
-  std::uint32_t onLoopIter(std::uint32_t LoopId,
-                           std::uint64_t Cycle) override {
-    emit(formatString("%8llu  eoi   #%u", (unsigned long long)Cycle,
-                      LoopId));
-    return 0;
-  }
-  std::uint32_t onLoopEnd(std::uint32_t LoopId,
-                          std::uint64_t Cycle) override {
-    emit(formatString("%8llu  eloop #%u", (unsigned long long)Cycle,
-                      LoopId));
-    return 0;
-  }
-  void onReturn(std::uint64_t) override {}
-
-private:
-  void emit(const std::string &Line) {
-    if (!Remaining)
-      return;
-    --Remaining;
-    std::printf("%s\n", Line.c_str());
-  }
-  std::uint64_t Remaining;
-};
 
 struct Options {
   pipeline::PipelineConfig Cfg;
@@ -259,15 +204,27 @@ int main(int Argc, char **Argv) {
     for (int I = 3; I + 1 < Argc; ++I)
       if (std::string(Argv[I]) == "--events")
         Events = static_cast<std::uint64_t>(std::atoll(Argv[I + 1]));
-    ir::Module M = W->Build();
-    analysis::ModuleAnalysis MA(M);
-    jit::AnnotatedModule AM =
-        jit::annotateModule(M, MA, jit::AnnotationLevel::Optimized);
-    EventPrinter Printer(Events);
-    interp::Machine Machine(AM.Module, sim::HydraConfig{});
-    Machine.setTraceSink(&Printer);
-    Machine.run();
-    return 0;
+    // Thin wrapper over the trace subsystem: record the annotated run to a
+    // temporary .jtrace, then pretty-print it with the one shared event
+    // formatter (trace::dumpTrace).
+    std::string TmpPath = "/tmp/jrpm-run-trace-" +
+                          std::to_string(static_cast<long>(getpid())) +
+                          ".jtrace";
+    pipeline::PipelineConfig Cfg;
+    Cfg.WorkloadName = W->Name;
+    Cfg.RecordTracePath = TmpPath;
+    int Ret = 0;
+    try {
+      pipeline::Jrpm J(W->Build(), Cfg);
+      J.profileAndSelect();
+      trace::Reader R(TmpPath);
+      trace::dumpTrace(R, stdout, Events);
+    } catch (const trace::Error &E) {
+      std::fprintf(stderr, "jrpm-run trace: %s\n", E.what());
+      Ret = 1;
+    }
+    std::remove(TmpPath.c_str());
+    return Ret;
   }
 
   Options O = parseOptions(Argc, Argv, 3);
