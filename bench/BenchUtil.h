@@ -6,11 +6,15 @@
 #include "jrpm/Pipeline.h"
 #include "support/Format.h"
 #include "support/Table.h"
+#include "sweep/ThreadPool.h"
 #include "workloads/Workload.h"
 
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <unistd.h>
+#include <vector>
 
 namespace jrpm {
 namespace benchutil {
@@ -49,9 +53,49 @@ private:
   Clock::time_point T0 = Clock::now();
 };
 
-/// Scratch path for a bench-recorded trace.
+/// Scratch path for a bench-recorded trace. Includes the pid so concurrent
+/// bench processes (and pooled jobs inside one process, via distinct tags)
+/// never collide on a fixed /tmp name.
 inline std::string benchTracePath(const std::string &Tag) {
-  return "/tmp/jrpm-bench-" + Tag + ".jtrace";
+  return "/tmp/jrpm-bench-" + std::to_string(getpid()) + "-" + Tag +
+         ".jtrace";
+}
+
+/// Wall-clock of a job list executed on the work-stealing pool.
+struct PoolRun {
+  double Ms = 0;
+  unsigned Threads = 1;
+};
+
+/// Re-runs \p Jobs on the sweep engine's work-stealing pool. Jobs must be
+/// idempotent and write their results into preassigned slots, so a pooled
+/// re-execution reproduces the serial pass byte-for-byte regardless of
+/// scheduling order.
+inline PoolRun runOnPool(const std::vector<std::function<void()>> &Jobs) {
+  PoolRun P;
+  sweep::ThreadPool Pool;
+  P.Threads = Pool.threadCount();
+  Stopwatch S;
+  for (const std::function<void()> &J : Jobs)
+    Pool.submit(J);
+  Pool.wait();
+  P.Ms = S.ms();
+  return P;
+}
+
+/// Prints the measured serial-vs-pooled wall-clock reduction for the same
+/// job list (the acceptance metric for the sweep engine: >= 3x on a 4-core
+/// runner; on fewer cores the reduction degrades proportionally).
+inline void printPoolReduction(const char *What, std::size_t Jobs,
+                               double SerialMs, const PoolRun &P,
+                               bool SlotsIdentical) {
+  std::printf("\nwork-stealing pool, %zu %s jobs:\n"
+              "  serial execution                             %8.1f ms\n"
+              "  pooled execution (%u worker threads)         %8.1f ms\n"
+              "  wall-clock reduction: %.2fx; pooled results %s\n",
+              Jobs, What, SerialMs, P.Threads, P.Ms, SerialMs / P.Ms,
+              SlotsIdentical ? "identical to serial"
+                             : "DIFFER FROM SERIAL");
 }
 
 /// Prints the measured cost of a configuration sweep under the old

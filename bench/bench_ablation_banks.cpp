@@ -11,10 +11,17 @@
 // methodology (one annotated interpretation per configuration) is also run,
 // timed, and reported for comparison.
 //
+// Pooled: each workload's whole unit (live baseline sweep + record +
+// replayed analyses) is one job. The job list runs serially first, then on
+// the sweep engine's work-stealing pool; both passes fill the same
+// preassigned row slots and must agree exactly.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 #include "trace/Replay.h"
+
+#include <mutex>
 
 using namespace jrpm;
 using namespace jrpm::benchutil;
@@ -23,59 +30,92 @@ int main() {
   printBanner("Ablation - number of comparator banks",
               "Section 5.2 design choice (8 banks)");
   const std::uint32_t BankCounts[] = {1, 2, 4, 8};
-  TextTable T;
-  T.setHeader({"Benchmark", "banks", "peak", "untraced entries",
-               "selected", "pred speedup"});
+  const char *Names[] = {"Assignment", "jess", "decJpeg", "mp3"};
+
+  std::mutex PhaseM;
   double LiveMs = 0, RecordMs = 0, AnalyzeMs = 0;
-  for (const char *Name : {"Assignment", "jess", "decJpeg", "mp3"}) {
-    const workloads::Workload *W = workloads::findWorkload(Name);
+  // Rows[workload][config], filled by the jobs; the table is rendered after
+  // the passes so pooled scheduling order cannot reorder the output.
+  std::vector<std::vector<std::vector<std::string>>> Rows(
+      std::size(Names), std::vector<std::vector<std::string>>(
+                            std::size(BankCounts)));
 
-    // Old methodology, timed as the baseline: re-interpret per config.
-    for (std::uint32_t Banks : BankCounts) {
-      pipeline::PipelineConfig Cfg;
-      Cfg.Hw.ComparatorBanks = Banks;
-      Cfg.DisableLoopAfterThreads = Banks < 8 ? 2000 : 0;
-      Stopwatch S;
-      pipeline::Jrpm J(W->Build(), Cfg);
-      J.profileAndSelect();
-      LiveMs += S.ms();
-    }
+  std::vector<std::function<void()>> Jobs;
+  for (std::size_t Wi = 0; Wi < std::size(Names); ++Wi) {
+    Jobs.push_back([&, Wi]() {
+      const char *Name = Names[Wi];
+      const workloads::Workload *W = workloads::findWorkload(Name);
 
-    // Record once under the reference configuration...
-    std::string Path = benchTracePath(std::string("banks-") + Name);
-    {
-      Stopwatch S;
-      pipeline::PipelineConfig Cfg;
-      Cfg.WorkloadName = Name;
-      Cfg.RecordTracePath = Path;
-      pipeline::Jrpm J(W->Build(), Cfg);
-      J.profileAndSelect();
-      RecordMs += S.ms();
-    }
+      // Old methodology, timed as the baseline: re-interpret per config.
+      for (std::uint32_t Banks : BankCounts) {
+        pipeline::PipelineConfig Cfg;
+        Cfg.Hw.ComparatorBanks = Banks;
+        Cfg.DisableLoopAfterThreads = Banks < 8 ? 2000 : 0;
+        Stopwatch S;
+        pipeline::Jrpm J(W->Build(), Cfg);
+        J.profileAndSelect();
+        std::lock_guard<std::mutex> L(PhaseM);
+        LiveMs += S.ms();
+      }
 
-    // ...then feed every bank count from the same decoded event stream.
-    Stopwatch Analyze;
-    trace::CachedTrace Trace(Path);
-    for (std::uint32_t Banks : BankCounts) {
-      trace::ReplayConfig Cfg;
-      Cfg.Hw = Trace.header().Hw;
-      Cfg.ExtendedPcBinning = Trace.header().ExtendedPcBinning;
-      Cfg.Hw.ComparatorBanks = Banks;
-      // Deep analysis relies on converged loops being disabled.
-      Cfg.DisableLoopAfterThreads = Banks < 8 ? 2000 : 0;
-      trace::ReplayOutcome P = trace::selectFromTrace(Trace, Cfg);
-      std::uint64_t Untraced = 0;
-      for (const auto &Rep : P.Selection.Loops)
-        Untraced += Rep.Stats.UntracedEntries;
-      T.addRow({Name, formatString("%u", Banks),
-                formatString("%u", P.PeakBanksInUse),
-                formatString("%llu", static_cast<unsigned long long>(
-                                         Untraced)),
-                formatString("%zu", P.Selection.SelectedLoops.size()),
-                fmt(P.Selection.PredictedSpeedup)});
-    }
-    AnalyzeMs += Analyze.ms();
-    std::remove(Path.c_str());
+      // Record once under the reference configuration...
+      std::string Path = benchTracePath(std::string("banks-") + Name);
+      {
+        Stopwatch S;
+        pipeline::PipelineConfig Cfg;
+        Cfg.WorkloadName = Name;
+        Cfg.RecordTracePath = Path;
+        pipeline::Jrpm J(W->Build(), Cfg);
+        J.profileAndSelect();
+        std::lock_guard<std::mutex> L(PhaseM);
+        RecordMs += S.ms();
+      }
+
+      // ...then feed every bank count from the same decoded event stream.
+      Stopwatch Analyze;
+      trace::CachedTrace Trace(Path);
+      for (std::size_t Ci = 0; Ci < std::size(BankCounts); ++Ci) {
+        std::uint32_t Banks = BankCounts[Ci];
+        trace::ReplayConfig Cfg;
+        Cfg.Hw = Trace.header().Hw;
+        Cfg.ExtendedPcBinning = Trace.header().ExtendedPcBinning;
+        Cfg.Hw.ComparatorBanks = Banks;
+        // Deep analysis relies on converged loops being disabled.
+        Cfg.DisableLoopAfterThreads = Banks < 8 ? 2000 : 0;
+        trace::ReplayOutcome P = trace::selectFromTrace(Trace, Cfg);
+        std::uint64_t Untraced = 0;
+        for (const auto &Rep : P.Selection.Loops)
+          Untraced += Rep.Stats.UntracedEntries;
+        Rows[Wi][Ci] = {Name, formatString("%u", Banks),
+                        formatString("%u", P.PeakBanksInUse),
+                        formatString("%llu", static_cast<unsigned long long>(
+                                                 Untraced)),
+                        formatString("%zu", P.Selection.SelectedLoops.size()),
+                        fmt(P.Selection.PredictedSpeedup)};
+      }
+      {
+        std::lock_guard<std::mutex> L(PhaseM);
+        AnalyzeMs += Analyze.ms();
+      }
+      std::remove(Path.c_str());
+    });
+  }
+
+  Stopwatch Serial;
+  for (const std::function<void()> &J : Jobs)
+    J();
+  double SerialMs = Serial.ms();
+  double LiveSnap = LiveMs, RecordSnap = RecordMs, AnalyzeSnap = AnalyzeMs;
+  std::vector<std::vector<std::vector<std::string>>> SerialRows = Rows;
+
+  PoolRun P = runOnPool(Jobs);
+
+  TextTable T;
+  T.setHeader({"Benchmark", "banks", "peak", "untraced entries", "selected",
+               "pred speedup"});
+  for (const auto &WorkloadRows : Rows) {
+    for (const auto &Row : WorkloadRows)
+      T.addRow(Row);
     T.addSeparator();
   }
   T.print();
@@ -83,7 +123,9 @@ int main() {
               "paper: 'eight comparator banks are sufficient to analyze\n"
               "most of the benchmark programs'); starving the array loses\n"
               "inner decompositions unless dynamic disabling frees banks.\n");
-  printSweepRatio("4 annotated interpretations (one per config)", 4, LiveMs,
-                  RecordMs, AnalyzeMs);
-  return 0;
+  printSweepRatio("4 annotated interpretations (one per config)", 4,
+                  LiveSnap, RecordSnap, AnalyzeSnap);
+  printPoolReduction("per-workload record+replay", Jobs.size(), SerialMs, P,
+                     Rows == SerialRows);
+  return Rows == SerialRows ? 0 : 1;
 }

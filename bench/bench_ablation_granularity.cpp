@@ -12,10 +12,16 @@
 // stay live. The original methodology (full pipeline per grain) is run and
 // timed as the baseline.
 //
+// Pooled: each workload's unit (live baseline, record+replay, two live
+// speculative runs) is one job; the list runs serially and then on the
+// work-stealing pool into the same preassigned slots.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 #include "trace/Replay.h"
+
+#include <mutex>
 
 using namespace jrpm;
 using namespace jrpm::benchutil;
@@ -23,92 +29,128 @@ using namespace jrpm::benchutil;
 int main() {
   printBanner("Ablation - violation detection granularity (word vs line)",
               "Hydra design choice (Section 3.1)");
+  const char *Names[] = {"moldyn", "BitOps", "shallow", "decJpeg", "Huffman"};
+
+  std::mutex PhaseM;
+  double LiveMs = 0, RecordMs = 0, AnalyzeMs = 0, SpecMs = 0;
+  std::vector<std::vector<std::vector<std::string>>> Rows(
+      std::size(Names), std::vector<std::vector<std::string>>(2));
+  std::vector<char> Matched(std::size(Names), 0);
+
+  std::vector<std::function<void()>> Jobs;
+  for (std::size_t Wi = 0; Wi < std::size(Names); ++Wi) {
+    Jobs.push_back([&, Wi]() {
+      const char *Name = Names[Wi];
+      const workloads::Workload *W = workloads::findWorkload(Name);
+
+      // Old methodology, timed as the baseline: plain + annotated profiling
+      // + speculative execution per grain.
+      for (auto Grain : {sim::ViolationGranularity::Word,
+                         sim::ViolationGranularity::Line}) {
+        pipeline::PipelineConfig Cfg;
+        Cfg.Hw.ViolationGrain = Grain;
+        Stopwatch S;
+        pipeline::Jrpm J(W->Build(), Cfg);
+        J.runAll();
+        std::lock_guard<std::mutex> L(PhaseM);
+        LiveMs += S.ms();
+      }
+
+      // Profile once, recorded; the selection is replayed from the trace
+      // and shared by both grains.
+      std::string Path = benchTracePath(std::string("grain-") + Name);
+      {
+        Stopwatch S;
+        pipeline::PipelineConfig Cfg;
+        Cfg.WorkloadName = Name;
+        Cfg.RecordTracePath = Path;
+        pipeline::Jrpm J(W->Build(), Cfg);
+        J.profileAndSelect();
+        std::lock_guard<std::mutex> L(PhaseM);
+        RecordMs += S.ms();
+      }
+      Stopwatch Analyze;
+      trace::Reader R(Path);
+      trace::ReplayOutcome Profile = trace::selectFromTrace(R);
+      {
+        std::lock_guard<std::mutex> L(PhaseM);
+        AnalyzeMs += Analyze.ms();
+      }
+      std::remove(Path.c_str());
+
+      // Only the speculative runs depend on the grain; they stay live.
+      bool AllMatch = true;
+      std::uint64_t Checksum = 0;
+      interp::RunResult Plain;
+      bool First = true;
+      int Gi = 0;
+      for (auto Grain : {sim::ViolationGranularity::Word,
+                         sim::ViolationGranularity::Line}) {
+        pipeline::PipelineConfig Cfg;
+        Cfg.Hw.ViolationGrain = Grain;
+        Stopwatch S;
+        pipeline::Jrpm J(W->Build(), Cfg);
+        if (First)
+          Plain = J.runPlain();
+        pipeline::Jrpm::TlsOutcome Tls = J.runSpeculative(Profile.Selection);
+        {
+          std::lock_guard<std::mutex> L(PhaseM);
+          SpecMs += S.ms();
+        }
+        if (First) {
+          Checksum = Tls.Run.ReturnValue;
+          First = false;
+        }
+        bool Match = Tls.Run.ReturnValue == Checksum &&
+                     Tls.Run.ReturnValue == Plain.ReturnValue;
+        AllMatch &= Match;
+        std::uint64_t Violations = 0, Restarts = 0;
+        for (const auto &[LoopId, S2] : Tls.LoopStats) {
+          Violations += S2.Violations;
+          Restarts += S2.Restarts;
+        }
+        double Speedup = Tls.Run.Cycles
+                             ? static_cast<double>(Plain.Cycles) /
+                                   static_cast<double>(Tls.Run.Cycles)
+                             : 1.0;
+        Rows[Wi][Gi++] = {
+            Name, Grain == sim::ViolationGranularity::Word ? "word" : "line",
+            formatString("%llu",
+                         static_cast<unsigned long long>(Violations)),
+            formatString("%llu", static_cast<unsigned long long>(Restarts)),
+            fmt(Speedup), Match ? "yes" : "NO"};
+      }
+      Matched[Wi] = AllMatch;
+    });
+  }
+
+  Stopwatch Serial;
+  for (const std::function<void()> &J : Jobs)
+    J();
+  double SerialMs = Serial.ms();
+  double LiveSnap = LiveMs, RecordSnap = RecordMs, AnalyzeSnap = AnalyzeMs,
+         SpecSnap = SpecMs;
+  std::vector<std::vector<std::vector<std::string>>> SerialRows = Rows;
+
+  PoolRun P = runOnPool(Jobs);
+
   TextTable T;
   T.setHeader({"Benchmark", "grain", "violations", "restarts",
                "actual speedup", "checksum ok"});
-  double LiveMs = 0, RecordMs = 0, AnalyzeMs = 0, SpecMs = 0;
-  for (const char *Name :
-       {"moldyn", "BitOps", "shallow", "decJpeg", "Huffman"}) {
-    const workloads::Workload *W = workloads::findWorkload(Name);
-
-    // Old methodology, timed as the baseline: plain + annotated profiling
-    // + speculative execution per grain.
-    for (auto Grain : {sim::ViolationGranularity::Word,
-                       sim::ViolationGranularity::Line}) {
-      pipeline::PipelineConfig Cfg;
-      Cfg.Hw.ViolationGrain = Grain;
-      Stopwatch S;
-      pipeline::Jrpm J(W->Build(), Cfg);
-      J.runAll();
-      LiveMs += S.ms();
-    }
-
-    // Profile once, recorded; the selection is replayed from the trace and
-    // shared by both grains.
-    std::string Path = benchTracePath(std::string("grain-") + Name);
-    {
-      Stopwatch S;
-      pipeline::PipelineConfig Cfg;
-      Cfg.WorkloadName = Name;
-      Cfg.RecordTracePath = Path;
-      pipeline::Jrpm J(W->Build(), Cfg);
-      J.profileAndSelect();
-      RecordMs += S.ms();
-    }
-    Stopwatch Analyze;
-    trace::Reader R(Path);
-    trace::ReplayOutcome Profile = trace::selectFromTrace(R);
-    AnalyzeMs += Analyze.ms();
-    std::remove(Path.c_str());
-
-    // Only the speculative runs depend on the grain; they stay live.
-    bool AllMatch = true;
-    std::uint64_t Checksum = 0;
-    interp::RunResult Plain;
-    bool First = true;
-    for (auto Grain : {sim::ViolationGranularity::Word,
-                       sim::ViolationGranularity::Line}) {
-      pipeline::PipelineConfig Cfg;
-      Cfg.Hw.ViolationGrain = Grain;
-      Stopwatch S;
-      pipeline::Jrpm J(W->Build(), Cfg);
-      if (First)
-        Plain = J.runPlain();
-      pipeline::Jrpm::TlsOutcome Tls = J.runSpeculative(Profile.Selection);
-      SpecMs += S.ms();
-      if (First) {
-        Checksum = Tls.Run.ReturnValue;
-        First = false;
-      }
-      bool Match = Tls.Run.ReturnValue == Checksum &&
-                   Tls.Run.ReturnValue == Plain.ReturnValue;
-      AllMatch &= Match;
-      std::uint64_t Violations = 0, Restarts = 0;
-      for (const auto &[LoopId, S2] : Tls.LoopStats) {
-        Violations += S2.Violations;
-        Restarts += S2.Restarts;
-      }
-      double Speedup = Tls.Run.Cycles
-                           ? static_cast<double>(Plain.Cycles) /
-                                 static_cast<double>(Tls.Run.Cycles)
-                           : 1.0;
-      T.addRow({Name,
-                Grain == sim::ViolationGranularity::Word ? "word" : "line",
-                formatString("%llu", static_cast<unsigned long long>(
-                                         Violations)),
-                formatString("%llu",
-                             static_cast<unsigned long long>(Restarts)),
-                fmt(Speedup), Match ? "yes" : "NO"});
-    }
+  bool AllMatch = true;
+  for (std::size_t Wi = 0; Wi < std::size(Names); ++Wi) {
+    for (const auto &Row : Rows[Wi])
+      T.addRow(Row);
     T.addSeparator();
-    if (!AllMatch)
-      return 1;
+    AllMatch &= Matched[Wi] != 0;
   }
   T.print();
+  if (!AllMatch)
+    return 1;
   std::printf("\nLine-granular detection adds false sharing violations on\n"
               "loops whose neighbouring iterations touch adjacent words;\n"
               "correctness is unaffected (TLS restarts hide everything).\n");
-  double NewMs = RecordMs + AnalyzeMs + SpecMs;
+  double NewMs = RecordSnap + AnalyzeSnap + SpecSnap;
   std::printf("\nrecord-once/replay-many, 2-configuration sweep:\n"
               "  2 full pipeline runs (one per grain)         %8.1f ms\n"
               "  1 recorded profile + 1 replayed selection\n"
@@ -116,6 +158,9 @@ int main() {
               "(record %.1f, analyze %.1f, spec %.1f)\n"
               "  wall-clock reduction: %.2fx (the speculative engine must\n"
               "  still run under each grain; only profiling is amortized)\n",
-              LiveMs, NewMs, RecordMs, AnalyzeMs, SpecMs, LiveMs / NewMs);
-  return 0;
+              LiveSnap, NewMs, RecordSnap, AnalyzeSnap, SpecSnap,
+              LiveSnap / NewMs);
+  printPoolReduction("per-workload grain-comparison", Jobs.size(), SerialMs,
+                     P, Rows == SerialRows);
+  return Rows == SerialRows ? 0 : 1;
 }

@@ -14,10 +14,16 @@
 // run and timed as the baseline; the replayed table reports the analysis
 // columns only.
 //
+// Pooled: each workload's unit (live baseline + record + replays) is one
+// job, run serially and then on the work-stealing pool into the same
+// preassigned row slots; the passes must agree exactly.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 #include "trace/Replay.h"
+
+#include <mutex>
 
 using namespace jrpm;
 using namespace jrpm::benchutil;
@@ -26,57 +32,90 @@ int main() {
   printBanner("Ablation - heap store-timestamp history depth",
               "Section 5.3 (192-line FIFO) / Section 6.2");
   const std::uint32_t Depths[] = {8, 48, 192, 768};
+  const char *Names[] = {"Huffman", "compress", "MipsSimulator"};
+
+  std::mutex PhaseM;
+  double LiveMs = 0, RecordMs = 0, AnalyzeMs = 0;
+  std::vector<std::vector<std::vector<std::string>>> Rows(
+      std::size(Names),
+      std::vector<std::vector<std::string>>(std::size(Depths)));
+
+  std::vector<std::function<void()>> Jobs;
+  for (std::size_t Wi = 0; Wi < std::size(Names); ++Wi) {
+    Jobs.push_back([&, Wi]() {
+      const char *Name = Names[Wi];
+      const workloads::Workload *W = workloads::findWorkload(Name);
+
+      // Old methodology, timed as the baseline: the full five-step pipeline
+      // per configuration (this is what produced the actual-speedup column).
+      for (std::uint32_t Depth : Depths) {
+        pipeline::PipelineConfig Cfg;
+        Cfg.Hw.HeapTimestampFifoLines = Depth;
+        Stopwatch S;
+        pipeline::Jrpm J(W->Build(), Cfg);
+        J.runAll();
+        std::lock_guard<std::mutex> L(PhaseM);
+        LiveMs += S.ms();
+      }
+
+      // Record once, then replay the analysis once per FIFO depth.
+      std::string Path = benchTracePath(std::string("history-") + Name);
+      {
+        Stopwatch S;
+        pipeline::PipelineConfig Cfg;
+        Cfg.WorkloadName = Name;
+        Cfg.RecordTracePath = Path;
+        pipeline::Jrpm J(W->Build(), Cfg);
+        J.profileAndSelect();
+        std::lock_guard<std::mutex> L(PhaseM);
+        RecordMs += S.ms();
+      }
+      Stopwatch Analyze;
+      trace::CachedTrace Trace(Path);
+      for (std::size_t Di = 0; Di < std::size(Depths); ++Di) {
+        std::uint32_t Depth = Depths[Di];
+        trace::ReplayConfig Cfg;
+        Cfg.Hw = Trace.header().Hw;
+        Cfg.ExtendedPcBinning = Trace.header().ExtendedPcBinning;
+        Cfg.Hw.HeapTimestampFifoLines = Depth;
+        trace::ReplayOutcome R = trace::selectFromTrace(Trace, Cfg);
+        std::uint64_t ArcsPrev = 0, ArcsEarlier = 0;
+        for (const auto &Rep : R.Selection.Loops) {
+          ArcsPrev += Rep.Stats.CritArcsPrev;
+          ArcsEarlier += Rep.Stats.CritArcsEarlier;
+        }
+        Rows[Wi][Di] = {Name, formatString("%u", Depth),
+                        formatString("%llu",
+                                     static_cast<unsigned long long>(
+                                         ArcsPrev)),
+                        formatString("%llu",
+                                     static_cast<unsigned long long>(
+                                         ArcsEarlier)),
+                        fmt(R.Selection.PredictedSpeedup)};
+      }
+      {
+        std::lock_guard<std::mutex> L(PhaseM);
+        AnalyzeMs += Analyze.ms();
+      }
+      std::remove(Path.c_str());
+    });
+  }
+
+  Stopwatch Serial;
+  for (const std::function<void()> &J : Jobs)
+    J();
+  double SerialMs = Serial.ms();
+  double LiveSnap = LiveMs, RecordSnap = RecordMs, AnalyzeSnap = AnalyzeMs;
+  std::vector<std::vector<std::vector<std::string>>> SerialRows = Rows;
+
+  PoolRun P = runOnPool(Jobs);
+
   TextTable T;
   T.setHeader({"Benchmark", "history lines", "arcs(t-1)", "arcs(<t-1)",
                "pred speedup"});
-  double LiveMs = 0, RecordMs = 0, AnalyzeMs = 0;
-  for (const char *Name : {"Huffman", "compress", "MipsSimulator"}) {
-    const workloads::Workload *W = workloads::findWorkload(Name);
-
-    // Old methodology, timed as the baseline: the full five-step pipeline
-    // per configuration (this is what produced the actual-speedup column).
-    for (std::uint32_t Depth : Depths) {
-      pipeline::PipelineConfig Cfg;
-      Cfg.Hw.HeapTimestampFifoLines = Depth;
-      Stopwatch S;
-      pipeline::Jrpm J(W->Build(), Cfg);
-      J.runAll();
-      LiveMs += S.ms();
-    }
-
-    // Record once, then replay the analysis once per FIFO depth.
-    std::string Path = benchTracePath(std::string("history-") + Name);
-    {
-      Stopwatch S;
-      pipeline::PipelineConfig Cfg;
-      Cfg.WorkloadName = Name;
-      Cfg.RecordTracePath = Path;
-      pipeline::Jrpm J(W->Build(), Cfg);
-      J.profileAndSelect();
-      RecordMs += S.ms();
-    }
-    Stopwatch Analyze;
-    trace::CachedTrace Trace(Path);
-    for (std::uint32_t Depth : Depths) {
-      trace::ReplayConfig Cfg;
-      Cfg.Hw = Trace.header().Hw;
-      Cfg.ExtendedPcBinning = Trace.header().ExtendedPcBinning;
-      Cfg.Hw.HeapTimestampFifoLines = Depth;
-      trace::ReplayOutcome R = trace::selectFromTrace(Trace, Cfg);
-      std::uint64_t ArcsPrev = 0, ArcsEarlier = 0;
-      for (const auto &Rep : R.Selection.Loops) {
-        ArcsPrev += Rep.Stats.CritArcsPrev;
-        ArcsEarlier += Rep.Stats.CritArcsEarlier;
-      }
-      T.addRow({Name, formatString("%u", Depth),
-                formatString("%llu",
-                             static_cast<unsigned long long>(ArcsPrev)),
-                formatString("%llu",
-                             static_cast<unsigned long long>(ArcsEarlier)),
-                fmt(R.Selection.PredictedSpeedup)});
-    }
-    AnalyzeMs += Analyze.ms();
-    std::remove(Path.c_str());
+  for (const auto &WorkloadRows : Rows) {
+    for (const auto &Row : WorkloadRows)
+      T.addRow(Row);
     T.addSeparator();
   }
   T.print();
@@ -85,7 +124,9 @@ int main() {
               "visibility changes little, matching Section 6.2's\n"
               "observation that available parallelism is determined by\n"
               "recent, not distant, threads.\n");
-  printSweepRatio("4 full pipeline runs (one per config)", 4, LiveMs,
-                  RecordMs, AnalyzeMs);
-  return 0;
+  printSweepRatio("4 full pipeline runs (one per config)", 4, LiveSnap,
+                  RecordSnap, AnalyzeSnap);
+  printPoolReduction("per-workload record+replay", Jobs.size(), SerialMs, P,
+                     Rows == SerialRows);
+  return Rows == SerialRows ? 0 : 1;
 }

@@ -96,17 +96,42 @@ int main() {
   printBanner("Static dependence pre-filter vs dynamic TEST selection",
               "the Section 4.1 candidate policy");
 
+  // One job per registry workload, writing into its preassigned slot; the
+  // list runs serially first (timed), then on the work-stealing pool, and
+  // the two result sets must agree exactly.
+  const std::vector<workloads::Workload> &All = workloads::allWorkloads();
+  std::vector<WorkloadStats> Stats(All.size());
+  std::vector<std::function<void()>> Jobs;
+  for (std::size_t Wi = 0; Wi < All.size(); ++Wi)
+    Jobs.push_back([&, Wi]() { Stats[Wi] = compare(All[Wi].Build()); });
+
+  Stopwatch Serial;
+  for (const std::function<void()> &J : Jobs)
+    J();
+  double SerialMs = Serial.ms();
+  std::vector<WorkloadStats> SerialStats = Stats;
+
+  PoolRun P = runOnPool(Jobs);
+  bool SlotsIdentical = true;
+  for (std::size_t Wi = 0; Wi < All.size(); ++Wi)
+    SlotsIdentical &= Stats[Wi].CyclesOff == SerialStats[Wi].CyclesOff &&
+                      Stats[Wi].CyclesOn == SerialStats[Wi].CyclesOn &&
+                      Stats[Wi].StaticRejected ==
+                          SerialStats[Wi].StaticRejected &&
+                      Stats[Wi].DynSelected == SerialStats[Wi].DynSelected;
+
   TextTable T;
   T.setHeader({"Benchmark", "loops", "static rej", "dyn sel", "false rej",
                "profiled off", "profiled on", "cyc saved"});
   WorkloadStats Total;
   std::string Category;
-  for (const workloads::Workload &W : workloads::allWorkloads()) {
+  for (std::size_t Wi = 0; Wi < All.size(); ++Wi) {
+    const workloads::Workload &W = All[Wi];
     if (W.Category != Category) {
       Category = W.Category;
       T.addSeparator();
     }
-    WorkloadStats S = compare(W.Build());
+    const WorkloadStats &S = Stats[Wi];
     T.addRow({W.Name, formatString("%u", S.Loops),
               formatString("%u", S.StaticRejected),
               formatString("%u", S.DynSelected),
@@ -169,8 +194,11 @@ int main() {
               "annotation cost while\nprofiling; dynamic TEST reaches the "
               "same verdict only after paying it.\n");
 
+  printPoolReduction("per-workload prefilter-comparison", Jobs.size(),
+                     SerialMs, P, SlotsIdentical);
+
   bool Pass = Total.FalseRejections == 0 && SyntheticOk &&
-              SyntheticRejected > 0;
+              SyntheticRejected > 0 && SlotsIdentical;
   std::printf("\n%s: %u false rejection(s); synthetic rejections %u; "
               "filtered profiling never costlier.\n",
               Pass ? "PASS" : "FAIL", Total.FalseRejections,

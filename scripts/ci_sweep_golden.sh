@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Golden-sweep JSON gate.
+#
+# Runs a fixed small sweep (two workloads, both annotation levels, one
+# non-default config point) in deterministic mode (--no-timings) and
+# compares the JSON byte-for-byte against the committed golden file, once
+# with a single worker thread and once with four: any schema drift, key
+# reordering, double-formatting change, or thread-count dependence in the
+# report fails the check.
+#
+# Usage:
+#   scripts/ci_sweep_golden.sh                    # configure+build, then check
+#   scripts/ci_sweep_golden.sh --bin <jrpm-sweep> --golden <file>
+#
+# The second form is how the tier-1 ctest suite invokes it (see
+# tools/CMakeLists.txt). To regenerate the golden file after an intentional
+# schema change:
+#   build/tools/jrpm-sweep run --workloads BitOps,fft \
+#     --levels base,optimized --config banks=2,history=48 --seed 7 \
+#     --no-timings --quiet -o tests/golden/sweep_small.json
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+GOLDEN="${ROOT}/tests/golden/sweep_small.json"
+
+BIN=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --bin) BIN="$2"; shift 2 ;;
+    --golden) GOLDEN="$2"; shift 2 ;;
+    *) break ;;
+  esac
+done
+
+if [[ -z "${BIN}" ]]; then
+  BUILD="${ROOT}/build"
+  JOBS="$(nproc 2>/dev/null || echo 4)"
+  cmake -B "${BUILD}" -S "${ROOT}" "$@"
+  cmake --build "${BUILD}" -j"${JOBS}" --target jrpm-sweep
+  BIN="${BUILD}/tools/jrpm-sweep"
+fi
+
+TMP="$(mktemp -d "${TMPDIR:-/tmp}/jrpm-sweep-golden.XXXXXX")"
+trap 'rm -rf "${TMP}"' EXIT
+
+STATUS=0
+for THREADS in 1 4; do
+  OUT="${TMP}/sweep.t${THREADS}.json"
+  "${BIN}" run --workloads BitOps,fft --levels base,optimized \
+    --config banks=2,history=48 --seed 7 --threads "${THREADS}" \
+    --no-timings --quiet -o "${OUT}" > /dev/null
+  if cmp -s "${GOLDEN}" "${OUT}"; then
+    echo "golden-sweep: ${THREADS}-thread report matches"
+  else
+    echo "golden-sweep: ${THREADS}-thread report DIFFERS from golden" >&2
+    diff -u "${GOLDEN}" "${OUT}" >&2 || true
+    STATUS=1
+  fi
+done
+
+exit "${STATUS}"

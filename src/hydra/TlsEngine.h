@@ -130,7 +130,9 @@ private:
   void recomputeExitCap();
   std::uint32_t violationKey(std::uint32_t Addr) const;
 
-  const sim::HydraConfig &Cfg;
+  /// Held by value (reentrancy audit): sweep jobs build engines from
+  /// per-job configs in temporaries; a reference member would dangle.
+  sim::HydraConfig Cfg;
   ir::Module EngineModule; // plain module + appended globalized clones
   std::vector<PreparedLoop> Loops;
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t>

@@ -1,0 +1,155 @@
+//===- support/Json.cpp ---------------------------------------------------==//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <unistd.h>
+
+using namespace jrpm;
+
+Json &Json::operator[](const std::string &Key) {
+  if (K == Kind::Null)
+    K = Kind::Object;
+  assert(K == Kind::Object && "indexing a non-object Json value");
+  return Obj[Key];
+}
+
+void Json::push(Json V) {
+  if (K == Kind::Null)
+    K = Kind::Array;
+  assert(K == Kind::Array && "appending to a non-array Json value");
+  Arr.push_back(std::move(V));
+}
+
+std::string jrpm::jsonEscape(const std::string &V) {
+  std::string Out;
+  Out.reserve(V.size() + 2);
+  Out.push_back('"');
+  for (unsigned char C : V) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(static_cast<char>(C));
+      }
+    }
+  }
+  Out.push_back('"');
+  return Out;
+}
+
+void Json::render(std::string &Out, int Depth) const {
+  const std::string Indent(static_cast<std::size_t>(Depth) * 2, ' ');
+  const std::string Inner(static_cast<std::size_t>(Depth + 1) * 2, ' ');
+  char Buf[64];
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    break;
+  case Kind::Bool:
+    Out += B ? "true" : "false";
+    break;
+  case Kind::Int:
+    std::snprintf(Buf, sizeof(Buf), "%" PRId64, I);
+    Out += Buf;
+    break;
+  case Kind::Uint:
+    std::snprintf(Buf, sizeof(Buf), "%" PRIu64, U);
+    Out += Buf;
+    break;
+  case Kind::Double:
+    // %.17g round-trips every finite double and is a pure function of the
+    // bit pattern, which the byte-identity contract needs.
+    if (std::isfinite(D)) {
+      std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+      Out += Buf;
+    } else {
+      Out += "null";
+    }
+    break;
+  case Kind::String:
+    Out += jsonEscape(S);
+    break;
+  case Kind::Array:
+    if (Arr.empty()) {
+      Out += "[]";
+      break;
+    }
+    Out += "[\n";
+    for (std::size_t N = 0; N < Arr.size(); ++N) {
+      Out += Inner;
+      Arr[N].render(Out, Depth + 1);
+      Out += N + 1 < Arr.size() ? ",\n" : "\n";
+    }
+    Out += Indent + "]";
+    break;
+  case Kind::Object:
+    if (Obj.empty()) {
+      Out += "{}";
+      break;
+    }
+    Out += "{\n";
+    {
+      std::size_t N = 0;
+      for (const auto &[Key, Value] : Obj) {
+        Out += Inner + jsonEscape(Key) + ": ";
+        Value.render(Out, Depth + 1);
+        Out += ++N < Obj.size() ? ",\n" : "\n";
+      }
+    }
+    Out += Indent + "}";
+    break;
+  }
+}
+
+std::string Json::dump() const {
+  std::string Out;
+  render(Out, 0);
+  Out.push_back('\n');
+  return Out;
+}
+
+bool jrpm::writeFileAtomic(const std::string &Path, const std::string &Content,
+                           std::string *Err) {
+  std::string Tmp =
+      Path + ".tmp." + std::to_string(static_cast<long>(getpid()));
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open " + Tmp + " for writing";
+    return false;
+  }
+  bool Ok = std::fwrite(Content.data(), 1, Content.size(), F) ==
+            Content.size();
+  Ok &= std::fflush(F) == 0;
+  Ok &= std::fclose(F) == 0;
+  if (Ok && std::rename(Tmp.c_str(), Path.c_str()) != 0)
+    Ok = false;
+  if (!Ok) {
+    std::remove(Tmp.c_str());
+    if (Err)
+      *Err = "failed writing " + Path;
+  }
+  return Ok;
+}

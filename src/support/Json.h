@@ -1,0 +1,85 @@
+//===- support/Json.h - Deterministic JSON values and atomic files --------===//
+//
+// A small JSON value tree for the sweep subsystem's structured results.
+// Objects store their members in a std::map, so serialization always emits
+// keys in sorted order; doubles render via a fixed "%.17g" round-trip
+// format. Together these make the output a pure function of the values —
+// the property the sweep determinism tests (1 thread vs N threads must be
+// byte-identical) and the golden-file gate rely on.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_SUPPORT_JSON_H
+#define JRPM_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace jrpm {
+
+class Json {
+public:
+  enum class Kind { Null, Bool, Int, Uint, Double, String, Array, Object };
+
+  Json() : K(Kind::Null) {}
+  Json(bool V) : K(Kind::Bool), B(V) {}
+  Json(std::int64_t V) : K(Kind::Int), I(V) {}
+  Json(std::uint64_t V) : K(Kind::Uint), U(V) {}
+  Json(int V) : K(Kind::Int), I(V) {}
+  Json(unsigned V) : K(Kind::Uint), U(V) {}
+  Json(double V) : K(Kind::Double), D(V) {}
+  Json(std::string V) : K(Kind::String), S(std::move(V)) {}
+  Json(const char *V) : K(Kind::String), S(V) {}
+
+  static Json object() {
+    Json J;
+    J.K = Kind::Object;
+    return J;
+  }
+  static Json array() {
+    Json J;
+    J.K = Kind::Array;
+    return J;
+  }
+
+  Kind kind() const { return K; }
+
+  /// Object member access; inserts a Null member on first use. Asserts the
+  /// value is (or becomes) an object.
+  Json &operator[](const std::string &Key);
+
+  /// Array append.
+  void push(Json V);
+
+  /// Serializes with two-space indentation, sorted object keys, and a
+  /// trailing newline at the top level.
+  std::string dump() const;
+
+private:
+  void render(std::string &Out, int Depth) const;
+
+  Kind K;
+  bool B = false;
+  std::int64_t I = 0;
+  std::uint64_t U = 0;
+  double D = 0;
+  std::string S;
+  std::vector<Json> Arr;
+  std::map<std::string, Json> Obj;
+};
+
+/// Escapes \p V as a JSON string literal (with surrounding quotes).
+std::string jsonEscape(const std::string &V);
+
+/// Writes \p Content to \p Path atomically: the bytes go to a sibling
+/// temporary file which is renamed over the target, so a concurrently
+/// reading consumer sees either the old file or the complete new one,
+/// never a torn write. Returns false (with *Err set) on I/O failure.
+bool writeFileAtomic(const std::string &Path, const std::string &Content,
+                     std::string *Err = nullptr);
+
+} // namespace jrpm
+
+#endif // JRPM_SUPPORT_JSON_H

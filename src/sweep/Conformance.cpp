@@ -1,0 +1,33 @@
+//===- sweep/Conformance.cpp ----------------------------------------------==//
+
+#include "sweep/Conformance.h"
+
+using namespace jrpm;
+using namespace jrpm::sweep;
+
+std::vector<ConfigPoint> sweep::defaultConformanceGrid() {
+  std::vector<ConfigPoint> Grid;
+  // Reference hardware (Table 1 / Table 2 defaults).
+  Grid.emplace_back();
+  // Bank-starved comparator array with the paper's dynamic annotation
+  // disabling picking up the slack (Section 5.2).
+  ConfigPoint Starved;
+  Starved.Knobs = {{"banks", 2}, {"disable-after", 2000}};
+  Grid.push_back(std::move(Starved));
+  // Stressed point: shallow store history, line-granular violation
+  // detection, and synchronized carried locals all at once.
+  ConfigPoint Stressed;
+  Stressed.Knobs = {{"history", 48}, {"line-grain", 1}, {"sync", 1}};
+  Grid.push_back(std::move(Stressed));
+  return Grid;
+}
+
+SweepPlan sweep::conformancePlan(std::vector<ConfigPoint> Grid,
+                                 std::vector<std::string> Workloads) {
+  SweepPlan Plan;
+  Plan.Workloads = std::move(Workloads);
+  Plan.Levels = {jit::AnnotationLevel::Base, jit::AnnotationLevel::Optimized};
+  Plan.Configs = std::move(Grid);
+  Plan.Mode = JobMode::Conformance;
+  return Plan;
+}

@@ -1,0 +1,94 @@
+//===- sweep/SweepRunner.h - Executing a plan on the pool ------------------==//
+//
+// Runs every SweepJob of an expanded plan on a work-stealing ThreadPool
+// with failure isolation: a job that throws (or whose differential check
+// fails) is recorded as a failed result — its siblings always complete and
+// the sweep itself never dies with a job. Results land in preassigned
+// slots indexed by SweepJob::Index, so the report is identical whatever
+// order the pool finishes jobs in, and the JSON rendering (sorted keys,
+// fixed double format, timings segregated behind a flag) is byte-identical
+// between a 1-thread and an N-thread sweep of the same plan.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_SWEEP_SWEEPRUNNER_H
+#define JRPM_SWEEP_SWEEPRUNNER_H
+
+#include "support/Json.h"
+#include "sweep/SweepPlan.h"
+#include "sweep/ThreadPool.h"
+
+namespace jrpm {
+namespace sweep {
+
+enum class JobStatus {
+  Ok,
+  Failed,   ///< threw, unknown workload, or a differential mismatch
+  TimedOut, ///< completed but exceeded its soft wall-clock budget
+};
+
+const char *jobStatusName(JobStatus S);
+
+/// Structured outcome of one job. Deterministic fields only, except WallMs
+/// (excluded from deterministic JSON).
+struct SweepResult {
+  // Identity (copied from the job).
+  std::uint32_t Index = 0;
+  std::string Workload;
+  jit::AnnotationLevel Level = jit::AnnotationLevel::Optimized;
+  std::string ConfigName;
+  JobMode Mode = JobMode::Pipeline;
+
+  JobStatus Status = JobStatus::Failed;
+  std::string Error; ///< failure / mismatch description; empty when Ok
+
+  // Measurements (valid when the pipeline ran to completion).
+  std::uint64_t PlainCycles = 0;
+  std::uint64_t ProfiledCycles = 0;
+  std::uint64_t TlsCycles = 0;
+  std::uint64_t Checksum = 0; ///< sequential run's return value
+  std::uint64_t Loops = 0;
+  std::uint64_t SelectedLoops = 0;
+  double PredictedSpeedup = 1.0;
+  double ActualSpeedup = 1.0;
+  double ProfilingSlowdown = 1.0;
+  std::uint64_t SelectionDigest = 0; ///< live selection digest
+  /// Conformance mode: digest of the trace-replayed selection; must equal
+  /// SelectionDigest.
+  std::uint64_t ReplayDigest = 0;
+
+  double WallMs = 0; ///< job wall-clock (non-deterministic; gated in JSON)
+};
+
+struct SweepReport {
+  std::vector<SweepResult> Results; ///< plan order (indexed by job Index)
+  std::uint64_t Seed = 0;
+  unsigned Threads = 0; ///< pool width actually used
+  double WallMs = 0;    ///< whole-sweep wall-clock
+  std::uint64_t OkCount = 0;
+  std::uint64_t FailedCount = 0;
+  std::uint64_t TimedOutCount = 0;
+
+  bool allOk() const { return FailedCount == 0 && TimedOutCount == 0; }
+};
+
+/// Executes one job in the calling thread. Never throws: every failure
+/// mode is folded into the returned result.
+SweepResult runJob(const SweepJob &Job);
+
+/// Executes \p Jobs on a pool of \p Threads workers (0 = hardware width).
+SweepReport runSweep(const std::vector<SweepJob> &Jobs, unsigned Threads);
+
+/// Renders a report as a deterministic JSON document. Wall-clock times and
+/// pool width are emitted only when \p IncludeTimings is set — with it off
+/// the bytes depend solely on the plan and the simulators.
+Json reportToJson(const SweepReport &R, bool IncludeTimings);
+
+/// reportToJson + writeFileAtomic.
+bool writeReport(const SweepReport &R, const std::string &Path,
+                 bool IncludeTimings, std::string *Err = nullptr);
+
+} // namespace sweep
+} // namespace jrpm
+
+#endif // JRPM_SWEEP_SWEEPRUNNER_H

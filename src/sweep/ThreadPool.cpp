@@ -1,0 +1,114 @@
+//===- sweep/ThreadPool.cpp -----------------------------------------------==//
+
+#include "sweep/ThreadPool.h"
+
+namespace {
+/// Index of the deque owned by the current thread, or -1 when the caller is
+/// not a pool worker. Thread-local so nested submits from a running job
+/// land on the worker's own deque.
+thread_local int CurrentWorker = -1;
+} // namespace
+
+using namespace jrpm;
+using namespace jrpm::sweep;
+
+unsigned ThreadPool::defaultThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = defaultThreads();
+  Deques.reserve(Threads);
+  for (unsigned T = 0; T < Threads; ++T)
+    Deques.push_back(std::make_unique<Deque>());
+  Workers.reserve(Threads);
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([this, T] { workerLoop(T); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> L(M);
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  unsigned Target;
+  {
+    std::lock_guard<std::mutex> L(M);
+    Target = CurrentWorker >= 0
+                 ? static_cast<unsigned>(CurrentWorker)
+                 : static_cast<unsigned>(NextDeque++ % Deques.size());
+    ++Queued;
+    ++Pending;
+  }
+  {
+    std::lock_guard<std::mutex> L(Deques[Target]->M);
+    Deques[Target]->Tasks.push_back(std::move(Task));
+  }
+  WorkCv.notify_one();
+}
+
+bool ThreadPool::takeTask(unsigned Self, std::function<void()> &Out) {
+  // Own deque first, newest task (LIFO keeps the working set warm)...
+  {
+    Deque &D = *Deques[Self];
+    std::lock_guard<std::mutex> L(D.M);
+    if (!D.Tasks.empty()) {
+      Out = std::move(D.Tasks.back());
+      D.Tasks.pop_back();
+      return true;
+    }
+  }
+  // ...then steal the oldest task from the first non-empty victim.
+  for (std::size_t Step = 1; Step < Deques.size(); ++Step) {
+    Deque &D = *Deques[(Self + Step) % Deques.size()];
+    std::lock_guard<std::mutex> L(D.M);
+    if (!D.Tasks.empty()) {
+      Out = std::move(D.Tasks.front());
+      D.Tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Self) {
+  CurrentWorker = static_cast<int>(Self);
+  for (;;) {
+    std::function<void()> Task;
+    if (takeTask(Self, Task)) {
+      {
+        std::lock_guard<std::mutex> L(M);
+        --Queued;
+      }
+      Task();
+      bool Drained;
+      {
+        std::lock_guard<std::mutex> L(M);
+        Drained = --Pending == 0;
+      }
+      if (Drained)
+        IdleCv.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> L(M);
+    if (Stopping)
+      return;
+    WorkCv.wait(L, [this] { return Stopping || Queued > 0; });
+    if (Stopping && Queued == 0)
+      return;
+  }
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> L(M);
+  IdleCv.wait(L, [this] { return Pending == 0; });
+}

@@ -1,0 +1,87 @@
+//===- sweep/ThreadPool.h - Work-stealing thread pool ----------------------==//
+//
+// Executes independent simulation jobs across cores. Each worker owns a
+// deque: it pushes and pops work at the back (LIFO, cache-warm), and idle
+// workers steal from the front of a victim's deque (FIFO, oldest first) —
+// the classic Blumofe/Leiserson discipline. Submissions from outside the
+// pool are distributed round-robin so a burst of jobs lands spread across
+// workers instead of piled on one; submissions from inside a worker go to
+// that worker's own deque so nested fan-out stays local until stolen.
+//
+// The pool makes no fairness or ordering promises: sweep determinism must
+// come from jobs writing into preassigned result slots, never from
+// completion order (see SweepRunner).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_SWEEP_THREADPOOL_H
+#define JRPM_SWEEP_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jrpm {
+namespace sweep {
+
+class ThreadPool {
+public:
+  /// \p Threads == 0 selects defaultThreads(). The workers start
+  /// immediately and idle until work arrives.
+  explicit ThreadPool(unsigned Threads = 0);
+
+  /// Drains outstanding work (wait()), then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Enqueues \p Task. Safe from any thread, including pool workers (a
+  /// running task may fan out further work).
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task (including tasks submitted by
+  /// running tasks) has finished. Safe to call repeatedly; the pool is
+  /// reusable afterwards.
+  void wait();
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static unsigned defaultThreads();
+
+private:
+  struct Deque {
+    std::mutex M;
+    std::deque<std::function<void()>> Tasks;
+  };
+
+  void workerLoop(unsigned Self);
+  bool takeTask(unsigned Self, std::function<void()> &Out);
+
+  std::vector<std::unique_ptr<Deque>> Deques; // one per worker
+  std::vector<std::thread> Workers;
+
+  // Counters and lifecycle, guarded by one mutex: the per-job work (a whole
+  // pipeline simulation) dwarfs any contention on it.
+  std::mutex M;
+  std::condition_variable WorkCv; ///< wakes idle workers
+  std::condition_variable IdleCv; ///< wakes wait()ers
+  std::uint64_t Queued = 0;       ///< tasks sitting in some deque
+  std::uint64_t Pending = 0;      ///< queued + currently running
+  bool Stopping = false;
+
+  std::uint64_t NextDeque = 0; ///< round-robin cursor for external submits
+};
+
+} // namespace sweep
+} // namespace jrpm
+
+#endif // JRPM_SWEEP_THREADPOOL_H

@@ -15,9 +15,9 @@ ReplayConfig trace::recordedConfig(const Reader &R) {
 
 namespace {
 
-/// Builds the replay engine for \p Header under \p Cfg. The engine keeps a
-/// reference to Cfg.Hw, so Cfg must outlive it (both callers below hold it
-/// on their stack for the whole replay).
+/// Builds the engine's loop tables for \p Header. (The engine copies its
+/// HydraConfig, so callers may pass configs in temporaries — a sweep-job
+/// requirement; see the reentrancy note in TraceEngine.h.)
 std::vector<tracer::LoopTraceInfo> loopInfos(const TraceHeader &Header) {
   std::vector<tracer::LoopTraceInfo> Loops;
   Loops.reserve(Header.LoopLocals.size());

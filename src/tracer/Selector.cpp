@@ -3,6 +3,7 @@
 #include "tracer/Selector.h"
 
 #include <algorithm>
+#include <cstring>
 #include <functional>
 
 using namespace jrpm;
@@ -96,4 +97,74 @@ SelectionResult tracer::selectStls(const TraceEngine &Engine,
                                  R.PredictedCycles
                            : 1.0;
   return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Selection digest
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Fnv1a {
+  std::uint64_t H = 0xCBF29CE484222325ull;
+
+  void mix(std::uint64_t V) {
+    for (int B = 0; B < 8; ++B) {
+      H ^= (V >> (B * 8)) & 0xFF;
+      H *= 0x100000001B3ull;
+    }
+  }
+  void mixDouble(double V) {
+    std::uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(V));
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    mix(Bits);
+  }
+};
+
+} // namespace
+
+std::uint64_t tracer::selectionDigest(const SelectionResult &R) {
+  Fnv1a F;
+  F.mix(R.ProgramCycles);
+  F.mixDouble(R.SerialCycles);
+  F.mixDouble(R.PredictedCycles);
+  F.mixDouble(R.PredictedSpeedup);
+  F.mix(R.SelectedLoops.size());
+  for (std::uint32_t L : R.SelectedLoops)
+    F.mix(L);
+  F.mix(R.Loops.size());
+  for (const StlReport &Rep : R.Loops) {
+    F.mix(Rep.LoopId);
+    F.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(Rep.Parent)));
+    F.mix(Rep.Selected);
+    F.mixDouble(Rep.Coverage);
+    F.mixDouble(Rep.BestTime);
+    F.mix(Rep.Children.size());
+    for (std::uint32_t C : Rep.Children)
+      F.mix(C);
+    const StlStats &S = Rep.Stats;
+    F.mix(S.Cycles);
+    F.mix(S.Threads);
+    F.mix(S.Entries);
+    F.mix(S.UntracedEntries);
+    F.mix(S.CritArcsPrev);
+    F.mix(S.CritLenPrev);
+    F.mix(S.CritArcsEarlier);
+    F.mix(S.CritLenEarlier);
+    F.mix(S.OverflowThreads);
+    F.mix(S.MaxLoadLines);
+    F.mix(S.MaxStoreLines);
+    F.mix(S.PcBins.size());
+    for (const auto &[Pc, Bin] : S.PcBins) {
+      F.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(Pc)));
+      F.mix(Bin.CriticalArcs);
+      F.mix(Bin.AccumulatedLength);
+    }
+    F.mixDouble(Rep.Estimate.BaseSpeedup);
+    F.mixDouble(Rep.Estimate.EffectiveSpeedup);
+    F.mixDouble(Rep.Estimate.Speedup);
+    F.mixDouble(Rep.Estimate.SpecCycles);
+  }
+  return F.H;
 }

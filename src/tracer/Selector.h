@@ -61,6 +61,12 @@ SelectionResult selectStls(const TraceEngine &Engine,
                            std::uint64_t ProgramCycles,
                            const sim::HydraConfig &Cfg);
 
+/// FNV-1a digest over every field of \p R, doubles hashed by bit pattern.
+/// Two selections compare equal under operator== iff their digests match,
+/// so the digest is the compact conformance currency: a replayed or
+/// re-profiled selection must reproduce the live one's digest exactly.
+std::uint64_t selectionDigest(const SelectionResult &R);
+
 } // namespace tracer
 } // namespace jrpm
 

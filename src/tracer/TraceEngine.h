@@ -134,7 +134,10 @@ private:
                     std::int32_t Pc);
   std::uint32_t tracedCount() const;
 
-  const sim::HydraConfig &Cfg;
+  /// Held by value (reentrancy audit): sweep jobs construct engines from
+  /// per-job configs on their own stacks, and a reference member would
+  /// dangle the moment a job outlives the temporary it was built from.
+  sim::HydraConfig Cfg;
   std::vector<LoopTraceInfo> Loops;
   bool ExtendedPcBinning;
   std::uint64_t DisableAfterThreads = 0;

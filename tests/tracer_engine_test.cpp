@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+
 using namespace jrpm;
 using namespace jrpm::tracer;
 
@@ -309,6 +312,73 @@ TEST(TraceEngine, SlotsReleasedInStackOrderAcrossNesting) {
   EXPECT_EQ(E.peakLocalSlots(), 6u);
   EXPECT_EQ(E.stats(0).Entries, 3u);
   EXPECT_EQ(E.stats(2).Entries, 3u);
+}
+
+TEST(TraceEngine, InterleavedEnginesStayIndependent) {
+  // Two engines with different hardware configs, driven in lockstep from
+  // interleaved event streams, must each produce exactly the stats they
+  // produce when driven alone. This is the reentrancy contract the sweep
+  // pool relies on: no shared mutable state between engine instances.
+  using Ev = void (*)(TraceEngine &, std::uint64_t);
+  const Ev Events[] = {
+      [](TraceEngine &E, std::uint64_t B) { E.onLoopStart(0, 1, B); },
+      [](TraceEngine &E, std::uint64_t B) { E.onHeapStore(40, B + 10, 1); },
+      // Second store on a different line: with a 1-line FIFO it evicts the
+      // line-10 timestamp, so the load below finds no arc there.
+      [](TraceEngine &E, std::uint64_t B) { E.onHeapStore(44, B + 18, 2); },
+      [](TraceEngine &E, std::uint64_t B) { E.onLoopIter(0, B + 20); },
+      [](TraceEngine &E, std::uint64_t B) { E.onHeapLoad(40, B + 30, 3); },
+      [](TraceEngine &E, std::uint64_t B) { E.onLoopEnd(0, B + 40); },
+  };
+  sim::HydraConfig CfgA; // defaults
+  sim::HydraConfig CfgB; // starved history: loses the line-10 store
+  CfgB.HeapTimestampFifoLines = 1;
+
+  TraceEngine RefA(CfgA, loops(1)), RefB(CfgB, loops(1));
+  for (Ev E : Events)
+    E(RefA, 100);
+  for (Ev E : Events)
+    E(RefB, 500);
+
+  TraceEngine A(CfgA, loops(1)), B(CfgB, loops(1));
+  for (Ev E : Events) {
+    E(A, 100);
+    E(B, 500);
+  }
+
+  for (auto [Got, Want] : {std::pair{&A, &RefA}, std::pair{&B, &RefB}}) {
+    const StlStats &G = Got->stats(0), &W = Want->stats(0);
+    EXPECT_EQ(G.Entries, W.Entries);
+    EXPECT_EQ(G.Threads, W.Threads);
+    EXPECT_EQ(G.Cycles, W.Cycles);
+    EXPECT_EQ(G.CritArcsPrev, W.CritArcsPrev);
+    EXPECT_EQ(G.CritLenPrev, W.CritLenPrev);
+    EXPECT_EQ(G.CritArcsEarlier, W.CritArcsEarlier);
+    EXPECT_EQ(Got->peakBanksInUse(), Want->peakBanksInUse());
+  }
+  // The starved-history engine really did behave differently from the
+  // default one, so the interleaving mixed two distinct analyses.
+  EXPECT_NE(A.stats(0).CritArcsPrev, B.stats(0).CritArcsPrev);
+}
+
+TEST(TraceEngine, ConfigHeldByValueSurvivesCaller) {
+  // Regression for the sweep reentrancy audit: the engine used to hold its
+  // HydraConfig by reference, dangling when a sweep job built the config in
+  // a temporary scope. It must copy.
+  std::unique_ptr<TraceEngine> E;
+  {
+    sim::HydraConfig Cfg;
+    Cfg.HeapTimestampFifoLines = 2;
+    E = std::make_unique<TraceEngine>(Cfg, loops(1));
+  } // Cfg destroyed; the engine must keep operating on its own copy
+  E->onLoopStart(0, 1, 0);
+  E->onHeapStore(0, 1, 1);
+  E->onHeapStore(16, 2, 1);
+  E->onHeapStore(32, 3, 1); // line 0 evicted from the 2-line FIFO
+  E->onLoopIter(0, 10);
+  E->onHeapLoad(0, 12, 2); // history lost: no arc
+  E->onLoopEnd(0, 20);
+  EXPECT_EQ(E->stats(0).CritArcsPrev, 0u);
 }
 
 TEST(TraceEngine, OutOfOrderELoopClosesInnerBanks) {
