@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# CLI conformance gate: every tool prints usage to stderr and exits 2 on a
+# bad invocation (no/unknown subcommand, missing operand, unknown option,
+# trailing junk), and keeps stdout clean while doing so.
+#
+# Usage (how the tier-1 ctest invokes it — see tools/CMakeLists.txt):
+#   scripts/ci_cli_usage.sh --run-bin <jrpm-run> --trace-bin <jrpm-trace> \
+#     --sweep-bin <jrpm-sweep> --lint-bin <jrpm-lint> --metrics-bin <jrpm-metrics>
+
+set -uo pipefail
+
+RUN_BIN=""; TRACE_BIN=""; SWEEP_BIN=""; LINT_BIN=""; METRICS_BIN=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --run-bin) RUN_BIN="$2"; shift 2 ;;
+    --trace-bin) TRACE_BIN="$2"; shift 2 ;;
+    --sweep-bin) SWEEP_BIN="$2"; shift 2 ;;
+    --lint-bin) LINT_BIN="$2"; shift 2 ;;
+    --metrics-bin) METRICS_BIN="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+for V in RUN_BIN TRACE_BIN SWEEP_BIN LINT_BIN METRICS_BIN; do
+  if [[ -z "${!V}" ]]; then
+    echo "missing --$(echo "${V%_BIN}" | tr 'A-Z' 'a-z')-bin" >&2
+    exit 2
+  fi
+done
+
+STATUS=0
+
+# expect_usage <description> <command...>
+# The command must exit 2, print a usage line on stderr, and nothing on
+# stdout after the point of failure (we only require stderr mentions
+# "usage:" — tools may emit a specific complaint line first).
+expect_usage() {
+  local DESC="$1"; shift
+  local OUT ERR RC
+  OUT="$("$@" 2>/tmp/jrpm-cli-usage-stderr.$$)"
+  RC=$?
+  ERR="$(cat /tmp/jrpm-cli-usage-stderr.$$)"
+  rm -f /tmp/jrpm-cli-usage-stderr.$$
+  if [[ ${RC} -ne 2 ]]; then
+    echo "FAIL (${DESC}): exit ${RC}, want 2: $*" >&2
+    STATUS=1
+  elif ! grep -q "usage:" <<<"${ERR}"; then
+    echo "FAIL (${DESC}): no usage on stderr: $*" >&2
+    STATUS=1
+  else
+    echo "ok (${DESC})"
+  fi
+}
+
+# jrpm-run
+expect_usage "run: no args"           "${RUN_BIN}"
+expect_usage "run: bad subcommand"    "${RUN_BIN}" frobnicate
+expect_usage "run: list with junk"    "${RUN_BIN}" list extra
+expect_usage "run: missing workload"  "${RUN_BIN}" run
+expect_usage "run: unknown option"    "${RUN_BIN}" run BitOps --bogus
+expect_usage "run: missing value"     "${RUN_BIN}" run BitOps --banks
+expect_usage "run: dump-ir with junk" "${RUN_BIN}" dump-ir BitOps extra
+expect_usage "run: trace bad option"  "${RUN_BIN}" trace BitOps --nope
+
+# jrpm-trace
+expect_usage "trace: no args"         "${TRACE_BIN}"
+expect_usage "trace: bad subcommand"  "${TRACE_BIN}" explode
+expect_usage "trace: record no wl"    "${TRACE_BIN}" record
+expect_usage "trace: info no path"    "${TRACE_BIN}" info
+expect_usage "trace: info with junk"  "${TRACE_BIN}" info a.jtrace extra
+expect_usage "trace: diff one path"   "${TRACE_BIN}" diff a.jtrace
+expect_usage "trace: diff with junk"  "${TRACE_BIN}" diff a b c
+expect_usage "trace: unknown option"  "${TRACE_BIN}" record BitOps --bogus
+
+# jrpm-sweep
+expect_usage "sweep: no args"         "${SWEEP_BIN}"
+expect_usage "sweep: bad subcommand"  "${SWEEP_BIN}" launch
+expect_usage "sweep: unknown option"  "${SWEEP_BIN}" run --bogus
+expect_usage "sweep: missing value"   "${SWEEP_BIN}" run --workloads
+expect_usage "sweep: bad level"       "${SWEEP_BIN}" run --levels sideways
+
+# jrpm-lint
+expect_usage "lint: no args"          "${LINT_BIN}"
+expect_usage "lint: unknown option"   "${LINT_BIN}" all --bogus
+
+# jrpm-metrics
+expect_usage "metrics: no args"       "${METRICS_BIN}"
+expect_usage "metrics: bad subcmd"    "${METRICS_BIN}" munge a.json
+expect_usage "metrics: show no file"  "${METRICS_BIN}" show
+expect_usage "metrics: show junk"     "${METRICS_BIN}" show a.json extra
+expect_usage "metrics: diff one file" "${METRICS_BIN}" diff a.json
+
+exit "${STATUS}"

@@ -47,8 +47,102 @@ TlsLoopRunStats TlsEngine::totals() const {
     T.OverflowStalls += S.OverflowStalls;
     T.SyncStalls += S.SyncStalls;
     T.SpecCycles += S.SpecCycles;
+    T.ThreadsStarted += S.ThreadsStarted;
+    T.ThreadsExited += S.ThreadsExited;
+    T.ThreadsDiscarded += S.ThreadsDiscarded;
+    T.UsefulCycles += S.UsefulCycles;
+    T.ForkCommitCycles += S.ForkCommitCycles;
+    T.ViolationDiscardCycles += S.ViolationDiscardCycles;
+    T.BufferStallCycles += S.BufferStallCycles;
+    T.SyncStallCycles += S.SyncStallCycles;
+    T.IdleCycles += S.IdleCycles;
   }
   return T;
+}
+
+void TlsEngine::exportMetrics(metrics::Registry &R) const {
+  TlsLoopRunStats T = totals();
+  R.counter("spec.invocations").inc(T.Invocations);
+  R.counter("spec.threads_started").inc(T.ThreadsStarted);
+  // "Committed" work is work the sequential context kept: iteration commits
+  // plus the adopted loop-exit threads. With threads_violated == Restarts,
+  // started == committed + violated + discarded holds exactly.
+  R.counter("spec.threads_committed").inc(T.CommittedThreads + T.ThreadsExited);
+  R.counter("spec.threads_violated").inc(T.Restarts);
+  R.counter("spec.threads_discarded").inc(T.ThreadsDiscarded);
+  R.counter("spec.violations").inc(T.Violations);
+  R.counter("spec.overflow_stalls").inc(T.OverflowStalls);
+  R.counter("spec.sync_stalls").inc(T.SyncStalls);
+  R.counter("spec.cycles.useful").inc(T.UsefulCycles);
+  R.counter("spec.cycles.fork_commit").inc(T.ForkCommitCycles);
+  R.counter("spec.cycles.violation_discard").inc(T.ViolationDiscardCycles);
+  R.counter("spec.cycles.buffer_stall").inc(T.BufferStallCycles);
+  R.counter("spec.cycles.sync_stall").inc(T.SyncStallCycles);
+  R.counter("spec.cycles.idle").inc(T.IdleCycles);
+  R.counter("spec.cycles.total")
+      .inc(std::uint64_t(Cfg.NumCores) * T.SpecCycles);
+  R.histogram("spec.thread_active_cycles").merge(ThreadActiveCycles);
+  R.histogram("spec.invocation_cycles").merge(InvocationCycles);
+}
+
+void TlsEngine::openStall(std::uint32_t Core, SpecThread::Stall Kind) {
+  SpecThread &T = Threads[Core];
+  if (T.StallKind != SpecThread::Stall::None)
+    return;
+  T.StallKind = Kind;
+  T.StallStart = Cycle;
+  if (TL && Core < CoreTracks.size())
+    TL->begin(CoreTracks[Core],
+              Kind == SpecThread::Stall::Buffer ? "stall.buffer"
+                                                : "stall.sync",
+              ClockBase + Cycle);
+}
+
+void TlsEngine::closeStall(std::uint32_t Core) {
+  SpecThread &T = Threads[Core];
+  if (T.StallKind == SpecThread::Stall::None)
+    return;
+  std::uint64_t Len = Cycle - T.StallStart;
+  if (T.StallKind == SpecThread::Stall::Buffer)
+    T.BufStallAcc += Len;
+  else
+    T.SyncStallAcc += Len;
+  T.StallKind = SpecThread::Stall::None;
+  if (TL && Core < CoreTracks.size())
+    TL->end(CoreTracks[Core], ClockBase + Cycle);
+}
+
+void TlsEngine::resolveLifetime(std::uint32_t Core, Outcome O) {
+  SpecThread &T = Threads[Core];
+  closeStall(Core);
+  // Decompose the lifetime into fork/commit overhead, stalls, and active
+  // time. Each component is clamped to what remains, so the four parts
+  // always sum to exactly Cycle - StartAt whatever interleaving produced
+  // them — the bucket-sum identity depends on this, not on the stall
+  // intervals being disjoint from the spawn penalty.
+  std::uint64_t Lifetime = Cycle - T.StartAt;
+  std::uint64_t Fc = std::min(T.SpawnOverheadUntil - T.StartAt, Lifetime);
+  std::uint64_t Buf = std::min(T.BufStallAcc, Lifetime - Fc);
+  std::uint64_t Sync = std::min(T.SyncStallAcc, Lifetime - Fc - Buf);
+  std::uint64_t Active = Lifetime - Fc - Buf - Sync;
+  CurStats->ForkCommitCycles += Fc;
+  CurStats->BufferStallCycles += Buf;
+  CurStats->SyncStallCycles += Sync;
+  if (O == Outcome::Commit || O == Outcome::Exit) {
+    CurStats->UsefulCycles += Active;
+    ThreadActiveCycles.record(Active);
+  } else {
+    CurStats->ViolationDiscardCycles += Active;
+  }
+  if (O == Outcome::Exit)
+    ++CurStats->ThreadsExited;
+  else if (O == Outcome::Discard)
+    ++CurStats->ThreadsDiscarded;
+  CoreBusy[Core] += Lifetime;
+  T.BufStallAcc = 0;
+  T.SyncStallAcc = 0;
+  if (TL && Core < CoreTracks.size())
+    TL->end(CoreTracks[Core], ClockBase + Cycle);
 }
 
 void TlsEngine::prepareLoop(PreparedLoop &PL, interp::Machine &M) {
@@ -103,15 +197,29 @@ void TlsEngine::spawnThread(std::uint32_t Core, std::uint64_t Iter) {
   T.StoreLines.clear();
   T.ReadSet.clear();
   T.ReadLines.clear();
+  ++CurStats->ThreadsStarted;
+  T.StartAt = Cycle;
+  // Callers that charge a spawn penalty (restart, end-of-iteration) raise
+  // this together with ReadyAt right after the call.
+  T.SpawnOverheadUntil = Cycle;
+  T.StallKind = SpecThread::Stall::None;
+  T.BufStallAcc = 0;
+  T.SyncStallAcc = 0;
+  if (TL && Core < CoreTracks.size())
+    TL->begin(CoreTracks[Core], "thread", ClockBase + Cycle);
   T.Ctx->startAt(Cur->TlsFunc, Cur->Plan.Header, spawnRegs(Iter));
 }
 
 void TlsEngine::squashThread(std::uint32_t Core) {
   SpecThread &T = Threads[Core];
   ++CurStats->Restarts;
+  if (TL && Core < CoreTracks.size())
+    TL->instant(CoreTracks[Core], "violation", ClockBase + Cycle);
+  resolveLifetime(Core, Outcome::Squash);
   std::uint64_t Iter = T.Iter;
   spawnThread(Core, Iter);
   T.ReadyAt = Cycle + Cfg.ViolationRestartCycles + Cur->Plan.NumInvariants;
+  T.SpawnOverheadUntil = T.ReadyAt;
 }
 
 void TlsEngine::flushStoreBuffer(SpecThread &T) {
@@ -136,7 +244,8 @@ void TlsEngine::accumulateReductions(SpecThread &T) {
 }
 
 void TlsEngine::resumeSyncWaiters() {
-  for (SpecThread &T : Threads) {
+  for (std::uint32_t C = 0; C < Threads.size(); ++C) {
+    SpecThread &T = Threads[C];
     if (!T.Active || T.State != SpecThread::St::WaitSync)
       continue;
     SpecThread *Pred = nullptr;
@@ -147,6 +256,7 @@ void TlsEngine::resumeSyncWaiters() {
                  Pred->State == SpecThread::St::Exited ||
                  Pred->StoreBuf.count(T.SyncAddr);
     if (Ready) {
+      closeStall(C);
       T.State = SpecThread::St::Running;
       T.ReadyAt = std::max(T.ReadyAt, Cycle);
     }
@@ -167,12 +277,14 @@ void TlsEngine::commitThread(std::uint32_t Core) {
   T.ReadSet.clear();
   T.ReadLines.clear();
   ++CurStats->CommittedThreads;
+  resolveLifetime(Core, Outcome::Commit);
   ++HeadIter;
   // The core picks up the next iteration after the end-of-iteration
   // handling overhead.
   if (!ExitCap || NextIter < *ExitCap) {
     spawnThread(Core, NextIter++);
     T.ReadyAt = Cycle + Cfg.EndOfIterationCycles;
+    T.SpawnOverheadUntil = T.ReadyAt;
   } else {
     T.Active = false;
     T.State = SpecThread::St::Idle;
@@ -201,6 +313,7 @@ std::uint64_t TlsEngine::specLoad(std::uint32_t Core, std::uint32_t Addr,
         T.SyncAddr = Addr;
         SyncRewindPending = true;
         ++CurStats->SyncStalls;
+        openStall(Core, SpecThread::Stall::Sync);
         return 0; // dummy; the load re-issues after the producer stores
       }
       break;
@@ -234,6 +347,7 @@ std::uint64_t TlsEngine::specLoad(std::uint32_t Core, std::uint32_t Addr,
   if (T.ReadLines.size() > Cfg.SpecLoadLines && T.Iter != HeadIter) {
     T.State = SpecThread::St::WaitHead;
     ++CurStats->OverflowStalls;
+    openStall(Core, SpecThread::Stall::Buffer);
   }
   return Value;
 }
@@ -251,6 +365,7 @@ void TlsEngine::specStore(std::uint32_t Core, std::uint32_t Addr,
     } else {
       T.State = SpecThread::St::WaitHead;
       ++CurStats->OverflowStalls;
+      openStall(Core, SpecThread::Stall::Buffer);
     }
   }
 
@@ -281,6 +396,11 @@ void TlsEngine::runLoop(PreparedLoop &PL, interp::ExecContext &Ctx,
   CurHeap = &M.heap();
   CurStats = &Stats[PL.Plan.LoopId];
   ++CurStats->Invocations;
+  ClockBase = M.clock();
+  CoreBusy.assign(Cfg.NumCores, 0);
+  if (TL)
+    TL->begin(EngineTrack, "loop#" + std::to_string(PL.Plan.LoopId),
+              ClockBase);
 
   EntryRegs = Ctx.topRegs();
   assert(EntryRegs.size() >=
@@ -317,6 +437,7 @@ void TlsEngine::runLoop(PreparedLoop &PL, interp::ExecContext &Ctx,
       if (!T.Active || T.Iter != HeadIter)
         continue;
       if (T.State == SpecThread::St::WaitHead) {
+        closeStall(C);
         T.State = SpecThread::St::Running;
         T.ReadyAt = std::max(T.ReadyAt, Cycle);
       } else if (T.State == SpecThread::St::IterDone) {
@@ -396,6 +517,22 @@ void TlsEngine::runLoop(PreparedLoop &PL, interp::ExecContext &Ctx,
       JRPM_FATAL("TLS loop exceeded the cycle watchdog (engine livelock?)");
   }
 
+  // Close every live lifetime at the loop's end cycle, then charge the
+  // invocation-level overheads. Per core, resolved lifetimes tile
+  // [LoopStartupCycles, Cycle] without overlap, so the remainder is idle
+  // time and the six buckets sum to exactly NumCores * final SpecCycles.
+  for (std::uint32_t C = 0; C < Threads.size(); ++C) {
+    if (!Threads[C].Active)
+      continue;
+    resolveLifetime(C, &Threads[C] == ExitThread ? Outcome::Exit
+                                                 : Outcome::Discard);
+  }
+  CurStats->ForkCommitCycles +=
+      std::uint64_t(Cfg.NumCores) *
+      (Cfg.LoopStartupCycles + Cfg.LoopShutdownCycles);
+  for (std::uint32_t C = 0; C < Cfg.NumCores; ++C)
+    CurStats->IdleCycles += (Cycle - Cfg.LoopStartupCycles) - CoreBusy[C];
+
   // Loop shutdown: adopt the exiting thread's state into the sequential
   // context, complete reductions, and reload carried locals from memory.
   SpecThread &T = *ExitThread;
@@ -419,6 +556,9 @@ void TlsEngine::runLoop(PreparedLoop &PL, interp::ExecContext &Ctx,
 
   Cycle += Cfg.LoopShutdownCycles;
   CurStats->SpecCycles += Cycle;
+  InvocationCycles.record(Cycle);
+  if (TL)
+    TL->end(EngineTrack, ClockBase + Cycle);
   M.addCycles(Cycle);
   Ctx.repositionTop(ExitBlock, std::move(FinalRegs));
   Cur = nullptr;

@@ -18,6 +18,8 @@
 #include "interp/ExecContext.h"
 #include "interp/Machine.h"
 #include "jit/TlsPlan.h"
+#include "metrics/Metrics.h"
+#include "metrics/Timeline.h"
 #include "sim/CacheModel.h"
 #include "sim/Config.h"
 
@@ -33,6 +35,16 @@ namespace jrpm {
 namespace hydra {
 
 /// Per-loop speculative execution statistics.
+///
+/// Thread identity: every spawned thread lifetime resolves exactly once, so
+///   ThreadsStarted == CommittedThreads + Restarts + ThreadsDiscarded
+///                     + ThreadsExited.
+///
+/// Cycle identity: the six *Cycles buckets partition every core-cycle the
+/// loop occupied, so
+///   UsefulCycles + ForkCommitCycles + ViolationDiscardCycles
+///     + BufferStallCycles + SyncStallCycles + IdleCycles
+///   == NumCores * SpecCycles.
 struct TlsLoopRunStats {
   std::uint64_t Invocations = 0;
   std::uint64_t CommittedThreads = 0;
@@ -41,6 +53,18 @@ struct TlsLoopRunStats {
   std::uint64_t OverflowStalls = 0;
   std::uint64_t SyncStalls = 0;
   std::uint64_t SpecCycles = 0;
+  std::uint64_t ThreadsStarted = 0;
+  /// Threads whose loop-exit path was adopted by the sequential context.
+  std::uint64_t ThreadsExited = 0;
+  /// Live threads thrown away when another thread's exit ended the loop.
+  std::uint64_t ThreadsDiscarded = 0;
+  // Table-2 style overhead buckets, in core-cycles.
+  std::uint64_t UsefulCycles = 0;
+  std::uint64_t ForkCommitCycles = 0;
+  std::uint64_t ViolationDiscardCycles = 0;
+  std::uint64_t BufferStallCycles = 0;
+  std::uint64_t SyncStallCycles = 0;
+  std::uint64_t IdleCycles = 0;
 };
 
 class TlsEngine : public interp::LoopDispatcher {
@@ -59,6 +83,19 @@ public:
   /// Aggregate statistics over all loops.
   TlsLoopRunStats totals() const;
 
+  /// Attaches the span recorder: one track per core for thread lifetimes,
+  /// stall sub-spans and violation markers, plus \p EngineTrack for loop
+  /// invocation spans. \p Cores must hold one track per configured core.
+  void setObservability(metrics::Timeline *Timeline, metrics::TrackId Engine,
+                        std::vector<metrics::TrackId> Cores) {
+    TL = Timeline;
+    EngineTrack = Engine;
+    CoreTracks = std::move(Cores);
+  }
+
+  /// Exports the aggregate stats as "spec.*" counters and histograms.
+  void exportMetrics(metrics::Registry &R) const;
+
 private:
   struct PreparedLoop {
     jit::TlsLoopPlan Plan;
@@ -76,6 +113,7 @@ private:
   /// One core's speculative thread state.
   struct SpecThread {
     enum class St { Idle, Running, WaitHead, WaitSync, IterDone, Exited };
+    enum class Stall { None, Buffer, Sync };
     St State = St::Idle;
     bool Active = false;
     std::uint64_t Iter = 0;
@@ -83,6 +121,15 @@ private:
     std::uint32_t ExitBlock = 0;
     /// Spill address a WaitSync thread spins on.
     std::uint32_t SyncAddr = 0;
+    // Cycle-attribution state for the current lifetime (spawn..resolve).
+    std::uint64_t StartAt = 0;
+    /// Cycle up to which this lifetime is charged as fork/commit overhead
+    /// (restart penalty, end-of-iteration handling); == ReadyAt at spawn.
+    std::uint64_t SpawnOverheadUntil = 0;
+    std::uint64_t StallStart = 0;
+    Stall StallKind = Stall::None;
+    std::uint64_t BufStallAcc = 0;
+    std::uint64_t SyncStallAcc = 0;
     std::unique_ptr<interp::ExecContext> Ctx;
     std::unique_ptr<sim::L1CacheModel> L1;
     std::unordered_map<std::uint32_t, std::uint64_t> StoreBuf;
@@ -112,6 +159,16 @@ private:
   void prepareLoop(PreparedLoop &PL, interp::Machine &M);
   void runLoop(PreparedLoop &PL, interp::ExecContext &Ctx,
                interp::Machine &M);
+
+  /// How a thread lifetime ended; decides which bucket its active cycles
+  /// land in (Commit/Exit -> useful, Squash/Discard -> violation discard).
+  enum class Outcome { Commit, Exit, Squash, Discard };
+  void openStall(std::uint32_t Core, SpecThread::Stall Kind);
+  void closeStall(std::uint32_t Core);
+  /// Closes the current lifetime of \p Core's thread at the current Cycle:
+  /// decomposes [StartAt, Cycle) into fork/commit + stall + active time,
+  /// charges the buckets, and accounts the core occupancy.
+  void resolveLifetime(std::uint32_t Core, Outcome O);
 
   std::uint64_t specLoad(std::uint32_t Core, std::uint32_t Addr,
                          std::uint32_t &Extra);
@@ -154,6 +211,18 @@ private:
   /// Set by specLoad when a synchronized load must be retried; runLoop
   /// rewinds the context so the load re-issues after the producer stores.
   bool SyncRewindPending = false;
+
+  // Observability state. CoreBusy accumulates resolved lifetime lengths per
+  // core within the current invocation; what remains of the invocation's
+  // span is idle time by definition.
+  metrics::Timeline *TL = nullptr;
+  metrics::TrackId EngineTrack = 0;
+  std::vector<metrics::TrackId> CoreTracks;
+  std::vector<std::uint64_t> CoreBusy;
+  /// Machine clock at runLoop entry; global ts = ClockBase + local Cycle.
+  std::uint64_t ClockBase = 0;
+  metrics::Histogram ThreadActiveCycles;
+  metrics::Histogram InvocationCycles;
 };
 
 } // namespace hydra

@@ -18,8 +18,14 @@
 #include "sim/Config.h"
 
 #include <cstdint>
+#include <string>
 
 namespace jrpm {
+namespace metrics {
+class Registry;
+class Timeline;
+} // namespace metrics
+
 namespace interp {
 
 class Machine;
@@ -95,6 +101,20 @@ public:
   void setTraceSink(TraceSink *S) { Sink = S; }
   void setDispatcher(LoopDispatcher *D) { Dispatcher = D; }
 
+  /// Attaches the observability layer: at the end of run() the machine
+  /// exports its run counters under "interp.<phase>." into \p Reg and, when
+  /// \p TL is non-null, emits one whole-run span on \p TrackId. Costs
+  /// nothing on the per-instruction path — everything is derived from the
+  /// totals run() already accumulates.
+  void setObservability(metrics::Registry *Reg, std::string Phase,
+                        metrics::Timeline *TL = nullptr,
+                        std::uint32_t TrackId = 0) {
+    Metrics = Reg;
+    MetricsPhase = std::move(Phase);
+    Timeline = TL;
+    TimelineTrack = TrackId;
+  }
+
   /// Runs the entry function to completion.
   RunResult run(const std::vector<std::uint64_t> &Args = {});
 
@@ -114,6 +134,10 @@ private:
   DirectMemoryPort Port;
   TraceSink *Sink = nullptr;
   LoopDispatcher *Dispatcher = nullptr;
+  metrics::Registry *Metrics = nullptr;
+  metrics::Timeline *Timeline = nullptr;
+  std::uint32_t TimelineTrack = 0;
+  std::string MetricsPhase;
   std::uint64_t Clock = 0;
 };
 

@@ -50,10 +50,23 @@ Jrpm::Jrpm(ir::Module Program, PipelineConfig Config)
   Opts.StaticPrefilter = Cfg.StaticPrefilter;
   Opts.SerialArcBudget = Cfg.SerialArcBudget;
   MA = std::make_unique<analysis::ModuleAnalysis>(M, Opts);
+  if (Cfg.Timeline) {
+    // Fixed registration order => stable pid/tid assignment across runs.
+    metrics::Timeline &TL = *Cfg.Timeline;
+    PlainTrack = TL.track("jrpm", 0, "plain");
+    ProfileTrack = TL.track("jrpm", 1, "profile");
+    TlsTrack = TL.track("jrpm", 2, "tls");
+    TracerTrack = TL.track("tracer", 0, "banks");
+    for (std::uint32_t C = 0; C < Cfg.Hw.NumCores; ++C)
+      CoreTracks.push_back(
+          TL.track("hydra", C, "cpu" + std::to_string(C)));
+    EngineTrack = TL.track("hydra", Cfg.Hw.NumCores, "engine");
+  }
 }
 
 interp::RunResult Jrpm::runPlain(const std::vector<std::uint64_t> &Args) {
   interp::Machine Machine(M, Cfg.Hw);
+  Machine.setObservability(Cfg.Metrics, "plain", Cfg.Timeline, PlainTrack);
   return Machine.run(Args);
 }
 
@@ -101,6 +114,10 @@ Jrpm::profileAndSelect(const std::vector<std::uint64_t> &Args) {
 
   interp::Machine Machine(Annotated->Module, Cfg.Hw);
   Machine.setTraceSink(Sink);
+  Machine.setObservability(Cfg.Metrics, "profiled", Cfg.Timeline,
+                           ProfileTrack);
+  if (Cfg.Timeline)
+    Tracer->setObservability(Cfg.Timeline, TracerTrack);
   ProfileOutcome Out;
   Out.Run = Machine.run(Args);
   if (Recorder)
@@ -109,6 +126,8 @@ Jrpm::profileAndSelect(const std::vector<std::uint64_t> &Args) {
   Out.PeakBanksInUse = Tracer->peakBanksInUse();
   Out.PeakLocalSlots = Tracer->peakLocalSlots();
   Out.PeakDynamicNest = Tracer->peakDynamicNest();
+  if (Cfg.Metrics)
+    Tracer->exportMetrics(*Cfg.Metrics);
   return Out;
 }
 
@@ -127,9 +146,14 @@ Jrpm::runSpeculative(const tracer::SelectionResult &Selection,
   hydra::TlsEngine Engine(M, Cfg.Hw, std::move(Plans));
   interp::Machine Machine(M, Cfg.Hw);
   Machine.setDispatcher(&Engine);
+  Machine.setObservability(Cfg.Metrics, "tls", Cfg.Timeline, TlsTrack);
+  if (Cfg.Timeline)
+    Engine.setObservability(Cfg.Timeline, EngineTrack, CoreTracks);
   TlsOutcome Out;
   Out.Run = Machine.run(Args);
   Out.LoopStats = Engine.loopStats();
+  if (Cfg.Metrics)
+    Engine.exportMetrics(*Cfg.Metrics);
   return Out;
 }
 
@@ -140,6 +164,7 @@ Jrpm::ProfileOutcome pipeline::selectFromTrace(const std::string &Path,
   RC.Hw = Cfg.Hw;
   RC.ExtendedPcBinning = Cfg.ExtendedPcBinning;
   RC.DisableLoopAfterThreads = Cfg.DisableLoopAfterThreads;
+  RC.Metrics = Cfg.Metrics;
   trace::ReplayOutcome Replayed = trace::selectFromTrace(R, RC);
 
   Jrpm::ProfileOutcome Out;

@@ -52,6 +52,17 @@ struct PipelineConfig {
   std::string ReplayTracePath;
   /// Workload name stamped into a recorded trace's header.
   std::string WorkloadName;
+
+  // --- Observability (src/metrics) ----------------------------------------
+  /// When set, each pipeline step exports its counters and histograms here
+  /// as it finishes: "interp.<phase>.*" from the machines, "tracer.*" from
+  /// the profiling (or replayed) engine, "spec.*" from the Hydra engine.
+  metrics::Registry *Metrics = nullptr;
+  /// When set, steps record spans here. Jrpm registers its tracks in a
+  /// fixed order at construction (one per pipeline phase, one for the
+  /// tracer's bank array, one per Hydra core plus the engine), so pid/tid
+  /// assignment is stable run to run.
+  metrics::Timeline *Timeline = nullptr;
 };
 
 struct PipelineResult {
@@ -125,6 +136,14 @@ private:
   std::unique_ptr<analysis::ModuleAnalysis> MA;
   std::unique_ptr<jit::AnnotatedModule> Annotated;
   std::unique_ptr<tracer::TraceEngine> Tracer;
+
+  // Timeline tracks, registered in the constructor (fixed order).
+  metrics::TrackId PlainTrack = 0;
+  metrics::TrackId ProfileTrack = 0;
+  metrics::TrackId TlsTrack = 0;
+  metrics::TrackId TracerTrack = 0;
+  metrics::TrackId EngineTrack = 0;
+  std::vector<metrics::TrackId> CoreTracks;
 };
 
 /// Trace-driven Steps 2–3: rebuilds the tracer from a recorded .jtrace and

@@ -1,0 +1,138 @@
+//===- metrics/Timeline.cpp -----------------------------------------------==//
+
+#include "metrics/Timeline.h"
+
+#include <cassert>
+#include <map>
+
+using namespace jrpm;
+using namespace jrpm::metrics;
+
+TrackId Timeline::track(const std::string &Process, std::uint32_t Tid,
+                        const std::string &Name) {
+  std::lock_guard<std::mutex> L(M);
+  for (std::uint32_t I = 0; I < Tracks.size(); ++I)
+    if (Tracks[I].Process == Process && Tracks[I].Tid == Tid)
+      return I;
+  // Pids follow first-appearance order of process names: deterministic as
+  // long as callers register tracks in a fixed order.
+  std::uint32_t Pid = 0;
+  std::uint32_t MaxPid = 0;
+  for (const Track &T : Tracks) {
+    MaxPid = std::max(MaxPid, T.Pid);
+    if (T.Process == Process)
+      Pid = T.Pid;
+  }
+  if (Pid == 0)
+    Pid = MaxPid + 1;
+  Track T;
+  T.Process = Process;
+  T.Pid = Pid;
+  T.Tid = Tid;
+  T.Name = Name;
+  Tracks.push_back(std::move(T));
+  return static_cast<TrackId>(Tracks.size() - 1);
+}
+
+bool Timeline::admit() {
+  if (Recorded >= EventLimit) {
+    ++Dropped;
+    return false;
+  }
+  ++Recorded;
+  return true;
+}
+
+void Timeline::begin(TrackId Track, const std::string &Name,
+                     std::uint64_t Ts) {
+  std::lock_guard<std::mutex> L(M);
+  assert(Track < Tracks.size() && "begin on unregistered track");
+  if (!admit())
+    return;
+  Tracks[Track].Events.push_back({'B', Name, Ts});
+  ++Tracks[Track].OpenSpans;
+  Tracks[Track].LastTs = Ts;
+}
+
+void Timeline::end(TrackId Track, std::uint64_t Ts) {
+  std::lock_guard<std::mutex> L(M);
+  assert(Track < Tracks.size() && "end on unregistered track");
+  if (Tracks[Track].OpenSpans == 0 || !admit())
+    return;
+  Tracks[Track].Events.push_back({'E', std::string(), Ts});
+  --Tracks[Track].OpenSpans;
+  Tracks[Track].LastTs = Ts;
+}
+
+void Timeline::instant(TrackId Track, const std::string &Name,
+                       std::uint64_t Ts) {
+  std::lock_guard<std::mutex> L(M);
+  assert(Track < Tracks.size() && "instant on unregistered track");
+  if (!admit())
+    return;
+  Tracks[Track].Events.push_back({'i', Name, Ts});
+  Tracks[Track].LastTs = Ts;
+}
+
+Json Timeline::toJson() const {
+  std::lock_guard<std::mutex> L(M);
+  Json Events = Json::array();
+
+  // Metadata first: process and thread names, emitted per track in
+  // registration order (deduplicating process_name per pid).
+  std::map<std::uint32_t, bool> NamedPids;
+  for (const Track &T : Tracks) {
+    if (!NamedPids.count(T.Pid)) {
+      NamedPids[T.Pid] = true;
+      Json E = Json::object();
+      E["ph"] = "M";
+      E["name"] = "process_name";
+      E["pid"] = T.Pid;
+      E["tid"] = T.Tid;
+      Json Args = Json::object();
+      Args["name"] = T.Process;
+      E["args"] = std::move(Args);
+      Events.push(std::move(E));
+    }
+    Json E = Json::object();
+    E["ph"] = "M";
+    E["name"] = "thread_name";
+    E["pid"] = T.Pid;
+    E["tid"] = T.Tid;
+    Json Args = Json::object();
+    Args["name"] = T.Name;
+    E["args"] = std::move(Args);
+    Events.push(std::move(E));
+  }
+
+  for (const Track &T : Tracks) {
+    for (const Event &Ev : T.Events) {
+      Json E = Json::object();
+      E["ph"] = std::string(1, Ev.Ph);
+      if (Ev.Ph != 'E')
+        E["name"] = Ev.Name;
+      if (Ev.Ph == 'i')
+        E["s"] = "t";
+      E["pid"] = T.Pid;
+      E["tid"] = T.Tid;
+      E["ts"] = Ev.Ts;
+      Events.push(std::move(E));
+    }
+    // Close anything still open so every B has a matching E.
+    for (std::uint32_t K = 0; K < T.OpenSpans; ++K) {
+      Json E = Json::object();
+      E["ph"] = "E";
+      E["pid"] = T.Pid;
+      E["tid"] = T.Tid;
+      E["ts"] = T.LastTs;
+      Events.push(std::move(E));
+    }
+  }
+
+  Json Root = Json::object();
+  Root["displayTimeUnit"] = "ms";
+  Root["traceEvents"] = std::move(Events);
+  if (Dropped)
+    Root["droppedEvents"] = Dropped;
+  return Root;
+}

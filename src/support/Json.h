@@ -53,6 +53,30 @@ public:
   /// Array append.
   void push(Json V);
 
+  // --- Read access (for parsed documents) ---------------------------------
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isString() const { return K == Kind::String; }
+  bool isNumber() const {
+    return K == Kind::Int || K == Kind::Uint || K == Kind::Double;
+  }
+  /// Object member, or null when absent / not an object.
+  const Json *find(const std::string &Key) const;
+  const std::map<std::string, Json> &members() const { return Obj; }
+  const std::vector<Json> &items() const { return Arr; }
+  const std::string &str() const { return S; }
+  bool boolean() const { return B; }
+  /// Unified numeric view (Int/Uint/Double all convert; else 0).
+  double number() const;
+  std::uint64_t asUint() const;
+
+  /// Parses \p Text (the subset this class emits: null, bool, numbers,
+  /// strings with the escapes jsonEscape produces plus \/ and \uXXXX for
+  /// ASCII, arrays, objects). Returns false with *Err set on malformed
+  /// input. Duplicate object keys keep the last value.
+  static bool parse(const std::string &Text, Json &Out,
+                    std::string *Err = nullptr);
+
   /// Serializes with two-space indentation, sorted object keys, and a
   /// trailing newline at the top level.
   std::string dump() const;

@@ -59,7 +59,9 @@ void appendError(SweepResult &R, const std::string &Msg) {
 /// verification — the Pipeline job mode.
 void runPipelineJob(const workloads::Workload &W, const SweepJob &Job,
                     SweepResult &R) {
-  pipeline::Jrpm J(W.Build(), Job.Cfg);
+  pipeline::PipelineConfig Cfg = Job.Cfg;
+  Cfg.Metrics = &R.Metrics;
+  pipeline::Jrpm J(W.Build(), Cfg);
   pipeline::PipelineResult P = J.runAll();
   fillPipelineFields(R, P);
   if (P.TlsRun.ReturnValue != P.PlainRun.ReturnValue)
@@ -81,6 +83,7 @@ void runConformanceJob(const workloads::Workload &W, const SweepJob &Job,
                           std::to_string(Job.Index) + ".jtrace";
   pipeline::PipelineConfig Cfg = Job.Cfg;
   Cfg.RecordTracePath = TracePath;
+  Cfg.Metrics = &R.Metrics;
 
   pipeline::Jrpm J(W.Build(), Cfg);
   interp::RunResult Plain = J.runPlain();
@@ -163,17 +166,43 @@ SweepResult sweep::runJob(const SweepJob &Job) {
 }
 
 SweepReport sweep::runSweep(const std::vector<SweepJob> &Jobs,
-                            unsigned Threads) {
+                            unsigned Threads,
+                            metrics::Timeline *Timeline) {
   SweepReport Report;
   Report.Results.resize(Jobs.size());
   Clock::time_point T0 = Clock::now();
   {
     ThreadPool Pool(Threads);
     Report.Threads = Pool.threadCount();
+    // Worker tracks are registered before any job runs, in index order, so
+    // the timeline's pid/tid assignment never depends on scheduling.
+    std::vector<metrics::TrackId> WorkerTracks;
+    if (Timeline)
+      for (unsigned W = 0; W < Pool.threadCount(); ++W)
+        WorkerTracks.push_back(
+            Timeline->track("sweep", W, "worker" + std::to_string(W)));
     for (const SweepJob &Job : Jobs)
       // Each job writes its preassigned slot; completion order is free.
-      Pool.submit([&Job, &Report] {
+      Pool.submit([&Job, &Report, Timeline, &WorkerTracks, T0] {
+        int W = ThreadPool::currentWorker();
+        bool Spanned = Timeline && W >= 0 &&
+                       static_cast<std::size_t>(W) < WorkerTracks.size();
+        if (Spanned)
+          Timeline->begin(WorkerTracks[static_cast<std::size_t>(W)],
+                          "job#" + std::to_string(Job.Index) + " " +
+                              Job.Workload,
+                          static_cast<std::uint64_t>(
+                              std::chrono::duration_cast<
+                                  std::chrono::microseconds>(Clock::now() -
+                                                             T0)
+                                  .count()));
         Report.Results[Job.Index] = runJob(Job);
+        if (Spanned)
+          Timeline->end(WorkerTracks[static_cast<std::size_t>(W)],
+                        static_cast<std::uint64_t>(
+                            std::chrono::duration_cast<
+                                std::chrono::microseconds>(Clock::now() - T0)
+                                .count()));
       });
     Pool.wait();
   }
@@ -192,6 +221,17 @@ SweepReport sweep::runSweep(const std::vector<SweepJob> &Jobs,
     }
   }
   return Report;
+}
+
+metrics::Registry sweep::mergedMetrics(const SweepReport &R) {
+  metrics::Registry Merged;
+  for (const SweepResult &S : R.Results)
+    Merged.merge(S.Metrics);
+  Merged.counter("sweep.jobs").inc(R.Results.size());
+  Merged.counter("sweep.jobs_ok").inc(R.OkCount);
+  Merged.counter("sweep.jobs_failed").inc(R.FailedCount);
+  Merged.counter("sweep.jobs_timed_out").inc(R.TimedOutCount);
+  return Merged;
 }
 
 Json sweep::reportToJson(const SweepReport &R, bool IncludeTimings) {

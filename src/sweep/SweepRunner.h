@@ -14,6 +14,8 @@
 #ifndef JRPM_SWEEP_SWEEPRUNNER_H
 #define JRPM_SWEEP_SWEEPRUNNER_H
 
+#include "metrics/Metrics.h"
+#include "metrics/Timeline.h"
 #include "support/Json.h"
 #include "sweep/SweepPlan.h"
 #include "sweep/ThreadPool.h"
@@ -58,6 +60,12 @@ struct SweepResult {
   std::uint64_t ReplayDigest = 0;
 
   double WallMs = 0; ///< job wall-clock (non-deterministic; gated in JSON)
+
+  /// Per-job instrumentation registry, filled by the pipeline while the
+  /// job runs in isolation. Not part of the report JSON (the sweep golden
+  /// gate byte-compares that); consumers fold the slots together with
+  /// mergedMetrics().
+  metrics::Registry Metrics;
 };
 
 struct SweepReport {
@@ -77,7 +85,20 @@ struct SweepReport {
 SweepResult runJob(const SweepJob &Job);
 
 /// Executes \p Jobs on a pool of \p Threads workers (0 = hardware width).
-SweepReport runSweep(const std::vector<SweepJob> &Jobs, unsigned Threads);
+/// With \p Timeline set, one track per worker is registered up front (in
+/// worker-index order, so pid/tid stay stable) and each job becomes a span
+/// on the track of the worker that ran it. Span timestamps are wall-clock
+/// microseconds since the sweep started — a profiling aid, deliberately
+/// outside the determinism contract (which per-job metrics satisfy
+/// instead).
+SweepReport runSweep(const std::vector<SweepJob> &Jobs, unsigned Threads,
+                     metrics::Timeline *Timeline = nullptr);
+
+/// Folds the per-job registries together in plan order and adds the
+/// "sweep.jobs*" summary counters. Merging is order-deterministic, so a
+/// 1-thread and an N-thread sweep of the same plan produce byte-identical
+/// exports.
+metrics::Registry mergedMetrics(const SweepReport &R);
 
 /// Renders a report as a deterministic JSON document. Wall-clock times and
 /// pool width are emitted only when \p IncludeTimings is set — with it off

@@ -17,6 +17,8 @@ unsigned ThreadPool::defaultThreads() {
   return N ? N : 1;
 }
 
+int ThreadPool::currentWorker() { return CurrentWorker; }
+
 ThreadPool::ThreadPool(unsigned Threads) {
   if (Threads == 0)
     Threads = defaultThreads();

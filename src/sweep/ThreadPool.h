@@ -57,6 +57,11 @@ public:
   /// std::thread::hardware_concurrency() with a floor of 1.
   static unsigned defaultThreads();
 
+  /// Index of the pool worker executing the caller, or -1 when the calling
+  /// thread is not a pool worker. Lets a running job attribute itself to a
+  /// per-worker slot (e.g. a timeline track) without any synchronization.
+  static int currentWorker();
+
 private:
   struct Deque {
     std::mutex M;

@@ -36,6 +36,10 @@ ReplayOutcome finishOutcome(tracer::TraceEngine &Engine,
   Out.PeakBanksInUse = Engine.peakBanksInUse();
   Out.PeakLocalSlots = Engine.peakLocalSlots();
   Out.PeakDynamicNest = Engine.peakDynamicNest();
+  if (Cfg.Metrics) {
+    Engine.exportMetrics(*Cfg.Metrics);
+    Cfg.Metrics->counter("trace.events_replayed").inc(EventsReplayed);
+  }
   return Out;
 }
 

@@ -17,6 +17,10 @@
 #include "trace/Reader.h"
 
 namespace jrpm {
+namespace metrics {
+class Registry;
+} // namespace metrics
+
 namespace trace {
 
 /// Tracer-side knobs for a replayed analysis. Defaults are filled from the
@@ -25,6 +29,10 @@ struct ReplayConfig {
   sim::HydraConfig Hw;
   bool ExtendedPcBinning = false;
   std::uint64_t DisableLoopAfterThreads = 0;
+  /// When set, the replayed engine exports its "tracer.*" metrics here
+  /// (plus a "trace.events_replayed" counter). A replay under the recorded
+  /// config exports bytes identical to the live run's tracer metrics.
+  metrics::Registry *Metrics = nullptr;
 };
 
 struct ReplayOutcome {

@@ -20,6 +20,41 @@ TraceEngine::TraceEngine(const sim::HydraConfig &Cfg,
                   Cfg.OverflowTableAssoc),
       LocalTs(Cfg.LocalVarSlots), Stats(Loops.size()) {}
 
+void TraceEngine::exportMetrics(metrics::Registry &R) const {
+  R.counter("tracer.events.heap_load").inc(Events.HeapLoads);
+  R.counter("tracer.events.heap_store").inc(Events.HeapStores);
+  R.counter("tracer.events.local_load").inc(Events.LocalLoads);
+  R.counter("tracer.events.local_store").inc(Events.LocalStores);
+  R.counter("tracer.events.loop_start").inc(Events.LoopStarts);
+  R.counter("tracer.events.loop_iter").inc(Events.LoopIters);
+  R.counter("tracer.events.loop_end").inc(Events.LoopEnds);
+  R.counter("tracer.events.return").inc(Events.Returns);
+  R.counter("tracer.events.read_stats").inc(Events.ReadStats);
+  StlStats Sum;
+  for (const StlStats &S : Stats) {
+    Sum.Threads += S.Threads;
+    Sum.Entries += S.Entries;
+    Sum.UntracedEntries += S.UntracedEntries;
+    Sum.OverflowThreads += S.OverflowThreads;
+    Sum.CritArcsPrev += S.CritArcsPrev;
+    Sum.CritArcsEarlier += S.CritArcsEarlier;
+    Sum.CritLenPrev += S.CritLenPrev;
+    Sum.CritLenEarlier += S.CritLenEarlier;
+  }
+  R.counter("tracer.threads").inc(Sum.Threads);
+  R.counter("tracer.entries").inc(Sum.Entries);
+  R.counter("tracer.untraced_entries").inc(Sum.UntracedEntries);
+  R.counter("tracer.overflow_threads").inc(Sum.OverflowThreads);
+  R.counter("tracer.crit_arcs_prev").inc(Sum.CritArcsPrev);
+  R.counter("tracer.crit_arcs_earlier").inc(Sum.CritArcsEarlier);
+  R.counter("tracer.crit_len_prev").inc(Sum.CritLenPrev);
+  R.counter("tracer.crit_len_earlier").inc(Sum.CritLenEarlier);
+  R.gauge("tracer.peak_banks").peak(PeakBanks);
+  R.gauge("tracer.peak_local_slots").peak(PeakSlots);
+  R.gauge("tracer.peak_nest").peak(PeakNest);
+  R.histogram("tracer.thread_size_cycles").merge(ThreadSizeCycles);
+}
+
 std::uint32_t TraceEngine::tracedCount() const {
   std::uint32_t N = 0;
   for (const ComparatorBank &B : Active)
@@ -62,6 +97,7 @@ void TraceEngine::checkLoadArc(std::uint64_t StoreTs, std::uint64_t Cycle,
 
 std::uint32_t TraceEngine::onHeapLoad(std::uint32_t Addr, std::uint64_t Cycle,
                                       std::int32_t Pc) {
+  ++Events.HeapLoads;
   LastEventTime = Cycle;
   if (Active.empty())
     return 0;
@@ -85,6 +121,7 @@ std::uint32_t TraceEngine::onHeapLoad(std::uint32_t Addr, std::uint64_t Cycle,
 std::uint32_t TraceEngine::onHeapStore(std::uint32_t Addr, std::uint64_t Cycle,
                                        std::int32_t Pc) {
   (void)Pc;
+  ++Events.HeapStores;
   LastEventTime = Cycle;
   if (Active.empty()) {
     // Still record history: a loop entered shortly after can see stores
@@ -109,6 +146,7 @@ std::uint32_t TraceEngine::onHeapStore(std::uint32_t Addr, std::uint64_t Cycle,
 std::uint32_t TraceEngine::onLocalLoad(std::uint64_t Activation,
                                        std::uint16_t Reg, std::uint64_t Cycle,
                                        std::int32_t Pc) {
+  ++Events.LocalLoads;
   LastEventTime = Cycle;
   // Resolve (activation, register) to the owning reservation, innermost
   // first.
@@ -129,6 +167,7 @@ std::uint32_t TraceEngine::onLocalStore(std::uint64_t Activation,
                                         std::uint16_t Reg, std::uint64_t Cycle,
                                         std::int32_t Pc) {
   (void)Pc;
+  ++Events.LocalStores;
   LastEventTime = Cycle;
   for (auto It = Active.rbegin(); It != Active.rend(); ++It) {
     if (It->Activation != Activation)
@@ -146,6 +185,7 @@ std::uint32_t TraceEngine::onLocalStore(std::uint64_t Activation,
 std::uint32_t TraceEngine::onLoopStart(std::uint32_t LoopId,
                                        std::uint64_t Activation,
                                        std::uint64_t Cycle) {
+  ++Events.LoopStarts;
   LastEventTime = Cycle;
   assert(LoopId < Loops.size() && "unknown loop id");
   bool Disabled = isDisabled(LoopId);
@@ -190,6 +230,8 @@ std::uint32_t TraceEngine::onLoopStart(std::uint32_t LoopId,
   if (WantTrace) {
     Bank.EntryTime = Bank.CurThreadStart = Bank.PrevThreadStart = Cycle;
     ++Stats[LoopId].Entries;
+    if (TL)
+      TL->begin(Track, "bank#" + std::to_string(LoopId), Cycle);
   } else {
     ++Stats[LoopId].UntracedEntries;
   }
@@ -233,10 +275,12 @@ void TraceEngine::finalizeThread(ComparatorBank &Bank) {
 
 std::uint32_t TraceEngine::onLoopIter(std::uint32_t LoopId,
                                       std::uint64_t Cycle) {
+  ++Events.LoopIters;
   LastEventTime = Cycle;
   ComparatorBank *Bank = findTraced(LoopId);
   if (!Bank)
     return isDisabled(LoopId) ? 0 : extraCost(Cfg.EoiCost);
+  ThreadSizeCycles.record(Cycle - Bank->CurThreadStart);
   finalizeThread(*Bank);
   Bank->PrevThreadStart = Bank->CurThreadStart;
   Bank->CurThreadStart = Cycle;
@@ -245,8 +289,12 @@ std::uint32_t TraceEngine::onLoopIter(std::uint32_t LoopId,
 
 void TraceEngine::closeBank(ComparatorBank &Bank, std::uint64_t Cycle) {
   if (Bank.Traced) {
+    if (Cycle >= Bank.CurThreadStart)
+      ThreadSizeCycles.record(Cycle - Bank.CurThreadStart);
     finalizeThread(Bank);
     Stats[Bank.LoopId].Cycles += Cycle - Bank.EntryTime;
+    if (TL)
+      TL->end(Track, Cycle);
   }
   if (Bank.SlotBase >= 0)
     LocalTs.release(static_cast<std::uint32_t>(Bank.SlotBase),
@@ -255,6 +303,7 @@ void TraceEngine::closeBank(ComparatorBank &Bank, std::uint64_t Cycle) {
 
 std::uint32_t TraceEngine::onLoopEnd(std::uint32_t LoopId,
                                      std::uint64_t Cycle) {
+  ++Events.LoopEnds;
   LastEventTime = Cycle;
   // A matching sloop may never have fired (e.g. the loop was entered before
   // tracing was switched on); in that case the eloop is ignored rather than
@@ -277,6 +326,7 @@ std::uint32_t TraceEngine::onLoopEnd(std::uint32_t LoopId,
 }
 
 void TraceEngine::onReturn(std::uint64_t Activation) {
+  ++Events.Returns;
   while (!Active.empty() && Active.back().Activation == Activation) {
     ComparatorBank Bank = std::move(Active.back());
     Active.pop_back();
@@ -286,6 +336,7 @@ void TraceEngine::onReturn(std::uint64_t Activation) {
 
 std::uint32_t TraceEngine::onReadStats(std::uint32_t LoopId,
                                        std::uint64_t Cycle) {
+  ++Events.ReadStats;
   LastEventTime = Cycle;
   return isDisabled(LoopId) ? 0 : extraCost(Cfg.ReadStatsCost);
 }

@@ -14,6 +14,8 @@
 #define JRPM_TRACER_TRACEENGINE_H
 
 #include "interp/TraceSink.h"
+#include "metrics/Metrics.h"
+#include "metrics/Timeline.h"
 #include "sim/Config.h"
 #include "tracer/StlStats.h"
 #include "tracer/TimestampStores.h"
@@ -113,6 +115,19 @@ public:
   /// loops that could not get a bank.
   std::uint32_t peakDynamicNest() const { return PeakNest; }
 
+  /// Attaches the span recorder: traced bank activations become nested
+  /// spans on \p T (the comparator-bank array is a stack, so spans nest by
+  /// construction).
+  void setObservability(metrics::Timeline *Timeline, metrics::TrackId T) {
+    TL = Timeline;
+    Track = T;
+  }
+
+  /// Exports accumulated totals as "tracer.*" metrics. Every value is a
+  /// pure function of the consumed event stream, so a live run and a
+  /// replayed capture of the same run export identical bytes.
+  void exportMetrics(metrics::Registry &R) const;
+
 private:
   /// True once the runtime has dynamically disabled this loop's
   /// annotations (they cost nothing from then on — the paper overwrites
@@ -154,6 +169,24 @@ private:
   std::uint32_t PeakSlots = 0;
   std::uint32_t PeakNest = 0;
   std::uint64_t LastEventTime = 0;
+
+  /// Event-stream counters: one plain increment per event, folded into a
+  /// registry only by exportMetrics().
+  struct EventCounts {
+    std::uint64_t HeapLoads = 0;
+    std::uint64_t HeapStores = 0;
+    std::uint64_t LocalLoads = 0;
+    std::uint64_t LocalStores = 0;
+    std::uint64_t LoopStarts = 0;
+    std::uint64_t LoopIters = 0;
+    std::uint64_t LoopEnds = 0;
+    std::uint64_t Returns = 0;
+    std::uint64_t ReadStats = 0;
+  };
+  EventCounts Events;
+  metrics::Histogram ThreadSizeCycles;
+  metrics::Timeline *TL = nullptr;
+  metrics::TrackId Track = 0;
 };
 
 } // namespace tracer

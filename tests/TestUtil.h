@@ -9,10 +9,45 @@
 #include "sim/Config.h"
 
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 namespace jrpm {
 namespace testutil {
+
+/// RAII temporary directory (mkdtemp under TMPDIR or /tmp); recursively
+/// removed on destruction. Tests build scratch paths with file() instead of
+/// hand-rolling pid-stamped /tmp names, so a crashed run can't leave
+/// colliding litter behind for the next one.
+class ScopedTempDir {
+public:
+  explicit ScopedTempDir(const std::string &Tag = "jrpm-test") {
+    const char *Base = std::getenv("TMPDIR");
+    std::string Template = std::string(Base && *Base ? Base : "/tmp") + "/" +
+                           Tag + "-XXXXXX";
+    std::vector<char> Buf(Template.begin(), Template.end());
+    Buf.push_back('\0');
+    if (char *D = mkdtemp(Buf.data()))
+      P = D;
+  }
+  ~ScopedTempDir() {
+    if (!P.empty()) {
+      std::error_code Ec; // best-effort cleanup; never throw in a dtor
+      std::filesystem::remove_all(P, Ec);
+    }
+  }
+  ScopedTempDir(const ScopedTempDir &) = delete;
+  ScopedTempDir &operator=(const ScopedTempDir &) = delete;
+
+  bool valid() const { return !P.empty(); }
+  const std::string &path() const { return P; }
+  std::string file(const std::string &Name) const { return P + "/" + Name; }
+
+private:
+  std::string P;
+};
 
 /// Lowers a single-function program named "main" from \p Body.
 inline ir::Module makeMain(front::St Body) {

@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestUtil.h"
 #include "support/Json.h"
 #include "sweep/Conformance.h"
 #include "tracer/Selector.h"
@@ -288,8 +289,9 @@ TEST(SweepRunnerTest, WriteReportIsAtomicAndParsesBack) {
   SweepPlan Plan;
   Plan.Workloads = {"BitOps"};
   SweepReport Report = runSweep(expandOrDie(Plan), 1);
-  std::string Path = "/tmp/jrpm-sweep-test-" +
-                     std::to_string(::getpid()) + ".json";
+  testutil::ScopedTempDir Dir("jrpm-sweep-test");
+  ASSERT_TRUE(Dir.valid());
+  std::string Path = Dir.file("report.json");
   std::string Err;
   ASSERT_TRUE(writeReport(Report, Path, /*IncludeTimings=*/false, &Err))
       << Err;

@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestUtil.h"
 #include "jrpm/Pipeline.h"
 #include "trace/Dump.h"
 #include "trace/Replay.h"
@@ -16,22 +17,20 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
-#include <unistd.h>
 
 using namespace jrpm;
 
 namespace {
 
+/// One scratch .jtrace inside a ScopedTempDir.
 class TempTrace {
 public:
   explicit TempTrace(const std::string &Tag)
-      : P("/tmp/jrpm-trace-test-" +
-          std::to_string(static_cast<long>(getpid())) + "-" + Tag +
-          ".jtrace") {}
-  ~TempTrace() { std::remove(P.c_str()); }
+      : Dir("jrpm-trace-test"), P(Dir.file(Tag + ".jtrace")) {}
   const std::string &path() const { return P; }
 
 private:
+  testutil::ScopedTempDir Dir;
   std::string P;
 };
 

@@ -27,6 +27,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "jrpm/Pipeline.h"
+#include "metrics/Metrics.h"
+#include "metrics/Timeline.h"
 #include "support/Format.h"
 #include "support/Table.h"
 #include "trace/Dump.h"
@@ -53,8 +55,10 @@ int usage() {
                "       jrpm-run run <workload> [options]\n"
                "       jrpm-run report <workload> [options]\n"
                "       jrpm-run dump-ir <workload>\n"
+               "       jrpm-run trace <workload> [--events <n>]\n"
                "options: --base --sync --line-grain --banks <n> "
-               "--history <n> --disable-after <n>\n");
+               "--history <n> --disable-after <n>\n"
+               "         --metrics <file.json> --timeline <file.json>\n");
   return 2;
 }
 
@@ -69,6 +73,8 @@ int listWorkloads() {
 
 struct Options {
   pipeline::PipelineConfig Cfg;
+  std::string MetricsPath;
+  std::string TimelinePath;
   bool Ok = true;
 };
 
@@ -79,10 +85,19 @@ Options parseOptions(int Argc, char **Argv, int First) {
     std::string A = Argv[I];
     auto NextInt = [&](std::uint32_t &Out) {
       if (I + 1 >= Argc) {
+        std::fprintf(stderr, "missing value for %s\n", A.c_str());
         O.Ok = false;
         return;
       }
       Out = static_cast<std::uint32_t>(std::atoi(Argv[++I]));
+    };
+    auto NextStr = [&](std::string &Out) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "missing value for %s\n", A.c_str());
+        O.Ok = false;
+        return;
+      }
+      Out = Argv[++I];
     };
     if (A == "--base")
       O.Cfg.Level = jit::AnnotationLevel::Base;
@@ -98,12 +113,29 @@ Options parseOptions(int Argc, char **Argv, int First) {
       std::uint32_t N = 0;
       NextInt(N);
       O.Cfg.DisableLoopAfterThreads = N;
-    } else {
+    } else if (A == "--metrics")
+      NextStr(O.MetricsPath);
+    else if (A.rfind("--metrics=", 0) == 0)
+      O.MetricsPath = A.substr(std::strlen("--metrics="));
+    else if (A == "--timeline")
+      NextStr(O.TimelinePath);
+    else if (A.rfind("--timeline=", 0) == 0)
+      O.TimelinePath = A.substr(std::strlen("--timeline="));
+    else {
       std::fprintf(stderr, "unknown option: %s\n", A.c_str());
       O.Ok = false;
     }
   }
   return O;
+}
+
+/// Serializes \p J to \p Path; returns false (after reporting) on failure.
+bool writeJsonFile(const Json &J, const std::string &Path) {
+  std::string Err;
+  if (writeFileAtomic(Path, J.dump(), &Err))
+    return true;
+  std::fprintf(stderr, "jrpm-run: %s\n", Err.c_str());
+  return false;
 }
 
 void printSummary(const pipeline::PipelineResult &R) {
@@ -181,8 +213,13 @@ int main(int Argc, char **Argv) {
   if (Argc < 2)
     return usage();
   std::string Cmd = Argv[1];
-  if (Cmd == "list")
+  if (Cmd == "list") {
+    if (Argc != 2)
+      return usage();
     return listWorkloads();
+  }
+  if (Cmd != "run" && Cmd != "report" && Cmd != "dump-ir" && Cmd != "trace")
+    return usage();
   if (Argc < 3)
     return usage();
 
@@ -194,6 +231,8 @@ int main(int Argc, char **Argv) {
   }
 
   if (Cmd == "dump-ir") {
+    if (Argc != 3)
+      return usage();
     std::string Text = W->Build().dump();
     std::fputs(Text.c_str(), stdout);
     return 0;
@@ -201,9 +240,22 @@ int main(int Argc, char **Argv) {
 
   if (Cmd == "trace") {
     std::uint64_t Events = 40;
-    for (int I = 3; I + 1 < Argc; ++I)
-      if (std::string(Argv[I]) == "--events")
-        Events = static_cast<std::uint64_t>(std::atoll(Argv[I + 1]));
+    for (int I = 3; I < Argc; ++I) {
+      std::string A = Argv[I];
+      if (A == "--events") {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "missing value for --events\n");
+          return usage();
+        }
+        Events = static_cast<std::uint64_t>(std::atoll(Argv[++I]));
+      } else if (A.rfind("--events=", 0) == 0) {
+        Events = static_cast<std::uint64_t>(
+            std::atoll(A.c_str() + std::strlen("--events=")));
+      } else {
+        std::fprintf(stderr, "unknown option: %s\n", A.c_str());
+        return usage();
+      }
+    }
     // Thin wrapper over the trace subsystem: record the annotated run to a
     // temporary .jtrace, then pretty-print it with the one shared event
     // formatter (trace::dumpTrace).
@@ -231,16 +283,25 @@ int main(int Argc, char **Argv) {
   if (!O.Ok)
     return usage();
 
-  if (Cmd == "run" || Cmd == "report") {
-    pipeline::Jrpm J(W->Build(), O.Cfg);
-    pipeline::PipelineResult R = J.runAll();
-    std::printf("== %s (%s) ==\n", W->Name.c_str(), W->Category.c_str());
-    printSummary(R);
-    if (Cmd == "report") {
-      std::printf("\n");
-      printLoopReport(J, R);
-    }
-    return R.TlsRun.ReturnValue == R.PlainRun.ReturnValue ? 0 : 1;
+  metrics::Registry Reg;
+  metrics::Timeline Timeline;
+  if (!O.MetricsPath.empty())
+    O.Cfg.Metrics = &Reg;
+  if (!O.TimelinePath.empty())
+    O.Cfg.Timeline = &Timeline;
+
+  pipeline::Jrpm J(W->Build(), O.Cfg);
+  pipeline::PipelineResult R = J.runAll();
+  std::printf("== %s (%s) ==\n", W->Name.c_str(), W->Category.c_str());
+  printSummary(R);
+  if (Cmd == "report") {
+    std::printf("\n");
+    printLoopReport(J, R);
   }
-  return usage();
+  if (!O.MetricsPath.empty() && !writeJsonFile(Reg.toJson(), O.MetricsPath))
+    return 1;
+  if (!O.TimelinePath.empty() &&
+      !writeJsonFile(Timeline.toJson(), O.TimelinePath))
+    return 1;
+  return R.TlsRun.ReturnValue == R.PlainRun.ReturnValue ? 0 : 1;
 }

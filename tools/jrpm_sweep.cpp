@@ -25,6 +25,10 @@
 //   --timeout-ms n      soft per-job wall-clock budget
 //   --seed n            seed stamped into the report
 //   -o file.json        write the JSON report (atomic rename)
+//   --metrics file.json write the merged per-job instrumentation registry
+//                       (deterministic: byte-identical for any --threads)
+//   --timeline file.json write a Chrome trace_event timeline of worker
+//                       occupancy (wall-clock; NOT deterministic)
 //   --no-timings        deterministic JSON only: no wall-clock, no pool
 //                       width (1-thread and N-thread runs byte-identical)
 //   --quiet             suppress the per-job table, print the summary only
@@ -52,7 +56,7 @@ int usage() {
       "usage: jrpm-sweep run|plan|conformance [options]\n"
       "  --workloads a,b,c  --levels base,optimized  --config k=v[,k=v]\n"
       "  --threads n  --timeout-ms n  --seed n  -o file.json\n"
-      "  --no-timings  --quiet\n"
+      "  --metrics file.json  --timeline file.json  --no-timings  --quiet\n"
       "knobs:");
   for (const std::string &K : sweep::knownKnobs())
     std::fprintf(stderr, " %s", K.c_str());
@@ -78,6 +82,8 @@ struct CliOptions {
   sweep::SweepPlan Plan;
   unsigned Threads = 0;
   std::string OutPath;
+  std::string MetricsPath;
+  std::string TimelinePath;
   bool IncludeTimings = true;
   bool Quiet = false;
   bool Ok = true;
@@ -125,6 +131,10 @@ CliOptions parseCli(int Argc, char **Argv, int First) {
       O.Plan.Seed = static_cast<std::uint64_t>(std::atoll(NextArg()));
     } else if (A == "-o") {
       O.OutPath = NextArg();
+    } else if (A == "--metrics") {
+      O.MetricsPath = NextArg();
+    } else if (A == "--timeline") {
+      O.TimelinePath = NextArg();
     } else if (A == "--no-timings") {
       O.IncludeTimings = false;
     } else if (A == "--quiet") {
@@ -156,6 +166,17 @@ void printJobsTable(const sweep::SweepReport &Report) {
   T.print();
 }
 
+bool writeJsonFile(const Json &J, const std::string &Path,
+                   const char *What) {
+  std::string Err;
+  if (writeFileAtomic(Path, J.dump(), &Err)) {
+    std::printf("%s written to %s\n", What, Path.c_str());
+    return true;
+  }
+  std::fprintf(stderr, "jrpm-sweep: %s\n", Err.c_str());
+  return false;
+}
+
 int finishReport(const sweep::SweepReport &Report, const CliOptions &O) {
   if (!O.Quiet)
     printJobsTable(Report);
@@ -179,6 +200,10 @@ int finishReport(const sweep::SweepReport &Report, const CliOptions &O) {
     }
     std::printf("report written to %s\n", O.OutPath.c_str());
   }
+  if (!O.MetricsPath.empty() &&
+      !writeJsonFile(sweep::mergedMetrics(Report).toJson(), O.MetricsPath,
+                     "metrics"))
+    return 1;
   return Report.allOk() ? 0 : 1;
 }
 
@@ -231,11 +256,16 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  sweep::SweepReport Report = sweep::runSweep(Jobs, O.Threads);
+  metrics::Timeline Timeline;
+  sweep::SweepReport Report = sweep::runSweep(
+      Jobs, O.Threads, O.TimelinePath.empty() ? nullptr : &Timeline);
   Report.Seed = O.Plan.Seed;
   if (Cmd == "conformance" && Report.allOk())
     std::printf("conformance: %llu jobs bit-identical across sequential, "
                 "annotated-trace, and speculative execution\n",
                 (unsigned long long)Report.OkCount);
+  if (!O.TimelinePath.empty() &&
+      !writeJsonFile(Timeline.toJson(), O.TimelinePath, "timeline"))
+    return 1;
   return finishReport(Report, O);
 }

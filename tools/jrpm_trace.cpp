@@ -269,13 +269,13 @@ int main(int Argc, char **Argv) {
   try {
     if (Cmd == "record")
       return cmdRecord(Argc, Argv);
-    if (Cmd == "info" && Argc >= 3)
+    if (Cmd == "info" && Argc == 3)
       return cmdInfo(Argv[2]);
     if (Cmd == "dump" && Argc >= 3)
       return cmdDump(Argc, Argv);
     if (Cmd == "replay" && Argc >= 3)
       return cmdReplay(Argc, Argv);
-    if (Cmd == "diff" && Argc >= 4)
+    if (Cmd == "diff" && Argc == 4)
       return cmdDiff(Argv[2], Argv[3]);
   } catch (const trace::Error &E) {
     std::fprintf(stderr, "jrpm-trace: %s\n", E.what());
