@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Interpreter-throughput smoke gate.
+#
+# Runs bench_exec_throughput in --quick mode (first 8 registry workloads,
+# soft 1.2x gate on the plain-leg instructions/sec of the flat CodeImage
+# over the embedded seed nested-layout interpreter). The bench verifies
+# bit-exactness of every leg on the spot — cycles, instruction counts,
+# return values, and selection digests must match between layouts — so
+# this smoke catches both semantic regressions and gross layout-throughput
+# regressions without the runtime of the full-registry run.
+#
+# The gate is soft against machine noise: when the two flat passes differ
+# by more than 10%, the bench reports the measurement as unresolved and
+# exits 0 rather than failing on runner jitter. For a publishable number,
+# run the full bench on a quiet host, preferably under the release-native
+# preset:
+#   cmake --preset release-native && cmake --build --preset release-native
+#   build-native/bench/bench_exec_throughput
+#
+# Usage:
+#   scripts/ci_perf_smoke.sh                  # configure+build, then run
+#   scripts/ci_perf_smoke.sh --bin <bench_exec_throughput>
+#
+# The second form is how the tier-1 ctest suite invokes it (see
+# tools/CMakeLists.txt).
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+BIN=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --bin) BIN="$2"; shift 2 ;;
+    *) break ;;
+  esac
+done
+
+if [[ -z "${BIN}" ]]; then
+  BUILD="${ROOT}/build"
+  JOBS="$(nproc 2>/dev/null || echo 4)"
+  cmake -B "${BUILD}" -S "${ROOT}" "$@"
+  cmake --build "${BUILD}" -j"${JOBS}" --target bench_exec_throughput
+  BIN="${BUILD}/bench/bench_exec_throughput"
+fi
+
+exec "${BIN}" --quick

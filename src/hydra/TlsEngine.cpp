@@ -3,10 +3,10 @@
 #include "hydra/TlsEngine.h"
 
 #include "hydra/TlsCodegen.h"
+#include "support/Bits.h"
 #include "support/Compiler.h"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
 
 using namespace jrpm;
@@ -14,18 +14,18 @@ using namespace jrpm::hydra;
 
 TlsEngine::TlsEngine(const ir::Module &M, const sim::HydraConfig &Cfg,
                      std::vector<jit::TlsLoopPlan> Plans)
-    : Cfg(Cfg), EngineModule(M) {
+    : Cfg(Cfg), EngineModule(M), EngineImage(EngineModule) {
   Loops.reserve(Plans.size());
   for (jit::TlsLoopPlan &Plan : Plans) {
     PreparedLoop PL;
     PL.Plan = std::move(Plan);
-    HeaderIndex[{PL.Plan.Func, PL.Plan.Header}] =
+    HeaderPcIndex[EngineImage.blockStart(PL.Plan.Func, PL.Plan.Header)] =
         static_cast<std::uint32_t>(Loops.size());
     Loops.push_back(std::move(PL));
   }
   Threads.resize(Cfg.NumCores);
   for (std::uint32_t C = 0; C < Cfg.NumCores; ++C) {
-    Threads[C].Ctx = std::make_unique<interp::ExecContext>(EngineModule, Cfg);
+    Threads[C].Ctx = std::make_unique<interp::ExecContext>(EngineImage, Cfg);
     Threads[C].L1 = std::make_unique<sim::L1CacheModel>(Cfg);
     Ports.push_back(std::make_unique<SpecPort>(*this, C));
   }
@@ -157,12 +157,17 @@ void TlsEngine::prepareLoop(PreparedLoop &PL, interp::Machine &M) {
   EngineModule.Functions.push_back(std::move(Clone));
   PL.TlsFunc = static_cast<std::uint32_t>(EngineModule.Functions.size() - 1);
   EngineModule.finalize();
+  // Recompile the image in place: the append leaves every existing flat PC
+  // unchanged, so the spec contexts (which hold a reference to the member)
+  // and previously prepared loops stay consistent.
+  EngineImage = exec::CodeImage(EngineModule);
+  PL.HeaderPcTls = EngineImage.blockStart(PL.TlsFunc, PL.Plan.Header);
   PL.Ready = true;
 }
 
 bool TlsEngine::onBlockStart(interp::ExecContext &Ctx, interp::Machine &M) {
-  auto It = HeaderIndex.find({Ctx.currentFunc(), Ctx.currentBlock()});
-  if (It == HeaderIndex.end())
+  auto It = HeaderPcIndex.find(Ctx.pc());
+  if (It == HeaderPcIndex.end())
     return false;
   PreparedLoop &PL = Loops[It->second];
   prepareLoop(PL, M);
@@ -176,8 +181,9 @@ std::uint32_t TlsEngine::violationKey(std::uint32_t Addr) const {
              : Addr / Cfg.WordsPerLine;
 }
 
-std::vector<std::uint64_t> TlsEngine::spawnRegs(std::uint64_t Iter) const {
-  std::vector<std::uint64_t> Regs = EntryRegs;
+void TlsEngine::fillSpawnRegs(std::vector<std::uint64_t> &Regs,
+                              std::uint64_t Iter) const {
+  Regs = EntryRegs; // copy-assign reuses the recycled buffer's capacity
   for (const auto &[Reg, Step] : Cur->Plan.Inductors)
     Regs[Reg] = EntryRegs[Reg] +
                 Iter * static_cast<std::uint64_t>(Step);
@@ -185,7 +191,6 @@ std::vector<std::uint64_t> TlsEngine::spawnRegs(std::uint64_t Iter) const {
     (void)Kind; // both integer 0 and +0.0 are the zero bit pattern
     Regs[Reg] = 0;
   }
-  return Regs;
 }
 
 void TlsEngine::spawnThread(std::uint32_t Core, std::uint64_t Iter) {
@@ -207,7 +212,16 @@ void TlsEngine::spawnThread(std::uint32_t Core, std::uint64_t Iter) {
   T.SyncStallAcc = 0;
   if (TL && Core < CoreTracks.size())
     TL->begin(CoreTracks[Core], "thread", ClockBase + Cycle);
-  T.Ctx->startAt(Cur->TlsFunc, Cur->Plan.Header, spawnRegs(Iter));
+  std::vector<std::uint64_t> Regs;
+  if (!RegPool.empty()) {
+    Regs = std::move(RegPool.back());
+    RegPool.pop_back();
+  }
+  fillSpawnRegs(Regs, Iter);
+  std::vector<std::uint64_t> Displaced =
+      T.Ctx->resetAtPc(Cur->HeaderPcTls, std::move(Regs));
+  if (!Displaced.empty())
+    RegPool.push_back(std::move(Displaced));
 }
 
 void TlsEngine::squashThread(std::uint32_t Core) {
@@ -234,9 +248,8 @@ void TlsEngine::accumulateReductions(SpecThread &T) {
   for (std::size_t K = 0; K < Cur->Plan.Reductions.size(); ++K) {
     auto [Reg, Kind] = Cur->Plan.Reductions[K];
     if (Kind == analysis::ReductionKind::SumFloat) {
-      double Sum = std::bit_cast<double>(ReductionAcc[K]) +
-                   std::bit_cast<double>(Regs[Reg]);
-      ReductionAcc[K] = std::bit_cast<std::uint64_t>(Sum);
+      double Sum = bits::asF(ReductionAcc[K]) + bits::asF(Regs[Reg]);
+      ReductionAcc[K] = bits::asU(Sum);
     } else {
       ReductionAcc[K] += Regs[Reg];
     }
@@ -489,13 +502,16 @@ void TlsEngine::runLoop(PreparedLoop &PL, interp::ExecContext &Ctx,
       // are inspected only at the loop's own call depth.
       if (T.State == SpecThread::St::Running && T.Ctx->callDepth() == 1 &&
           T.Ctx->atBlockStart()) {
-        std::uint32_t B = T.Ctx->currentBlock();
-        if (B == PL.Plan.Header) {
+        exec::FlatPc Pc = T.Ctx->pc();
+        if (Pc == PL.HeaderPcTls) {
           T.State = SpecThread::St::IterDone;
-        } else if (!PL.Plan.containsBlock(B)) {
-          T.State = SpecThread::St::Exited;
-          T.ExitBlock = B;
-          recomputeExitCap();
+        } else {
+          std::uint32_t B = EngineImage.blockOf(Pc);
+          if (!PL.Plan.containsBlock(B)) {
+            T.State = SpecThread::St::Exited;
+            T.ExitBlock = B;
+            recomputeExitCap();
+          }
         }
       }
     }

@@ -15,6 +15,7 @@
 #ifndef JRPM_HYDRA_TLSENGINE_H
 #define JRPM_HYDRA_TLSENGINE_H
 
+#include "exec/CodeImage.h"
 #include "interp/ExecContext.h"
 #include "interp/Machine.h"
 #include "jit/TlsPlan.h"
@@ -102,6 +103,9 @@ private:
     /// Index of the globalized clone within EngineModule (0 = not yet
     /// prepared).
     std::uint32_t TlsFunc = 0;
+    /// Flat PC of the clone's header block in EngineImage: spec threads
+    /// spawn here and an iteration is done when control returns here.
+    exec::FlatPc HeaderPcTls = 0;
     std::vector<std::uint32_t> SpillAddrs; // sorted for membership checks
     bool Ready = false;
 
@@ -176,7 +180,10 @@ private:
                  std::uint32_t &Extra);
 
   // --- runLoop helpers (valid only during runLoop) -------------------------
-  std::vector<std::uint64_t> spawnRegs(std::uint64_t Iter) const;
+  /// Fills \p Regs (a recycled buffer; capacity is reused) with the spawn
+  /// register file for iteration \p Iter.
+  void fillSpawnRegs(std::vector<std::uint64_t> &Regs,
+                     std::uint64_t Iter) const;
   void spawnThread(std::uint32_t Core, std::uint64_t Iter);
   void squashThread(std::uint32_t Core);
   /// Resumes WaitSync threads whose producer has delivered (or finished).
@@ -191,9 +198,18 @@ private:
   /// per-job configs in temporaries; a reference member would dangle.
   sim::HydraConfig Cfg;
   ir::Module EngineModule; // plain module + appended globalized clones
+  /// Image of EngineModule, rebuilt by assignment whenever prepareLoop
+  /// appends a clone. Appending keeps every existing flat PC stable
+  /// (finalize numbers instructions in function order), so PCs cached in
+  /// HeaderPcIndex and in already-prepared loops stay valid, and the spec
+  /// contexts reference this member by address across rebuilds.
+  exec::CodeImage EngineImage;
   std::vector<PreparedLoop> Loops;
-  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t>
-      HeaderIndex; // (func, header) -> index into Loops
+  /// Sequential-image flat PC of each selected loop's header block start.
+  /// The sequential machine's context and EngineImage are compiled from
+  /// content-identical modules, so their flat PCs agree and onBlockStart
+  /// dispatches on a single integer lookup.
+  std::unordered_map<exec::FlatPc, std::uint32_t> HeaderPcIndex;
   std::map<std::uint32_t, TlsLoopRunStats> Stats;
 
   // Live state of the current runLoop invocation.
@@ -208,6 +224,10 @@ private:
   std::optional<std::uint64_t> ExitCap;
   std::vector<std::uint64_t> EntryRegs;
   std::vector<std::uint64_t> ReductionAcc;
+  /// Recycled register-file buffers: every spawn displaces the previous
+  /// activation's file via ExecContext::resetAtPc and reuses it for the
+  /// next spawn instead of allocating per iteration.
+  std::vector<std::vector<std::uint64_t>> RegPool;
   /// Set by specLoad when a synchronized load must be retried; runLoop
   /// rewinds the context so the load re-issues after the producer stores.
   bool SyncRewindPending = false;

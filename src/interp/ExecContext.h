@@ -1,21 +1,34 @@
 //===- interp/ExecContext.h - IR instruction stepping ----------------------==//
 //
-// A call stack plus a step() function that executes one instruction through
-// a MemoryPort, optionally emitting profiling events to a TraceSink. The
-// sequential machine and every speculative thread of the Hydra TLS engine
-// are instances of this class.
+// A call stack plus step functions that execute instructions of a
+// pre-decoded exec::CodeImage through a MemoryPort, optionally emitting
+// profiling events to a TraceSink. The sequential machine and every
+// speculative thread of the Hydra TLS engine are instances of this class.
+//
+// Frames hold a single flat program counter into the image instead of the
+// historical (function, block, instruction) triple; block and function
+// identity are recovered from the image's side tables only at control-flow
+// boundaries. step() executes exactly one instruction (the TLS engine
+// schedules cores cycle by cycle); stepBlock() runs to the next block
+// start, which is what the sequential machine wants between dispatcher
+// checks; run() executes to completion (or a cycle budget) without ever
+// leaving the dispatch loop, for sequential runs with no dispatcher
+// attached.
 //
 //===----------------------------------------------------------------------===//
 
 #ifndef JRPM_INTERP_EXECCONTEXT_H
 #define JRPM_INTERP_EXECCONTEXT_H
 
+#include "exec/CodeImage.h"
 #include "interp/MemoryPort.h"
 #include "interp/TraceSink.h"
 #include "ir/IR.h"
 #include "sim/Config.h"
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace jrpm {
@@ -23,9 +36,7 @@ namespace interp {
 
 /// One function activation.
 struct Frame {
-  std::uint32_t Func = 0;
-  std::uint32_t Block = 0;
-  std::uint32_t Instr = 0;
+  exec::FlatPc Pc = 0;
   std::uint64_t Activation = 0;
   std::uint16_t RetDst = ir::NoReg;
   std::vector<std::uint64_t> Regs;
@@ -34,28 +45,47 @@ struct Frame {
 
 class ExecContext {
 public:
+  /// Runs on an externally owned image (the Hydra engine shares one image
+  /// across its cores and rebuilds it when clones are appended).
+  ExecContext(const exec::CodeImage &Image, const sim::HydraConfig &Cfg)
+      : Image(Image), Cfg(Cfg) {}
+
+  /// Convenience: compiles (or reuses the memoized) image for \p M.
   ExecContext(const ir::Module &M, const sim::HydraConfig &Cfg)
-      : M(M), Cfg(Cfg) {}
+      : OwnedImage(exec::CodeImage::getShared(M)), Image(*OwnedImage),
+        Cfg(Cfg) {}
+
+  const exec::CodeImage &image() const { return Image; }
 
   /// Begins execution at the entry of function \p Func.
   void start(std::uint32_t Func, const std::vector<std::uint64_t> &Args);
 
   /// Positions the context at the start of \p Block in \p Func with the
   /// given register file (used by the TLS engine to spawn iteration
-  /// threads).
+  /// threads). The file may be larger than the function needs.
   void startAt(std::uint32_t Func, std::uint32_t Block,
                std::vector<std::uint64_t> Regs);
+
+  /// startAt by flat PC, recycling the previous activation's register file:
+  /// the old top-frame file is returned so spawn-heavy callers (the TLS
+  /// engine respawning an iteration thread per commit) can reuse its
+  /// buffer instead of allocating a fresh vector per spawn.
+  std::vector<std::uint64_t> resetAtPc(exec::FlatPc Pc,
+                                       std::vector<std::uint64_t> Regs);
 
   bool finished() const { return Frames.empty(); }
   std::uint64_t returnValue() const { return RetVal; }
   std::uint64_t instructionsExecuted() const { return Executed; }
 
   std::size_t callDepth() const { return Frames.size(); }
-  std::uint32_t currentFunc() const { return Frames.back().Func; }
-  std::uint32_t currentBlock() const { return Frames.back().Block; }
-  std::uint32_t currentInstr() const { return Frames.back().Instr; }
+  exec::FlatPc pc() const { return Frames.back().Pc; }
+  std::uint32_t currentFunc() const { return Image.funcOf(pc()); }
+  std::uint32_t currentBlock() const { return Image.blockOf(pc()); }
+  std::uint32_t currentInstr() const {
+    return pc() - Image.blockAt(pc()).StartPc;
+  }
   bool atBlockStart() const {
-    return !Frames.empty() && Frames.back().Instr == 0;
+    return !Frames.empty() && Image.isBlockStart(Frames.back().Pc);
   }
 
   /// Register file of the outermost frame (frame 0).
@@ -70,18 +100,37 @@ public:
     return Frames.back().Regs;
   }
 
-  /// Repositions the innermost frame at the start of \p Block with register
-  /// file \p Regs (used to resume sequential execution at a loop exit after
-  /// speculative execution of the loop).
+  /// Repositions the innermost frame at the start of \p Block of its
+  /// current function with register file \p Regs (used to resume
+  /// sequential execution at a loop exit after speculative execution of
+  /// the loop).
   void repositionTop(std::uint32_t Block, std::vector<std::uint64_t> Regs) {
-    Frames.back().Block = Block;
-    Frames.back().Instr = 0;
-    Frames.back().Regs = std::move(Regs);
+    Frame &F = Frames.back();
+    F.Pc = Image.blockStart(Image.funcOf(F.Pc), Block);
+    F.Regs = std::move(Regs);
   }
 
   /// Executes one instruction; returns the cycles it consumed. Must not be
-  /// called when finished().
+  /// called when finished(). Throws TrapError when the program executes an
+  /// undefined operation (divide/remainder by zero).
   std::uint32_t step(MemoryPort &Mem, TraceSink *Sink, std::uint64_t Now);
+
+  /// Executes instructions until the next block start (or until the
+  /// program finishes), accumulating \p Now per instruction exactly as a
+  /// sequence of step() calls would; returns the total cycles consumed.
+  /// The context is at a block start (or finished) on return, so callers
+  /// need to consult dispatchers only once per block.
+  std::uint32_t stepBlock(MemoryPort &Mem, TraceSink *Sink,
+                          std::uint64_t Now);
+
+  /// Executes until the program finishes or the running clock (starting at
+  /// \p Now, advanced per instruction) exceeds \p MaxCycles — the budget is
+  /// tested at block starts, matching a stepBlock() loop that checks after
+  /// every block. Returns the total cycles consumed. Equivalent to a
+  /// step() loop cycle for cycle, but never leaves the dispatch loop, so
+  /// sequential runs pay no per-block call boundary.
+  std::uint64_t run(MemoryPort &Mem, TraceSink *Sink, std::uint64_t Now,
+                    std::uint64_t MaxCycles);
 
   /// Rewinds the innermost frame by one instruction, undoing the program
   /// counter advance of the last step(). Only valid when that step did not
@@ -90,12 +139,21 @@ public:
   /// synchronized local communication.
   void rewindTop() {
     Frame &F = Frames.back();
-    assert(F.Instr > 0 && "cannot rewind across a block boundary");
-    --F.Instr;
+    assert(!Image.isBlockStart(F.Pc) && "cannot rewind across a block boundary");
+    --F.Pc;
   }
 
+  /// Execution granularity of stepImpl: one instruction, one basic block,
+  /// or a whole run bounded by a cycle budget.
+  enum class StepMode : std::uint8_t { Single, Block, Run };
+
 private:
-  const ir::Module &M;
+  template <StepMode Mode>
+  std::uint64_t stepImpl(MemoryPort &Mem, TraceSink *Sink, std::uint64_t Now,
+                         std::uint64_t MaxCycles);
+
+  std::shared_ptr<const exec::CodeImage> OwnedImage; ///< null when external
+  const exec::CodeImage &Image;
   const sim::HydraConfig &Cfg;
   std::vector<Frame> Frames;
   std::uint64_t RetVal = 0;

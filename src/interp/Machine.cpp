@@ -16,10 +16,22 @@ RunResult Machine::run(const std::vector<std::uint64_t> &Args) {
   Ctx.start(M.EntryFunction, Args);
   // Watchdog against runaway programs: generous for our largest workloads.
   constexpr std::uint64_t MaxCycles = 40ull * 1000 * 1000 * 1000;
+  if (!Dispatcher) {
+    // Nothing to consult between blocks: stay inside the interpreter's
+    // dispatch loop for the whole run. The context tests the watchdog at
+    // block starts, exactly where the stepBlock() loop below would.
+    Clock += Ctx.run(Port, Sink, Clock, MaxCycles);
+    if (Clock > MaxCycles)
+      JRPM_FATAL("simulation exceeded the cycle watchdog");
+  }
+  // Block-granular loop: start(), stepBlock(), and dispatcher repositioning
+  // all leave the context at a block start, so the dispatcher check runs
+  // once per block instead of once per instruction.
   while (!Ctx.finished()) {
-    if (Dispatcher && Ctx.atBlockStart() && Dispatcher->onBlockStart(Ctx, *this))
+    assert(Ctx.atBlockStart() && "run loop invariant");
+    if (Dispatcher && Dispatcher->onBlockStart(Ctx, *this))
       continue;
-    Clock += Ctx.step(Port, Sink, Clock);
+    Clock += Ctx.stepBlock(Port, Sink, Clock);
     if (Clock > MaxCycles)
       JRPM_FATAL("simulation exceeded the cycle watchdog");
   }

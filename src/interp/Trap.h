@@ -1,0 +1,58 @@
+//===- interp/Trap.h - Deterministic execution traps -----------------------==//
+//
+// A simulated program that executes an undefined operation (integer divide
+// or remainder by zero) must end its run the same way in every build mode.
+// The interpreters throw a TrapError instead of relying on an assert that
+// vanishes under NDEBUG and leaves real UB behind: the sweep engine's
+// failure isolation folds the throw into a failed job, and direct callers
+// get a typed, testable error.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_INTERP_TRAP_H
+#define JRPM_INTERP_TRAP_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace jrpm {
+namespace interp {
+
+enum class TrapKind : std::uint8_t {
+  DivideByZero,
+  RemainderByZero,
+};
+
+inline const char *trapKindName(TrapKind K) {
+  switch (K) {
+  case TrapKind::DivideByZero:
+    return "integer division by zero";
+  case TrapKind::RemainderByZero:
+    return "integer remainder by zero";
+  }
+  return "unknown trap";
+}
+
+/// Thrown by ExecContext when the simulated program traps. Carries the
+/// trap kind and the module-global PC of the faulting instruction (-1 when
+/// the module was never finalized).
+class TrapError : public std::runtime_error {
+public:
+  TrapError(TrapKind Kind, std::int32_t Pc)
+      : std::runtime_error(std::string(trapKindName(Kind)) + " at pc " +
+                           std::to_string(Pc)),
+        Kind(Kind), FaultPc(Pc) {}
+
+  TrapKind kind() const { return Kind; }
+  std::int32_t pc() const { return FaultPc; }
+
+private:
+  TrapKind Kind;
+  std::int32_t FaultPc;
+};
+
+} // namespace interp
+} // namespace jrpm
+
+#endif // JRPM_INTERP_TRAP_H

@@ -1,0 +1,33 @@
+//===- support/Bits.h - Register bit-pattern reinterpretation --------------==//
+//
+// The simulators keep every value in a 64-bit register word: integers
+// directly, doubles as their IEEE bit pattern. These helpers are the one
+// sanctioned way to move between the views (previously copied into each
+// interpreter translation unit).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_SUPPORT_BITS_H
+#define JRPM_SUPPORT_BITS_H
+
+#include <bit>
+#include <cstdint>
+
+namespace jrpm {
+namespace bits {
+
+/// Double view of a register word.
+inline double asF(std::uint64_t V) { return std::bit_cast<double>(V); }
+
+/// Register word holding the bit pattern of \p V.
+inline std::uint64_t asU(double V) { return std::bit_cast<std::uint64_t>(V); }
+
+/// Signed integer view of a register word.
+inline std::int64_t asI(std::uint64_t V) {
+  return static_cast<std::int64_t>(V);
+}
+
+} // namespace bits
+} // namespace jrpm
+
+#endif // JRPM_SUPPORT_BITS_H

@@ -1,0 +1,352 @@
+//===- tests/exec_test.cpp - CodeImage / flat execution tests --------------==//
+//
+// Covers the pre-decoded execution image (layout, target resolution,
+// digest-keyed sharing), the flat-PC ExecContext surface the TLS engine
+// depends on (startAt with an oversized register file, rewindTop re-issue,
+// repositionTop at a loop exit), deterministic divide-by-zero traps, and
+// step()/stepBlock() equivalence on random programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgram.h"
+#include "TestUtil.h"
+#include "analysis/Candidates.h"
+#include "exec/CodeImage.h"
+#include "interp/Trap.h"
+#include "jit/TlsPlan.h"
+
+#include <gtest/gtest.h>
+
+using namespace jrpm;
+using namespace jrpm::front;
+using jrpm::testutil::makeMain;
+using jrpm::testutil::runModule;
+
+namespace {
+
+ir::Module makeCallProgram() {
+  ProgramDef P;
+  FuncDef Helper;
+  Helper.Name = "mix";
+  Helper.Params = {"a", "b"};
+  Helper.Body = seq({
+      iff(lt(v("a"), v("b")), ret(sub(v("b"), v("a")))),
+      ret(add(mul(v("a"), c(3)), v("b"))),
+  });
+  FuncDef Main;
+  Main.Body = seq({
+      assign("s", c(0)),
+      forLoop("i", c(0), lt(v("i"), c(8)), 1,
+              assign("s", add(v("s"), call("mix", {v("i"), c(5)})))),
+      ret(v("s")),
+  });
+  Main.Name = "main";
+  P.Functions.push_back(std::move(Helper));
+  P.Functions.push_back(std::move(Main));
+  return lowerProgram(P);
+}
+
+} // namespace
+
+TEST(CodeImage, LayoutMatchesModule) {
+  ir::Module M = makeCallProgram();
+  M.finalize();
+  exec::CodeImage Img(M);
+
+  std::uint32_t TotalInsts = 0, TotalBlocks = 0;
+  for (const ir::Function &F : M.Functions) {
+    TotalBlocks += F.Blocks.size();
+    for (const ir::BasicBlock &BB : F.Blocks)
+      TotalInsts += BB.Instructions.size();
+  }
+  ASSERT_EQ(Img.numInsts(), TotalInsts);
+  ASSERT_EQ(Img.numBlocks(), TotalBlocks);
+  ASSERT_EQ(Img.numFuncs(), M.Functions.size());
+
+  // For a finalized module the flat PC equals the tracer PC, every operand
+  // field survives decoding, and exactly the first instruction of each
+  // block carries the block-start flag.
+  exec::FlatPc Pc = 0;
+  for (std::uint32_t FI = 0; FI < M.Functions.size(); ++FI) {
+    const ir::Function &F = M.Functions[FI];
+    EXPECT_EQ(Img.entry(FI), Pc);
+    EXPECT_EQ(Img.func(FI).NumRegs, F.NumRegs);
+    EXPECT_EQ(Img.func(FI).NumParams, F.NumParams);
+    for (std::uint32_t BI = 0; BI < F.Blocks.size(); ++BI) {
+      EXPECT_EQ(Img.blockStart(FI, BI), Pc);
+      for (std::uint32_t II = 0; II < F.Blocks[BI].Instructions.size();
+           ++II, ++Pc) {
+        const ir::Instruction &Src = F.Blocks[BI].Instructions[II];
+        const exec::DecodedInst &D = Img.inst(Pc);
+        EXPECT_EQ(static_cast<std::int32_t>(Pc), Src.Pc);
+        EXPECT_EQ(D.Pc, Src.Pc);
+        EXPECT_EQ(D.Op, Src.Op);
+        EXPECT_EQ(D.isBlockStart(), II == 0);
+        EXPECT_EQ(Img.funcOf(Pc), FI);
+        EXPECT_EQ(Img.blockOf(Pc), BI);
+        // Branch targets are pre-resolved to block-start flat PCs.
+        if (Src.Op == ir::Opcode::Br) {
+          EXPECT_EQ(static_cast<exec::FlatPc>(D.Imm),
+                    Img.blockStart(FI, static_cast<std::uint32_t>(Src.Imm)));
+        } else if (Src.Op == ir::Opcode::CondBr) {
+          EXPECT_EQ(static_cast<exec::FlatPc>(D.Imm),
+                    Img.blockStart(FI, static_cast<std::uint32_t>(Src.Imm)));
+          EXPECT_EQ(static_cast<exec::FlatPc>(D.Imm2),
+                    Img.blockStart(FI, static_cast<std::uint32_t>(Src.Imm2)));
+        } else {
+          EXPECT_EQ(D.Imm, Src.Imm);
+        }
+      }
+    }
+  }
+}
+
+TEST(CodeImage, TerminatorClassification) {
+  ir::Module M = makeCallProgram();
+  M.finalize();
+  exec::CodeImage Img(M);
+  std::uint32_t Returns = 0, CondJumps = 0, Jumps = 0;
+  for (std::uint32_t B = 0; B < Img.numBlocks(); ++B) {
+    switch (Img.blockDesc(B).Term) {
+    case exec::TermClass::Return:
+      ++Returns;
+      break;
+    case exec::TermClass::CondJump:
+      ++CondJumps;
+      break;
+    case exec::TermClass::Jump:
+      ++Jumps;
+      break;
+    }
+  }
+  EXPECT_GE(Returns, 3u); // two in mix, one in main
+  EXPECT_GE(CondJumps, 2u); // the iff and the loop header
+  EXPECT_GE(Jumps, 1u); // the loop latch
+}
+
+TEST(CodeImage, DigestSharingAndCache) {
+  exec::CodeImage::clearCache();
+  ir::Module A = makeCallProgram();
+  ir::Module B = makeCallProgram();
+  A.finalize();
+  B.finalize();
+  EXPECT_EQ(exec::moduleDigest(A), exec::moduleDigest(B));
+
+  auto S1 = exec::CodeImage::getShared(A);
+  auto S2 = exec::CodeImage::getShared(B);
+  EXPECT_EQ(S1.get(), S2.get()); // content-identical modules share an image
+  EXPECT_EQ(S1->digest(), exec::moduleDigest(A));
+
+  exec::ImageCacheStats St = exec::CodeImage::cacheStats();
+  EXPECT_GE(St.Hits, 1u);
+  EXPECT_GE(St.Misses, 1u);
+
+  // A different program digests differently and gets its own image.
+  ir::Module C = makeMain(ret(c(7)));
+  C.finalize();
+  EXPECT_NE(exec::moduleDigest(C), exec::moduleDigest(A));
+  EXPECT_NE(exec::CodeImage::getShared(C).get(), S1.get());
+}
+
+TEST(ExecContext, StepGranularitiesAgreeOnRandomPrograms) {
+  for (std::uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    testutil::ProgramGenerator Gen(Seed);
+    ir::Module M = Gen.generate();
+    sim::HydraConfig Cfg;
+    interp::RunResult Machine = runModule(M, Cfg); // run() fast path
+
+    // One instruction at a time.
+    interp::Heap H1;
+    interp::DirectMemoryPort Port1(H1, Cfg);
+    interp::ExecContext C1(M, Cfg);
+    C1.start(M.EntryFunction, {});
+    std::uint64_t Clock1 = 0;
+    while (!C1.finished())
+      Clock1 += C1.step(Port1, nullptr, Clock1);
+
+    // One block at a time.
+    interp::Heap H2;
+    interp::DirectMemoryPort Port2(H2, Cfg);
+    interp::ExecContext C2(M, Cfg);
+    C2.start(M.EntryFunction, {});
+    std::uint64_t Clock2 = 0;
+    while (!C2.finished()) {
+      ASSERT_TRUE(C2.atBlockStart());
+      Clock2 += C2.stepBlock(Port2, nullptr, Clock2);
+    }
+
+    // Whole run under a cycle budget: resuming after a budget return must
+    // not change any totals.
+    interp::Heap H3;
+    interp::DirectMemoryPort Port3(H3, Cfg);
+    interp::ExecContext C3(M, Cfg);
+    C3.start(M.EntryFunction, {});
+    std::uint64_t Clock3 = C3.run(Port3, nullptr, 0, Machine.Cycles / 2);
+    if (!C3.finished()) {
+      EXPECT_TRUE(C3.atBlockStart()) << "seed " << Seed;
+      EXPECT_GT(Clock3, Machine.Cycles / 2) << "seed " << Seed;
+      Clock3 += C3.run(Port3, nullptr, Clock3, ~0ull);
+    }
+    EXPECT_TRUE(C3.finished()) << "seed " << Seed;
+
+    EXPECT_EQ(Clock1, Machine.Cycles) << "seed " << Seed;
+    EXPECT_EQ(Clock2, Machine.Cycles) << "seed " << Seed;
+    EXPECT_EQ(Clock3, Machine.Cycles) << "seed " << Seed;
+    EXPECT_EQ(C1.instructionsExecuted(), Machine.Instructions)
+        << "seed " << Seed;
+    EXPECT_EQ(C2.instructionsExecuted(), Machine.Instructions)
+        << "seed " << Seed;
+    EXPECT_EQ(C3.instructionsExecuted(), Machine.Instructions)
+        << "seed " << Seed;
+    EXPECT_EQ(C1.returnValue(), Machine.ReturnValue) << "seed " << Seed;
+    EXPECT_EQ(C2.returnValue(), Machine.ReturnValue) << "seed " << Seed;
+    EXPECT_EQ(C3.returnValue(), Machine.ReturnValue) << "seed " << Seed;
+  }
+}
+
+TEST(ExecContext, RewindTopReissuesInstruction) {
+  ir::Module M = makeMain(seq({
+      assign("x", c(4)),
+      assign("y", add(v("x"), c(2))),
+      ret(v("y")),
+  }));
+  sim::HydraConfig Cfg;
+  interp::Heap H;
+  interp::DirectMemoryPort Port(H, Cfg);
+  interp::ExecContext Ctx(M, Cfg);
+  Ctx.start(M.EntryFunction, {});
+
+  Ctx.step(Port, nullptr, 0); // consti: pc now mid-block
+  ASSERT_FALSE(Ctx.atBlockStart());
+  exec::FlatPc Before = Ctx.pc();
+  Ctx.step(Port, nullptr, 0); // the add
+  Ctx.rewindTop();            // undo the PC advance, as the TLS sync path does
+  EXPECT_EQ(Ctx.pc(), Before);
+  Ctx.step(Port, nullptr, 0); // re-issue the add
+  EXPECT_EQ(Ctx.pc(), Before + 1);
+
+  std::uint64_t Clock = 0;
+  while (!Ctx.finished())
+    Clock += Ctx.step(Port, nullptr, Clock);
+  // The re-issued instruction is idempotent: the program still returns 6.
+  EXPECT_EQ(Ctx.returnValue(), 6u);
+}
+
+TEST(ExecContext, StartAtAcceptsOversizedRegisterFile) {
+  ir::Module M = makeMain(seq({
+      assign("x", c(11)),
+      assign("y", mul(v("x"), c(3))),
+      ret(v("y")),
+  }));
+  M.finalize();
+  sim::HydraConfig Cfg;
+  std::uint64_t Expected = runModule(M, Cfg).ReturnValue;
+
+  interp::Heap H;
+  interp::DirectMemoryPort Port(H, Cfg);
+  interp::ExecContext Ctx(M, Cfg);
+  // Spawn-style entry: the register file is deliberately larger than the
+  // function needs (the TLS engine recycles buffers across clones whose
+  // register counts differ).
+  std::vector<std::uint64_t> Regs(M.Functions[M.EntryFunction].NumRegs + 16,
+                                  0);
+  Ctx.startAt(M.EntryFunction, 0, std::move(Regs));
+  EXPECT_TRUE(Ctx.atBlockStart());
+  std::uint64_t Clock = 0;
+  while (!Ctx.finished())
+    Clock += Ctx.stepBlock(Port, nullptr, Clock);
+  EXPECT_EQ(Ctx.returnValue(), Expected);
+}
+
+TEST(ExecContext, RepositionTopAdoptsLoopExitState) {
+  // Mirrors the TLS shutdown path: one context runs the loop to its exit
+  // and a second context, parked at the loop header, adopts the exit block
+  // and register file via repositionTop and must finish identically.
+  ir::Module M = makeMain(seq({
+      assign("x", c(1)),
+      forLoop("i", c(0), lt(v("i"), c(37)), 1,
+              assign("x", band(add(mul(v("x"), c(33)), v("i")), c(0xFFFF)))),
+      ret(v("x")),
+  }));
+  analysis::ModuleAnalysis MA(M);
+  ASSERT_FALSE(MA.candidates().empty());
+  jit::TlsLoopPlan Plan = jit::buildTlsPlan(MA, MA.candidates()[0]);
+
+  sim::HydraConfig Cfg;
+  interp::Heap H1;
+  interp::DirectMemoryPort P1(H1, Cfg);
+  interp::ExecContext A(M, Cfg);
+  A.start(M.EntryFunction, {});
+  std::uint64_t C1 = 0;
+  bool SeenLoop = false;
+  std::uint32_t ExitBlock = ~0u;
+  std::vector<std::uint64_t> ExitRegs;
+  while (!A.finished()) {
+    if (A.callDepth() == 1 && A.atBlockStart()) {
+      std::uint32_t B = A.currentBlock();
+      if (B == Plan.Header || Plan.containsBlock(B))
+        SeenLoop = true;
+      else if (SeenLoop && ExitBlock == ~0u) {
+        ExitBlock = B;
+        ExitRegs = A.topRegs();
+      }
+    }
+    C1 += A.stepBlock(P1, nullptr, C1);
+  }
+  ASSERT_NE(ExitBlock, ~0u) << "loop exit never reached";
+
+  interp::Heap H2;
+  interp::DirectMemoryPort P2(H2, Cfg);
+  interp::ExecContext B(M, Cfg);
+  B.start(M.EntryFunction, {});
+  std::uint64_t C2 = 0;
+  while (!(B.atBlockStart() && B.currentBlock() == Plan.Header))
+    C2 += B.stepBlock(P2, nullptr, C2);
+  B.repositionTop(ExitBlock, ExitRegs);
+  EXPECT_TRUE(B.atBlockStart());
+  EXPECT_EQ(B.currentBlock(), ExitBlock);
+  while (!B.finished())
+    C2 += B.stepBlock(P2, nullptr, C2);
+  EXPECT_EQ(B.returnValue(), A.returnValue());
+}
+
+TEST(Trap, DivideByZeroThrowsInAllBuildModes) {
+  ir::Module M = makeMain(seq({
+      assign("z", c(0)),
+      ret(sdiv(c(7), v("z"))),
+  }));
+  sim::HydraConfig Cfg;
+  interp::Machine Machine(M, Cfg);
+  try {
+    Machine.run();
+    FAIL() << "expected TrapError";
+  } catch (const interp::TrapError &E) {
+    EXPECT_EQ(E.kind(), interp::TrapKind::DivideByZero);
+    EXPECT_GE(E.pc(), 0);
+    EXPECT_NE(std::string(E.what()).find("division by zero"),
+              std::string::npos);
+  }
+}
+
+TEST(Trap, RemainderByZeroThrows) {
+  ir::Module M = makeMain(seq({
+      assign("z", c(0)),
+      ret(srem(c(9), v("z"))),
+  }));
+  sim::HydraConfig Cfg;
+  interp::Machine Machine(M, Cfg);
+  EXPECT_THROW(Machine.run(), interp::TrapError);
+}
+
+TEST(Trap, NonZeroDivisorDoesNotTrap) {
+  EXPECT_EQ(testutil::evalMain(seq({
+                assign("z", c(3)),
+                ret(sdiv(c(9), v("z"))),
+            })),
+            3u);
+  EXPECT_EQ(testutil::evalMain(seq({
+                assign("z", c(4)),
+                ret(srem(c(9), v("z"))),
+            })),
+            1u);
+}
