@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# clang-tidy gate over the library and tool sources.
+#
+# Runs clang-tidy (checks from the repo-root .clang-tidy: bugprone-*,
+# performance-*, readability-container-*) against every .cpp under src/
+# and tools/ using the build tree's compile_commands.json. Any warning is
+# an error. When clang-tidy is not installed the gate *skips* (exit 77,
+# ctest SKIP_RETURN_CODE) instead of failing: the toolchain image does not
+# ship it, and nothing may be installed on the fly.
+#
+# Usage:
+#   scripts/ci_clang_tidy.sh                      # use ./build
+#   scripts/ci_clang_tidy.sh --build-dir <dir>    # ctest form
+#   scripts/ci_clang_tidy.sh --jobs N
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD="$2"; shift 2 ;;
+    --jobs) JOBS="$2"; shift 2 ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+done
+
+TIDY="$(command -v clang-tidy || true)"
+if [[ -z "${TIDY}" ]]; then
+  for V in 20 19 18 17 16 15 14; do
+    if command -v "clang-tidy-${V}" > /dev/null 2>&1; then
+      TIDY="$(command -v "clang-tidy-${V}")"
+      break
+    fi
+  done
+fi
+if [[ -z "${TIDY}" ]]; then
+  echo "clang-tidy: not installed; skipping the gate"
+  exit 77
+fi
+
+if [[ ! -f "${BUILD}/compile_commands.json" ]]; then
+  cmake -B "${BUILD}" -S "${ROOT}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    > /dev/null
+fi
+if [[ ! -f "${BUILD}/compile_commands.json" ]]; then
+  echo "clang-tidy: no compile_commands.json in ${BUILD}" >&2
+  exit 1
+fi
+
+mapfile -t FILES < <(find "${ROOT}/src" "${ROOT}/tools" -name '*.cpp' | sort)
+echo "clang-tidy: ${TIDY} over ${#FILES[@]} files (${JOBS} jobs)"
+
+STATUS=0
+printf '%s\n' "${FILES[@]}" |
+  xargs -P "${JOBS}" -n 4 "${TIDY}" -p "${BUILD}" --quiet || STATUS=1
+
+if [[ "${STATUS}" -eq 0 ]]; then
+  echo "clang-tidy: clean"
+else
+  echo "clang-tidy: violations found" >&2
+fi
+exit "${STATUS}"

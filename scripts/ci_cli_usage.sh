@@ -82,6 +82,10 @@ expect_usage "sweep: bad level"       "${SWEEP_BIN}" run --levels sideways
 # jrpm-lint
 expect_usage "lint: no args"          "${LINT_BIN}"
 expect_usage "lint: unknown option"   "${LINT_BIN}" all --bogus
+expect_usage "lint: jobs no value"    "${LINT_BIN}" all --jobs
+expect_usage "lint: jobs zero"        "${LINT_BIN}" all --jobs 0
+expect_usage "lint: jobs junk"        "${LINT_BIN}" all --jobs many
+expect_usage "lint: json bad option"  "${LINT_BIN}" all --json --bogus
 
 # jrpm-metrics
 expect_usage "metrics: no args"       "${METRICS_BIN}"

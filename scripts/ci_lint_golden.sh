@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Golden lint-report gate.
+#
+# Runs `jrpm-lint all --oracle --json` over the full workload registry and
+# compares the structured report byte-for-byte against the committed golden
+# file, once with one lint thread and once with four: any schema drift, key
+# reordering, analysis nondeterminism, or thread-count dependence in the
+# report fails the check.
+#
+# Usage:
+#   scripts/ci_lint_golden.sh                   # configure+build, then check
+#   scripts/ci_lint_golden.sh --bin <jrpm-lint> --golden <file>
+#
+# The second form is how the tier-1 ctest suite invokes it (see
+# tools/CMakeLists.txt). To regenerate the golden file after an intentional
+# schema change:
+#   build/tools/jrpm-lint all --oracle --json > tests/golden/lint_registry.json
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+GOLDEN="${ROOT}/tests/golden/lint_registry.json"
+
+BIN=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --bin) BIN="$2"; shift 2 ;;
+    --golden) GOLDEN="$2"; shift 2 ;;
+    *) break ;;
+  esac
+done
+
+if [[ -z "${BIN}" ]]; then
+  BUILD="${ROOT}/build"
+  JOBS="$(nproc 2>/dev/null || echo 4)"
+  cmake -B "${BUILD}" -S "${ROOT}" "$@"
+  cmake --build "${BUILD}" -j"${JOBS}" --target jrpm-lint
+  BIN="${BUILD}/tools/jrpm-lint"
+fi
+
+TMP="$(mktemp -d "${TMPDIR:-/tmp}/jrpm-lint-golden.XXXXXX")"
+trap 'rm -rf "${TMP}"' EXIT
+
+STATUS=0
+for THREADS in 1 4; do
+  OUT="${TMP}/lint.t${THREADS}.json"
+  "${BIN}" all --oracle --json --jobs "${THREADS}" > "${OUT}"
+  if cmp -s "${GOLDEN}" "${OUT}"; then
+    echo "golden-lint: ${THREADS}-thread report matches"
+  else
+    echo "golden-lint: ${THREADS}-thread report DIFFERS from golden" >&2
+    diff -u "${GOLDEN}" "${OUT}" | head -80 >&2 || true
+    STATUS=1
+  fi
+done
+
+exit "${STATUS}"

@@ -32,8 +32,21 @@ const char *analysis::rejectKindName(RejectKind Kind) {
     return "serial-scalar";
   case RejectKind::SerialMemoryRecurrence:
     return "serial-memory";
+  case RejectKind::AffineSerialZiv:
+    return "affine-ziv";
+  case RejectKind::AffineSerialSiv:
+    return "affine-siv";
   }
   return "none";
+}
+
+bool analysis::rejectKindFromName(const std::string &Name, RejectKind &Out) {
+  for (RejectKind Kind : AllRejectKinds)
+    if (Name == rejectKindName(Kind)) {
+      Out = Kind;
+      return true;
+    }
+  return false;
 }
 
 /// Returns true if \p Reg is used before any definition in \p Block.
@@ -73,37 +86,6 @@ static bool isObviousSerializer(const ir::Function &F, const Loop &L,
   return false;
 }
 
-/// Per-function facts needed for candidate screening: does the function (or
-/// anything it can call) allocate heap memory?
-static std::vector<bool> computeTransitiveAlloc(const ir::Module &M) {
-  std::uint32_t N = static_cast<std::uint32_t>(M.Functions.size());
-  std::vector<bool> Allocates(N, false);
-  std::vector<std::vector<std::uint32_t>> Calls(N);
-  for (std::uint32_t F = 0; F < N; ++F)
-    for (const ir::BasicBlock &BB : M.Functions[F].Blocks)
-      for (const ir::Instruction &I : BB.Instructions) {
-        if (I.Op == ir::Opcode::Alloc)
-          Allocates[F] = true;
-        if (I.Op == ir::Opcode::Call)
-          Calls[F].push_back(static_cast<std::uint32_t>(I.Imm));
-      }
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (std::uint32_t F = 0; F < N; ++F) {
-      if (Allocates[F])
-        continue;
-      for (std::uint32_t Callee : Calls[F])
-        if (Allocates[Callee]) {
-          Allocates[F] = true;
-          Changed = true;
-          break;
-        }
-    }
-  }
-  return Allocates;
-}
-
 ModuleAnalysis::ModuleAnalysis(const ir::Module &Mod,
                                const AnalysisOptions &Opts)
     : M(Mod) {
@@ -111,7 +93,10 @@ ModuleAnalysis::ModuleAnalysis(const ir::Module &Mod,
   for (const ir::Function &F : M.Functions)
     Funcs.push_back(std::make_unique<FunctionAnalysis>(F));
 
-  std::vector<bool> FuncAllocates = computeTransitiveAlloc(M);
+  // Per-function memory-effect summaries subsume the old transitive
+  // allocates-bit: call screening reads the Allocates flag, the oracle
+  // also wants the read/write facts.
+  Effects = computeMemEffects(M);
 
   for (std::uint32_t FI = 0; FI < M.Functions.size(); ++FI) {
     const ir::Function &F = M.Functions[FI];
@@ -142,7 +127,7 @@ ModuleAnalysis::ModuleAnalysis(const ir::Module &Mod,
             C.Kind = RejectKind::AllocatesHeap;
             C.RejectReason = "loop body allocates heap memory";
           } else if (I.Op == ir::Opcode::Call &&
-                     FuncAllocates[static_cast<std::uint32_t>(I.Imm)]) {
+                     Effects[static_cast<std::uint32_t>(I.Imm)].Allocates) {
             C.Rejected = true;
             C.Kind = RejectKind::CallsAllocator;
             C.RejectReason = "loop body calls an allocating function";
@@ -170,7 +155,7 @@ ModuleAnalysis::ModuleAnalysis(const ir::Module &Mod,
       // store-to-reload window inside the forwarding budget, can never
       // produce an arc the speedup model values above 1x — profiling it
       // would only pay Figure-6 overhead for a guaranteed "no".
-      if (Opts.StaticPrefilter && !C.Rejected) {
+      if ((Opts.StaticPrefilter || Opts.AffineOracle) && !C.Rejected) {
         const LoopMemDep &MD = FA.MemDep->loopDep(LIdx);
         if (MD.Serial.Found &&
             MD.Serial.WindowCycles <= Opts.SerialArcBudget) {
@@ -180,6 +165,23 @@ ModuleAnalysis::ModuleAnalysis(const ir::Module &Mod,
                            "stored at every latch within the forwarding "
                            "budget";
         }
+      }
+
+      // The affine oracle runs on every loop (its verdicts feed lint and
+      // the conformance harness); only provably-serial verdicts reject.
+      if (Opts.AffineOracle) {
+        LoopOracleResult R =
+            runStaticOracle(F, L, Scalars, FA.MemDep->aliases(), Effects,
+                            Opts.SerialArcBudget);
+        if (R.Verdict == OracleVerdict::ProvablySerial && !C.Rejected) {
+          C.Rejected = true;
+          C.Kind = R.Test == DepTestKind::Ziv ? RejectKind::AffineSerialZiv
+                                              : RejectKind::AffineSerialSiv;
+          C.RejectReason = "affine serial recurrence: every iteration "
+                           "reloads the previous iteration's store within "
+                           "the forwarding budget";
+        }
+        OracleResults.push_back(std::move(R));
       }
       Candidates.push_back(std::move(C));
     }

@@ -17,6 +17,7 @@
 #include "analysis/Liveness.h"
 #include "analysis/LoopInfo.h"
 #include "analysis/MemDep.h"
+#include "analysis/StaticOracle.h"
 #include "ir/IR.h"
 
 #include <memory>
@@ -41,7 +42,9 @@ struct FunctionAnalysis {
 
 /// Why a loop was removed from the candidate list. The paper's optimistic
 /// policy (Section 4.1) covers the first four kinds; SerialMemoryRecurrence
-/// is the flag-gated static pre-filter on top of it.
+/// is the flag-gated static pre-filter on top of it, and the two Affine
+/// kinds are the affine oracle's provably-serial verdicts (StaticOracle.h)
+/// split by the dependence test that fired.
 enum class RejectKind : std::uint8_t {
   None,
   ReturnsFromFunction,
@@ -49,10 +52,27 @@ enum class RejectKind : std::uint8_t {
   CallsAllocator,
   SerialCarriedScalar,
   SerialMemoryRecurrence,
+  AffineSerialZiv,
+  AffineSerialSiv,
 };
 
 /// Returns a short stable name for \p Kind (for tables and logs).
 const char *rejectKindName(RejectKind Kind);
+
+/// Inverse of rejectKindName. Returns false when \p Name matches no kind.
+bool rejectKindFromName(const std::string &Name, RejectKind &Out);
+
+/// Every RejectKind value, in declaration order (tables, round-trip tests).
+inline constexpr RejectKind AllRejectKinds[] = {
+    RejectKind::None,
+    RejectKind::ReturnsFromFunction,
+    RejectKind::AllocatesHeap,
+    RejectKind::CallsAllocator,
+    RejectKind::SerialCarriedScalar,
+    RejectKind::SerialMemoryRecurrence,
+    RejectKind::AffineSerialZiv,
+    RejectKind::AffineSerialSiv,
+};
 
 /// Tuning knobs for candidate screening.
 struct AnalysisOptions {
@@ -67,6 +87,12 @@ struct AnalysisOptions {
   /// cross-iteration arc can never beat the Hydra forwarding delay
   /// (sim::HydraConfig::StoreLoadCommCycles, default 10).
   std::uint32_t SerialArcBudget = 10;
+  /// Enables the affine speculation oracle (StaticOracle.h): runs the
+  /// affine dependence tests over every loop, records per-loop verdicts,
+  /// and rejects provably-serial loops under the AffineSerial* kinds. A
+  /// strict superset of the StaticPrefilter rejections: the shape-matched
+  /// serial-recurrence rule runs as well.
+  bool AffineOracle = false;
 };
 
 /// One potential STL (or a rejected loop, kept for reporting).
@@ -89,6 +115,15 @@ public:
 
   const FunctionAnalysis &func(std::uint32_t F) const { return *Funcs[F]; }
   const std::vector<CandidateStl> &candidates() const { return Candidates; }
+
+  /// Per-function transitive memory-effect summaries (call screening).
+  const std::vector<FuncMemEffects> &memEffects() const { return Effects; }
+
+  /// The affine oracle's verdict for loop \p LoopId, or null when the
+  /// oracle was not enabled.
+  const LoopOracleResult *oracleResult(std::uint32_t LoopId) const {
+    return OracleResults.empty() ? nullptr : &OracleResults[LoopId];
+  }
 
   const CandidateStl &candidate(std::uint32_t LoopId) const {
     return Candidates[LoopId];
@@ -113,6 +148,9 @@ private:
   const ir::Module &M;
   std::vector<std::unique_ptr<FunctionAnalysis>> Funcs;
   std::vector<CandidateStl> Candidates;
+  std::vector<FuncMemEffects> Effects;
+  /// Parallel to Candidates when the oracle ran; empty otherwise.
+  std::vector<LoopOracleResult> OracleResults;
 };
 
 } // namespace analysis

@@ -1,0 +1,74 @@
+//===- analysis/CycleEstimate.h - Static per-instruction cycle bounds ------==//
+//
+// Shared static cycle estimates used by the serial-recurrence detector
+// (MemDep.cpp) and the affine speculation oracle (StaticOracle.cpp) when
+// bounding a store-to-reload window. The numbers mirror the defaults of
+// sim::CostModel and sim::HydraConfig, which the analysis layer cannot
+// include; every consumer compares windows against a budget expressed in
+// the same default units.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_ANALYSIS_CYCLEESTIMATE_H
+#define JRPM_ANALYSIS_CYCLEESTIMATE_H
+
+#include "ir/IR.h"
+#include "ir/RegUse.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jrpm {
+namespace analysis {
+
+/// Static per-opcode cycle estimate (defaults of sim::CostModel).
+inline std::uint32_t staticOpCost(ir::Opcode Op) {
+  switch (Op) {
+  case ir::Opcode::Div:
+  case ir::Opcode::Rem:
+    return 8;
+  case ir::Opcode::FDiv:
+    return 10;
+  case ir::Opcode::FSqrt:
+    return 12;
+  case ir::Opcode::Call:
+    return 2;
+  default:
+    return 1;
+  }
+}
+
+/// Annotation costs mirrored from sim::HydraConfig defaults.
+inline constexpr std::uint32_t StaticEoiCost = 1;
+inline constexpr std::uint32_t StaticLocalAnnoCost = 1;
+
+/// Flags the registers backing source-level named locals — the only ones
+/// eligible for lwl/swl annotations during profiling.
+inline std::vector<bool> namedLocalRegs(const ir::Function &F) {
+  std::vector<bool> Named(F.NumRegs, false);
+  for (const auto &[Name, Reg] : F.NamedLocals)
+    if (Reg < F.NumRegs)
+      Named[Reg] = true;
+  return Named;
+}
+
+/// Worst-case profiled cost of one instruction, counting the lwl/swl
+/// annotations base-level profiling may attach to its named-local operands.
+inline std::uint32_t annotatedCostEstimate(const ir::Function &F,
+                                           const std::vector<bool> &Named,
+                                           const ir::Instruction &I) {
+  std::uint32_t Cost = staticOpCost(I.Op);
+  ir::forEachUsedReg(I, [&](std::uint16_t R) {
+    if (R < F.NumRegs && Named[R])
+      Cost += StaticLocalAnnoCost;
+  });
+  std::uint16_t D = ir::definedReg(I);
+  if (D != ir::NoReg && D < F.NumRegs && Named[D])
+    Cost += StaticLocalAnnoCost;
+  return Cost;
+}
+
+} // namespace analysis
+} // namespace jrpm
+
+#endif // JRPM_ANALYSIS_CYCLEESTIMATE_H

@@ -1,0 +1,175 @@
+//===- analysis/DepTest.cpp -----------------------------------------------==//
+
+#include "analysis/DepTest.h"
+
+#include <cstdlib>
+
+using namespace jrpm;
+using namespace jrpm::analysis;
+
+const char *analysis::depTestKindName(DepTestKind Kind) {
+  switch (Kind) {
+  case DepTestKind::Ziv:
+    return "ziv";
+  case DepTestKind::StrongSiv:
+    return "strong-siv";
+  case DepTestKind::WeakZeroSiv:
+    return "weak-zero-siv";
+  case DepTestKind::Gcd:
+    return "gcd";
+  case DepTestKind::AliasClass:
+    return "alias-class";
+  case DepTestKind::MayFallback:
+    return "may-fallback";
+  }
+  return "may-fallback";
+}
+
+const char *analysis::depOutcomeName(DepOutcome O) {
+  switch (O) {
+  case DepOutcome::Independent:
+    return "independent";
+  case DepOutcome::Carried:
+    return "carried";
+  case DepOutcome::May:
+    return "may";
+  }
+  return "may";
+}
+
+namespace {
+
+std::int64_t gcd64(std::int64_t A, std::int64_t B) {
+  A = A < 0 ? -A : A;
+  B = B < 0 ? -B : B;
+  while (B) {
+    std::int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+DepTestResult make(DepTestKind Test, DepOutcome Outcome,
+                   std::int64_t Distance = 0, bool Exact = false) {
+  DepTestResult R;
+  R.Test = Test;
+  R.Outcome = Outcome;
+  R.Distance = Distance;
+  R.DistanceExact = Exact;
+  return R;
+}
+
+} // namespace
+
+DepTestResult analysis::testAffinePair(const AffineExpr &X,
+                                       const AffineExpr &Y) {
+  // Callers guarantee sameBase; the gap is then purely constant.
+  std::int64_t Gap = 0; // X.Const - Y.Const
+  if (__builtin_sub_overflow(X.Const, Y.Const, &Gap) || Gap == INT64_MIN)
+    return make(DepTestKind::MayFallback, DepOutcome::May);
+  std::int64_t SX = X.IterCoeff, SY = Y.IterCoeff;
+
+  if (SX == 0 && SY == 0) {
+    // ZIV: the two accesses touch fixed cells.
+    if (Gap == 0)
+      return make(DepTestKind::Ziv, DepOutcome::Carried, 1, true);
+    return make(DepTestKind::Ziv, DepOutcome::Independent);
+  }
+
+  if (SX == SY) {
+    // Strong SIV: same stride, so the lattices either coincide at an exact
+    // iteration distance or interleave forever.
+    if (Gap % SX != 0)
+      return make(DepTestKind::StrongSiv, DepOutcome::Independent);
+    std::int64_t D = Gap / SX; // safe: Gap > INT64_MIN excluded above
+    if (D == 0)
+      return make(DepTestKind::StrongSiv, DepOutcome::Independent);
+    return make(DepTestKind::StrongSiv, DepOutcome::Carried, D, true);
+  }
+
+  if (SX == 0 || SY == 0) {
+    // Weak-zero SIV: addrFixed = addrMoving(i) has at most one solution.
+    std::int64_t S = SX == 0 ? SY : SX;
+    std::int64_t G = SX == 0 ? Gap : -Gap; // fixed - moving entry offset
+    if (G % S != 0)
+      return make(DepTestKind::WeakZeroSiv, DepOutcome::Independent);
+    std::int64_t Hit = G / S; // iteration where the moving access collides
+    if (Hit < 0)
+      return make(DepTestKind::WeakZeroSiv, DepOutcome::Independent);
+    // The fixed access repeats every iteration, so the collision at
+    // iteration `Hit` pairs with fixed accesses of every other iteration:
+    // a carried dependence of unbounded direction.
+    return make(DepTestKind::WeakZeroSiv, DepOutcome::Carried);
+  }
+
+  // GCD feasibility for unequal nonzero strides.
+  if (Gap % gcd64(SX, SY) != 0)
+    return make(DepTestKind::Gcd, DepOutcome::Independent);
+  return make(DepTestKind::Gcd, DepOutcome::Carried);
+}
+
+DepTestResult analysis::testWithFallback(const AffineExpr &X,
+                                         const AffineExpr &Y,
+                                         const AliasSet &SetX,
+                                         const AliasSet &SetY) {
+  if (X.sameBase(Y))
+    return testAffinePair(X, Y);
+  if (SetX.disjointFrom(SetY))
+    return make(DepTestKind::AliasClass, DepOutcome::Independent);
+  return make(DepTestKind::MayFallback, DepOutcome::May);
+}
+
+std::vector<FuncMemEffects> analysis::computeMemEffects(const ir::Module &M) {
+  std::uint32_t N = static_cast<std::uint32_t>(M.Functions.size());
+  std::vector<FuncMemEffects> Effects(N);
+  std::vector<std::vector<std::uint32_t>> Calls(N);
+  for (std::uint32_t F = 0; F < N; ++F) {
+    for (const ir::BasicBlock &BB : M.Functions[F].Blocks) {
+      for (const ir::Instruction &I : BB.Instructions) {
+        switch (I.Op) {
+        case ir::Opcode::Load:
+          Effects[F].ReadsHeap = true;
+          break;
+        case ir::Opcode::Store:
+          Effects[F].WritesHeap = true;
+          break;
+        case ir::Opcode::Alloc:
+          Effects[F].Allocates = true;
+          break;
+        case ir::Opcode::Call: {
+          std::uint32_t Callee = static_cast<std::uint32_t>(I.Imm);
+          if (Callee < N) {
+            Calls[F].push_back(Callee);
+          } else {
+            Effects[F].ReadsHeap = Effects[F].WritesHeap =
+                Effects[F].Allocates = true;
+          }
+          break;
+        }
+        default:
+          break;
+        }
+      }
+    }
+  }
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (std::uint32_t F = 0; F < N; ++F) {
+      for (std::uint32_t Callee : Calls[F]) {
+        FuncMemEffects Merged = Effects[F];
+        Merged.ReadsHeap |= Effects[Callee].ReadsHeap;
+        Merged.WritesHeap |= Effects[Callee].WritesHeap;
+        Merged.Allocates |= Effects[Callee].Allocates;
+        if (Merged.ReadsHeap != Effects[F].ReadsHeap ||
+            Merged.WritesHeap != Effects[F].WritesHeap ||
+            Merged.Allocates != Effects[F].Allocates) {
+          Effects[F] = Merged;
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Effects;
+}

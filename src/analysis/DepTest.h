@@ -1,0 +1,101 @@
+//===- analysis/DepTest.h - Affine dependence tests + memory effects -------==//
+//
+// Classical data-dependence tests over pairs of affine access functions
+// (ScalarEvolution.h), in the J-Parallelio style of bytecode-level loop
+// dependence testing:
+//
+//   ZIV        both strides zero: equal constants collide every iteration,
+//              different constants never do.
+//   strong SIV equal nonzero strides: the offset gap is either divisible
+//              by the stride (exact iteration distance) or the two address
+//              lattices never meet.
+//   weak-zero  one stride zero: the moving access hits the fixed cell in
+//   SIV        at most one iteration, and only if that iteration index is
+//              a nonnegative integer.
+//   GCD        unequal nonzero strides: no dependence unless
+//              gcd(s1, s2) divides the offset gap (Banerjee-style
+//              feasibility; direction unconstrained without trip counts).
+//
+// Affine forms are only comparable over the same symbolic base; everything
+// else falls back to allocation-site alias classes and then to "may".
+// The same header carries the per-function memory-effect summaries
+// (reads/writes/allocates, transitively through calls) that let loops
+// containing calls to pure or read-only functions keep a provably-parallel
+// verdict instead of degrading to "may".
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_ANALYSIS_DEPTEST_H
+#define JRPM_ANALYSIS_DEPTEST_H
+
+#include "analysis/AliasClasses.h"
+#include "analysis/ScalarEvolution.h"
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jrpm {
+namespace analysis {
+
+/// Which dependence test decided a pair.
+enum class DepTestKind : std::uint8_t {
+  Ziv,         ///< zero-index-variable: both strides zero
+  StrongSiv,   ///< equal nonzero strides
+  WeakZeroSiv, ///< exactly one stride zero
+  Gcd,         ///< unequal nonzero strides, gcd feasibility
+  AliasClass,  ///< non-affine or unrelated bases, alias classes decided
+  MayFallback, ///< nothing could separate the pair
+};
+
+/// Returns a short stable name for \p Kind (tables, JSON).
+const char *depTestKindName(DepTestKind Kind);
+
+/// The outcome of one pair test.
+enum class DepOutcome : std::uint8_t { Independent, Carried, May };
+
+const char *depOutcomeName(DepOutcome O);
+
+struct DepTestResult {
+  DepTestKind Test = DepTestKind::MayFallback;
+  DepOutcome Outcome = DepOutcome::May;
+  /// Signed cross-iteration distance when DistanceExact: the access X of
+  /// iteration i collides with the access Y of iteration i + Distance.
+  /// 0 with DistanceExact=false means unknown/any.
+  std::int64_t Distance = 0;
+  bool DistanceExact = false;
+};
+
+/// Tests two affine access functions over the same loop. Both forms must
+/// be Valid and share a symbolic base; callers route anything else through
+/// testWithFallback.
+DepTestResult testAffinePair(const AffineExpr &X, const AffineExpr &Y);
+
+/// Full lattice: affine tests when possible, alias classes otherwise.
+/// \p SetX / \p SetY are the accesses' allocation-site sets.
+DepTestResult testWithFallback(const AffineExpr &X, const AffineExpr &Y,
+                               const AliasSet &SetX, const AliasSet &SetY);
+
+//===----------------------------------------------------------------------===//
+// Per-function memory-effect summaries
+//===----------------------------------------------------------------------===//
+
+/// What a function (and everything it can call) may do to the heap.
+struct FuncMemEffects {
+  bool ReadsHeap = false;
+  bool WritesHeap = false;
+  bool Allocates = false;
+
+  bool pure() const { return !ReadsHeap && !WritesHeap && !Allocates; }
+  bool readOnly() const { return !WritesHeap && !Allocates; }
+};
+
+/// Transitive memory-effect summary of every function in \p M (indexed by
+/// function number). Out-of-range callee indices are treated as
+/// read-write-allocating, so a malformed module can only lose precision.
+std::vector<FuncMemEffects> computeMemEffects(const ir::Module &M);
+
+} // namespace analysis
+} // namespace jrpm
+
+#endif // JRPM_ANALYSIS_DEPTEST_H

@@ -2,6 +2,7 @@
 
 #include "analysis/MemDep.h"
 
+#include "analysis/CycleEstimate.h"
 #include "ir/RegUse.h"
 
 #include <algorithm>
@@ -133,35 +134,25 @@ bool DefUseChains::mayReadParam(std::uint32_t Block, std::uint32_t Index,
   return ParamReaches;
 }
 
+const char *analysis::depKindName(DepKind Kind) {
+  switch (Kind) {
+  case DepKind::Raw:
+    return "raw";
+  case DepKind::War:
+    return "war";
+  case DepKind::Waw:
+    return "waw";
+  case DepKind::May:
+    return "may";
+  }
+  return "may";
+}
+
 //===----------------------------------------------------------------------===//
 // MemDepAnalysis
 //===----------------------------------------------------------------------===//
 
 namespace {
-
-/// Static per-opcode cycle estimate. Mirrors the defaults of
-/// sim::CostModel, which the analysis layer cannot include; the serial
-/// recurrence consumer compares windows against a budget expressed in the
-/// same default units.
-std::uint32_t opCost(ir::Opcode Op) {
-  switch (Op) {
-  case ir::Opcode::Div:
-  case ir::Opcode::Rem:
-    return 8;
-  case ir::Opcode::FDiv:
-    return 10;
-  case ir::Opcode::FSqrt:
-    return 12;
-  case ir::Opcode::Call:
-    return 2;
-  default:
-    return 1;
-  }
-}
-
-/// Annotation costs mirrored from sim::HydraConfig defaults.
-constexpr std::uint32_t EoiCost = 1;
-constexpr std::uint32_t LocalAnnoCost = 1;
 
 /// Normalised unordered register pair of an address.
 std::pair<std::uint16_t, std::uint16_t> regPair(std::uint16_t A,
@@ -383,23 +374,9 @@ void MemDepAnalysis::findSerialRecurrence(const ir::Function &F, const Loop &L,
     return std::find(Scalars.Invariants.begin(), Scalars.Invariants.end(),
                      Reg) != Scalars.Invariants.end();
   };
-  std::vector<bool> Named(F.NumRegs, false);
-  for (const auto &[Name, Reg] : F.NamedLocals)
-    if (Reg < F.NumRegs)
-      Named[Reg] = true;
-
-  // Worst-case profiled cost of one instruction, counting the lwl/swl
-  // annotations base-level profiling may attach to its named-local operands.
+  std::vector<bool> Named = namedLocalRegs(F);
   auto AnnotatedCost = [&](const ir::Instruction &I) {
-    std::uint32_t Cost = opCost(I.Op);
-    ir::forEachUsedReg(I, [&](std::uint16_t R) {
-      if (R < F.NumRegs && Named[R])
-        Cost += LocalAnnoCost;
-    });
-    std::uint16_t D = ir::definedReg(I);
-    if (D != ir::NoReg && D < F.NumRegs && Named[D])
-      Cost += LocalAnnoCost;
-    return Cost;
+    return annotatedCostEstimate(F, Named, I);
   };
 
   auto ExactCell = [&](const ir::Instruction &I, const MemAccess &Cell) {
@@ -471,11 +448,11 @@ void MemDepAnalysis::findSerialRecurrence(const ir::Function &F, const Loop &L,
       for (std::uint32_t I = static_cast<std::uint32_t>(Last);
            I < Instrs.size(); ++I)
         Tail += AnnotatedCost(Instrs[I]);
-      Tail += EoiCost;
+      Tail += StaticEoiCost;
       // A conditional latch gets its eoi in a split block with its own
       // branch back to the header.
       if (Instrs.back().Op == ir::Opcode::CondBr)
-        Tail += opCost(ir::Opcode::Br);
+        Tail += staticOpCost(ir::Opcode::Br);
       WorstTail = std::max(WorstTail, Tail);
       if (Latch == L.Latches[0]) {
         RepBlock = Latch;

@@ -94,6 +94,9 @@ struct MemAccess {
 /// marks pairs the analysis cannot separate.
 enum class DepKind : std::uint8_t { Raw, War, Waw, May };
 
+/// Returns a short stable name for \p Kind (tables, JSON).
+const char *depKindName(DepKind Kind);
+
 /// One classified cross-iteration dependence between two accesses.
 struct CarriedDep {
   DepKind Kind = DepKind::May;

@@ -1,0 +1,59 @@
+//===- jrpm/LintReport.h - Structured lint report over one module ----------==//
+//
+// Library backing for the jrpm-lint tool: runs every static verifier over
+// a workload module (structural/def-use/type verifier on the lowered IR,
+// the annotation verifier at both annotation levels, the TLS plan verifier
+// for every surviving candidate) plus the candidate screening and —
+// when enabled — the affine speculation oracle, and folds the results
+// into one deterministic JSON document.
+//
+// Objects serialize with sorted keys (support/Json.h) and every field is
+// a pure function of the module and options, so the registry-wide report
+// is byte-identical across runs and lint thread counts; the golden gate
+// (scripts/ci_lint_golden.sh) holds it to that.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_JRPM_LINTREPORT_H
+#define JRPM_JRPM_LINTREPORT_H
+
+#include "analysis/Candidates.h"
+#include "ir/IR.h"
+#include "support/Json.h"
+
+#include <cstdint>
+#include <string>
+
+namespace jrpm {
+namespace lint {
+
+/// One workload's lint outcome: the structured report plus the violation
+/// count the process exit code aggregates.
+struct WorkloadLint {
+  Json Doc = Json::object();
+  std::uint32_t Violations = 0;
+};
+
+/// Lints \p M (named \p Name in the report) under \p Opts. The document
+/// layout:
+///
+///   {
+///     "workload":    name,
+///     "violations":  total count,
+///     "diagnostics": [ { "pass", "severity", "message" } ... ],
+///     "loops": [
+///       { "id", "function", "status", "reject",
+///         "loads", "stores", "raw", "waw", "may", "independent",
+///         "parallel", "serial_window"?,          // present when found
+///         "oracle"? {                            // present when enabled
+///           "verdict", "test", "distance", "window",
+///           "pairs": { "total", "independent", "affine", "may" } } }
+///       ... ]
+///   }
+WorkloadLint lintWorkload(const std::string &Name, const ir::Module &M,
+                          const analysis::AnalysisOptions &Opts);
+
+} // namespace lint
+} // namespace jrpm
+
+#endif // JRPM_JRPM_LINTREPORT_H

@@ -49,6 +49,7 @@ Jrpm::Jrpm(ir::Module Program, PipelineConfig Config)
   analysis::AnalysisOptions Opts;
   Opts.StaticPrefilter = Cfg.StaticPrefilter;
   Opts.SerialArcBudget = Cfg.SerialArcBudget;
+  Opts.AffineOracle = Cfg.AffineOracle;
   MA = std::make_unique<analysis::ModuleAnalysis>(M, Opts);
   if (Cfg.Timeline) {
     // Fixed registration order => stable pid/tid assignment across runs.

@@ -38,6 +38,10 @@ struct PipelineConfig {
   bool StaticPrefilter = false;
   /// Arc budget for the pre-filter, in cycles (see AnalysisOptions).
   std::uint32_t SerialArcBudget = 10;
+  /// Enables the affine speculation oracle (analysis::AnalysisOptions):
+  /// affine dependence tests produce per-loop verdicts and provably-serial
+  /// loops are rejected before annotation. Strictly widens StaticPrefilter.
+  bool AffineOracle = false;
 
   // --- Trace capture & replay (src/trace) ---------------------------------
   /// When non-empty, profileAndSelect tees the annotated run's event

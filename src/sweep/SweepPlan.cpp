@@ -49,6 +49,10 @@ const Knob Knobs[] = {
      [](pipeline::PipelineConfig &C, std::uint32_t V) {
        C.Hw.SpecLoadLines = V;
      }},
+    {"oracle",
+     [](pipeline::PipelineConfig &C, std::uint32_t V) {
+       C.AffineOracle = V != 0;
+     }},
     {"pc-binning",
      [](pipeline::PipelineConfig &C, std::uint32_t V) {
        C.ExtendedPcBinning = V != 0;

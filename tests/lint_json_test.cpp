@@ -1,0 +1,154 @@
+//===- tests/lint_json_test.cpp - Structured lint report tests -------------==//
+//
+// Drives jrpm::lint::lintWorkload directly (the library behind
+// jrpm-lint --json) and checks the document schema: per-diagnostic pass
+// and severity, per-loop id and reject kind, the oracle block when the
+// affine oracle is on, and byte-level determinism across runs — the
+// property the registry-wide golden gate holds process-wide.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Candidates.h"
+#include "analysis/StaticOracle.h"
+#include "jrpm/LintReport.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace jrpm;
+using namespace jrpm::analysis;
+
+namespace {
+
+const workloads::Workload &wl(const char *Name) {
+  const workloads::Workload *W = workloads::findWorkload(Name);
+  EXPECT_NE(W, nullptr) << Name;
+  return *W;
+}
+
+} // namespace
+
+TEST(LintJson, CleanWorkloadSchema) {
+  ir::Module M = wl("BitOps").Build();
+  AnalysisOptions Opts;
+  lint::WorkloadLint R = lint::lintWorkload("BitOps", M, Opts);
+  EXPECT_EQ(R.Violations, 0u);
+
+  const Json *Name = R.Doc.find("workload");
+  ASSERT_NE(Name, nullptr);
+  EXPECT_EQ(Name->str(), "BitOps");
+
+  const Json *Violations = R.Doc.find("violations");
+  ASSERT_NE(Violations, nullptr);
+  EXPECT_EQ(Violations->asUint(), 0u);
+
+  const Json *Diags = R.Doc.find("diagnostics");
+  ASSERT_NE(Diags, nullptr);
+  EXPECT_TRUE(Diags->items().empty());
+
+  const Json *Loops = R.Doc.find("loops");
+  ASSERT_NE(Loops, nullptr);
+  ASSERT_FALSE(Loops->items().empty());
+
+  ModuleAnalysis MA(M, Opts);
+  ASSERT_EQ(Loops->items().size(), MA.candidates().size());
+  for (std::size_t I = 0; I < Loops->items().size(); ++I) {
+    const Json &L = Loops->items()[I];
+    const Json *Id = L.find("id");
+    ASSERT_NE(Id, nullptr);
+    EXPECT_EQ(Id->asUint(), I);
+    const Json *Status = L.find("status");
+    ASSERT_NE(Status, nullptr);
+    EXPECT_TRUE(Status->str() == "candidate" || Status->str() == "rejected");
+    const Json *Reject = L.find("reject");
+    ASSERT_NE(Reject, nullptr);
+    RejectKind K = RejectKind::None;
+    EXPECT_TRUE(rejectKindFromName(Reject->str(), K)) << Reject->str();
+    // No oracle block unless the oracle ran.
+    EXPECT_EQ(L.find("oracle"), nullptr);
+    for (const char *Key :
+         {"loads", "stores", "raw", "waw", "may", "independent"})
+      EXPECT_NE(L.find(Key), nullptr) << Key;
+  }
+}
+
+TEST(LintJson, OracleBlockPresentAndWellFormed) {
+  ir::Module M = wl("NumHeapSort").Build();
+  AnalysisOptions Opts;
+  Opts.AffineOracle = true;
+  lint::WorkloadLint R = lint::lintWorkload("NumHeapSort", M, Opts);
+
+  const Json *Loops = R.Doc.find("loops");
+  ASSERT_NE(Loops, nullptr);
+  ASSERT_FALSE(Loops->items().empty());
+  for (const Json &L : Loops->items()) {
+    const Json *O = L.find("oracle");
+    ASSERT_NE(O, nullptr);
+    const Json *Verdict = O->find("verdict");
+    ASSERT_NE(Verdict, nullptr);
+    EXPECT_TRUE(Verdict->str() ==
+                    oracleVerdictName(OracleVerdict::Unknown) ||
+                Verdict->str() ==
+                    oracleVerdictName(OracleVerdict::ProvablySerial) ||
+                Verdict->str() ==
+                    oracleVerdictName(OracleVerdict::ProvablyParallel));
+    const Json *Pairs = O->find("pairs");
+    ASSERT_NE(Pairs, nullptr);
+    const Json *Total = Pairs->find("total");
+    const Json *Indep = Pairs->find("independent");
+    const Json *Affine = Pairs->find("affine");
+    const Json *May = Pairs->find("may");
+    ASSERT_NE(Total, nullptr);
+    ASSERT_NE(Indep, nullptr);
+    ASSERT_NE(Affine, nullptr);
+    ASSERT_NE(May, nullptr);
+    EXPECT_LE(Indep->asUint() + May->asUint(), Total->asUint() + 0u);
+    EXPECT_LE(Affine->asUint(), Total->asUint());
+  }
+}
+
+TEST(LintJson, ReportIsDeterministic) {
+  AnalysisOptions Opts;
+  Opts.AffineOracle = true;
+  for (const char *Name : {"compress", "fft", "LuFactor"}) {
+    ir::Module M1 = wl(Name).Build();
+    ir::Module M2 = wl(Name).Build();
+    std::string A = lint::lintWorkload(Name, M1, Opts).Doc.dump();
+    std::string B = lint::lintWorkload(Name, M2, Opts).Doc.dump();
+    EXPECT_EQ(A, B) << Name;
+    EXPECT_FALSE(A.empty());
+  }
+}
+
+TEST(LintJson, PrefilterRejectionSurfacesInReport) {
+  // Workload-independent check that a rejected loop carries a named,
+  // round-trippable reject kind: sweep the registry under the oracle and
+  // require every rejected loop's kind to parse back.
+  AnalysisOptions Opts;
+  Opts.AffineOracle = true;
+  std::uint32_t RejectedSeen = 0;
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    ir::Module M = W.Build();
+    lint::WorkloadLint R = lint::lintWorkload(W.Name, M, Opts);
+    const Json *Loops = R.Doc.find("loops");
+    ASSERT_NE(Loops, nullptr) << W.Name;
+    for (const Json &L : Loops->items()) {
+      const Json *Status = L.find("status");
+      const Json *Reject = L.find("reject");
+      ASSERT_NE(Status, nullptr);
+      ASSERT_NE(Reject, nullptr);
+      RejectKind K = RejectKind::None;
+      ASSERT_TRUE(rejectKindFromName(Reject->str(), K)) << Reject->str();
+      if (Status->str() == "rejected") {
+        ++RejectedSeen;
+        EXPECT_NE(K, RejectKind::None);
+      } else {
+        EXPECT_EQ(K, RejectKind::None);
+      }
+    }
+  }
+  // The registry contains loops the optimistic screen already rejects.
+  EXPECT_GT(RejectedSeen, 0u);
+}

@@ -115,12 +115,21 @@ TEST(SweepPlanTest, ConfigPointRejectsMalformedSpecs) {
 TEST(SweepPlanTest, ConfigPointAppliesKnobs) {
   ConfigPoint P;
   std::string Err;
-  ASSERT_TRUE(parseConfigPoint("banks=2,history=48,prefilter=1", P, &Err));
+  ASSERT_TRUE(
+      parseConfigPoint("banks=2,history=48,prefilter=1,oracle=1", P, &Err));
   pipeline::PipelineConfig Cfg;
   ASSERT_TRUE(P.apply(Cfg, &Err)) << Err;
   EXPECT_EQ(Cfg.Hw.ComparatorBanks, 2u);
   EXPECT_EQ(Cfg.Hw.HeapTimestampFifoLines, 48u);
   EXPECT_TRUE(Cfg.StaticPrefilter);
+  EXPECT_TRUE(Cfg.AffineOracle);
+
+  ConfigPoint Off;
+  ASSERT_TRUE(parseConfigPoint("oracle=0", Off, &Err));
+  pipeline::PipelineConfig Cfg2;
+  Cfg2.AffineOracle = true;
+  ASSERT_TRUE(Off.apply(Cfg2, &Err)) << Err;
+  EXPECT_FALSE(Cfg2.AffineOracle);
 }
 
 TEST(SweepPlanTest, UnknownKnobFailsExpansion) {

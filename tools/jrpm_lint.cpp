@@ -10,24 +10,27 @@
 //
 // Options:
 //   --prefilter   enable the static dependence pre-filter
+//   --oracle      enable the affine speculation oracle (implies per-loop
+//                 verdicts in the report)
 //   --deps        print the per-loop memory dependence report
+//   --json        emit one deterministic JSON document on stdout instead
+//                 of the human report (diagnostics, loops, verdicts)
+//   --jobs N      lint workloads on N threads (the report is identical
+//                 for any N; the golden gate checks that)
 //
 // Exits nonzero if any verifier reports a violation.
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Candidates.h"
-#include "ir/AnnotationVerifier.h"
-#include "ir/Verifier.h"
-#include "jit/Annotator.h"
-#include "jit/TlsPlan.h"
+#include "jrpm/LintReport.h"
 #include "support/Format.h"
 #include "support/Table.h"
 #include "workloads/Workload.h"
 
+#include <atomic>
 #include <cstdio>
-#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace jrpm;
@@ -35,81 +38,65 @@ using namespace jrpm;
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: jrpm-lint <workload>|all [--prefilter] [--deps]\n");
+  std::fprintf(stderr, "usage: jrpm-lint <workload>|all [--prefilter] "
+                       "[--oracle] [--deps] [--json] [--jobs N]\n");
   return 2;
 }
 
-std::uint32_t reportErrors(const std::string &Workload, const char *Stage,
-                           const std::vector<std::string> &Errors) {
-  for (const std::string &E : Errors)
-    std::printf("%s: %s: %s\n", Workload.c_str(), Stage, E.c_str());
-  return static_cast<std::uint32_t>(Errors.size());
-}
-
-std::vector<ir::LoopAnnotationInfo>
-annotationInfos(const analysis::ModuleAnalysis &MA) {
-  std::vector<ir::LoopAnnotationInfo> Infos;
-  Infos.reserve(MA.candidates().size());
-  for (const analysis::CandidateStl &C : MA.candidates())
-    Infos.push_back({C.AnnotatedLocals});
-  return Infos;
-}
-
-void printDepReport(const workloads::Workload &W,
-                    const analysis::ModuleAnalysis &MA) {
-  std::printf("\n== %s: memory dependence report ==\n", W.Name.c_str());
+/// Renders the per-loop dependence table from the structured report.
+void printDepReport(const Json &Doc) {
+  const Json *Name = Doc.find("workload");
+  const Json *Loops = Doc.find("loops");
+  if (!Name || !Loops)
+    return;
+  std::printf("\n== %s: memory dependence report ==\n", Name->str().c_str());
   TextTable T;
   T.setHeader({"loop", "state", "loads", "stores", "RAW", "WAW", "may",
-               "indep", "parallel", "serial window"});
-  for (const analysis::CandidateStl &C : MA.candidates()) {
-    const analysis::LoopMemDep &MD =
-        MA.func(C.FuncIndex).MemDep->loopDep(C.LoopIdx);
-    std::string Serial =
-        MD.Serial.Found ? formatString("%u cyc", MD.Serial.WindowCycles) : "-";
-    T.addRow({formatString("#%u", C.LoopId),
-              C.Rejected ? analysis::rejectKindName(C.Kind) : "candidate",
-              formatString("%u", MD.NumLoads),
-              formatString("%u", MD.NumStores), formatString("%u", MD.NumRaw),
-              formatString("%u", MD.NumWaw), formatString("%u", MD.NumMay),
-              formatString("%u", MD.IndependentPairs),
-              MD.ProvablyParallel ? "yes" : "-", Serial});
+               "indep", "parallel", "serial window", "oracle"});
+  for (const Json &L : Loops->items()) {
+    auto Num = [&](const char *Key) -> std::uint64_t {
+      const Json *V = L.find(Key);
+      return V ? V->asUint() : 0;
+    };
+    const Json *Status = L.find("status");
+    const Json *Reject = L.find("reject");
+    bool Rejected = Status && Status->str() == "rejected";
+    const Json *Serial = L.find("serial_window");
+    const Json *Oracle = L.find("oracle");
+    std::string Verdict = "-";
+    if (Oracle)
+      if (const Json *V = Oracle->find("verdict"))
+        Verdict = V->str();
+    const Json *Par = L.find("parallel");
+    T.addRow({formatString("#%llu", (unsigned long long)Num("id")),
+              Rejected && Reject ? Reject->str() : "candidate",
+              formatString("%llu", (unsigned long long)Num("loads")),
+              formatString("%llu", (unsigned long long)Num("stores")),
+              formatString("%llu", (unsigned long long)Num("raw")),
+              formatString("%llu", (unsigned long long)Num("waw")),
+              formatString("%llu", (unsigned long long)Num("may")),
+              formatString("%llu", (unsigned long long)Num("independent")),
+              Par && Par->boolean() ? "yes" : "-",
+              Serial ? formatString("%llu cyc",
+                                    (unsigned long long)Serial->asUint())
+                     : "-",
+              Verdict});
   }
   T.print();
 }
 
-std::uint32_t lintWorkload(const workloads::Workload &W,
-                           const analysis::AnalysisOptions &Opts, bool Deps) {
-  std::uint32_t Errors = 0;
-  ir::Module M = W.Build();
-  Errors += reportErrors(W.Name, "module verifier", ir::verifyModule(M));
-
-  analysis::ModuleAnalysis MA(M, Opts);
-  std::vector<ir::LoopAnnotationInfo> Infos = annotationInfos(MA);
-
-  for (jit::AnnotationLevel Level :
-       {jit::AnnotationLevel::Base, jit::AnnotationLevel::Optimized}) {
-    const char *Name = Level == jit::AnnotationLevel::Base
-                           ? "annotation verifier (base)"
-                           : "annotation verifier (optimized)";
-    jit::AnnotatedModule AM = jit::annotateModule(M, MA, Level);
-    Errors += reportErrors(W.Name, Name,
-                           ir::verifyAnnotations(AM.Module, Infos));
-    Errors += reportErrors(W.Name, "module verifier (annotated)",
-                           ir::verifyModule(AM.Module));
+void printDiagnostics(const Json &Doc) {
+  const Json *Name = Doc.find("workload");
+  const Json *Diags = Doc.find("diagnostics");
+  if (!Name || !Diags)
+    return;
+  for (const Json &D : Diags->items()) {
+    const Json *Pass = D.find("pass");
+    const Json *Msg = D.find("message");
+    std::printf("%s: %s: %s\n", Name->str().c_str(),
+                Pass ? Pass->str().c_str() : "?",
+                Msg ? Msg->str().c_str() : "?");
   }
-
-  for (const analysis::CandidateStl &C : MA.candidates()) {
-    if (C.Rejected)
-      continue;
-    jit::TlsLoopPlan Plan = jit::buildTlsPlan(MA, C);
-    Errors +=
-        reportErrors(W.Name, "tls plan verifier", jit::verifyTlsPlan(M, Plan));
-  }
-
-  if (Deps)
-    printDepReport(W, MA);
-  return Errors;
 }
 
 } // namespace
@@ -120,23 +107,35 @@ int main(int Argc, char **Argv) {
   std::string Target = Argv[1];
   analysis::AnalysisOptions Opts;
   bool Deps = false;
+  bool JsonMode = false;
+  unsigned Jobs = 1;
   for (int I = 2; I < Argc; ++I) {
     std::string A = Argv[I];
-    if (A == "--prefilter")
+    if (A == "--prefilter") {
       Opts.StaticPrefilter = true;
-    else if (A == "--deps")
+    } else if (A == "--oracle") {
+      Opts.AffineOracle = true;
+    } else if (A == "--deps") {
       Deps = true;
-    else
+    } else if (A == "--json") {
+      JsonMode = true;
+    } else if (A == "--jobs") {
+      if (I + 1 >= Argc)
+        return usage();
+      std::string V = Argv[++I];
+      if (V.empty() || V.find_first_not_of("0123456789") != std::string::npos ||
+          V == "0")
+        return usage();
+      Jobs = static_cast<unsigned>(std::stoul(V));
+    } else {
       return usage();
+    }
   }
 
-  std::uint32_t Errors = 0;
-  std::uint32_t Linted = 0;
+  std::vector<const workloads::Workload *> Targets;
   if (Target == "all") {
-    for (const workloads::Workload &W : workloads::allWorkloads()) {
-      Errors += lintWorkload(W, Opts, Deps);
-      ++Linted;
-    }
+    for (const workloads::Workload &W : workloads::allWorkloads())
+      Targets.push_back(&W);
   } else {
     const workloads::Workload *W = workloads::findWorkload(Target);
     if (!W) {
@@ -144,10 +143,54 @@ int main(int Argc, char **Argv) {
                    Target.c_str());
       return 2;
     }
-    Errors += lintWorkload(*W, Opts, Deps);
-    ++Linted;
+    Targets.push_back(W);
   }
 
-  std::printf("%u workload(s) linted, %u violation(s)\n", Linted, Errors);
+  // Lint in parallel, report in registry order: the output is a pure
+  // function of the workload set and options, never of the schedule.
+  std::vector<lint::WorkloadLint> Results(Targets.size());
+  std::atomic<std::size_t> Next{0};
+  auto Work = [&] {
+    for (std::size_t I = Next.fetch_add(1); I < Targets.size();
+         I = Next.fetch_add(1)) {
+      ir::Module M = Targets[I]->Build();
+      Results[I] = lint::lintWorkload(Targets[I]->Name, M, Opts);
+    }
+  };
+  if (Jobs <= 1 || Targets.size() <= 1) {
+    Work();
+  } else {
+    std::vector<std::thread> Pool;
+    for (unsigned T = 0; T < Jobs; ++T)
+      Pool.emplace_back(Work);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  std::uint32_t Errors = 0;
+  for (const lint::WorkloadLint &R : Results)
+    Errors += R.Violations;
+
+  if (JsonMode) {
+    if (Targets.size() == 1 && Target != "all") {
+      std::fputs(Results.front().Doc.dump().c_str(), stdout);
+    } else {
+      Json Doc = Json::object();
+      Json Arr = Json::array();
+      for (lint::WorkloadLint &R : Results)
+        Arr.push(std::move(R.Doc));
+      Doc["workloads"] = std::move(Arr);
+      Doc["violations"] = Errors;
+      std::fputs(Doc.dump().c_str(), stdout);
+    }
+  } else {
+    for (const lint::WorkloadLint &R : Results) {
+      printDiagnostics(R.Doc);
+      if (Deps)
+        printDepReport(R.Doc);
+    }
+    std::printf("%u workload(s) linted, %u violation(s)\n",
+                static_cast<std::uint32_t>(Targets.size()), Errors);
+  }
   return Errors == 0 ? 0 : 1;
 }
