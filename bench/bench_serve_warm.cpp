@@ -1,0 +1,151 @@
+//===- bench/bench_serve_warm.cpp - Artifact-store warm-path latency -------==//
+//
+// The serve daemon's cache contract: once a request's artifact has been
+// computed and persisted, every repeat of that request is an O(1) store
+// read — no re-simulation, no re-tracing — and the returned bytes are
+// identical to the cold computation. This bench drives the daemon's
+// request handler directly (no socket; the framing layer is benchmarked
+// by its own tests) with the golden sweep request, once cold and many
+// times warm.
+//
+// Gates:
+//   - every warm response is a cache hit and byte-identical to the cold
+//     payload,
+//   - the warm path is at least 10x faster than the cold computation; if
+//     the cold pass resolves under 2 ms the ratio is below measurement
+//     noise and the result is reported as unresolved instead of failing
+//     spuriously.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "serve/Protocol.h"
+#include "serve/Server.h"
+#include "support/Json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <ftw.h>
+#include <unistd.h>
+
+using namespace jrpm;
+using namespace jrpm::benchutil;
+
+namespace {
+
+int unlinkCb(const char *Path, const struct stat *, int, struct FTW *) {
+  return ::remove(Path);
+}
+
+/// rm -rf for the scratch store.
+void removeTree(const std::string &Path) {
+  ::nftw(Path.c_str(), unlinkCb, 16, FTW_DEPTH | FTW_PHYS);
+}
+
+/// The golden sweep request (the same one scripts/ci_serve_golden.sh
+/// submits over the socket).
+std::string goldenRequest() {
+  Json Req = Json::object();
+  Req["kind"] = "sweep";
+  Json W = Json::array();
+  W.push("BitOps");
+  W.push("fft");
+  Req["workloads"] = W;
+  Json L = Json::array();
+  L.push("base");
+  L.push("optimized");
+  Req["levels"] = L;
+  Json C = Json::array();
+  C.push("banks=2,history=48");
+  Req["configs"] = C;
+  Req["seed"] = std::uint64_t(7);
+  return Req.dump();
+}
+
+} // namespace
+
+int main() {
+  std::printf("\n================================================================\n"
+              "Serve warm path - content-addressed artifact store vs recompute\n"
+              "(cold request computes and persists; warm repeats must be O(1)\n"
+              " byte-identical store reads)\n"
+              "================================================================\n\n");
+
+  char Template[] = "/tmp/jrpm-bench-serve.XXXXXX";
+  const char *StoreDir = ::mkdtemp(Template);
+  if (!StoreDir) {
+    std::printf("FAIL: cannot create scratch store directory\n");
+    return 1;
+  }
+
+  serve::ServerConfig Cfg;
+  Cfg.StoreDir = StoreDir;
+  serve::Server S(Cfg);
+
+  const std::string Request = goldenRequest();
+
+  // Cold: compute, persist, serve.
+  Stopwatch ColdSw;
+  serve::Response Cold = S.handle(Request);
+  double ColdMs = ColdSw.ms();
+  if (!Cold.Ok || Cold.Cache != "miss") {
+    std::printf("FAIL: cold request was not a computed miss (ok=%d cache=%s"
+                " message=%s)\n",
+                Cold.Ok ? 1 : 0, Cold.Cache.c_str(), Cold.Message.c_str());
+    removeTree(StoreDir);
+    return 1;
+  }
+
+  // Warm: every repeat must hit the store and return the same bytes.
+  constexpr int WarmIters = 50;
+  Stopwatch WarmSw;
+  for (int I = 0; I < WarmIters; ++I) {
+    serve::Response Warm = S.handle(Request);
+    if (!Warm.Ok || Warm.Cache != "hit") {
+      std::printf("FAIL: warm request %d was not a cache hit (ok=%d "
+                  "cache=%s)\n",
+                  I, Warm.Ok ? 1 : 0, Warm.Cache.c_str());
+      removeTree(StoreDir);
+      return 1;
+    }
+    if (Warm.Payload != Cold.Payload || Warm.Digest != Cold.Digest) {
+      std::printf("FAIL: warm request %d diverged from the cold payload "
+                  "(%zu vs %zu bytes, digest %s vs %s)\n",
+                  I, Warm.Payload.size(), Cold.Payload.size(),
+                  Warm.Digest.c_str(), Cold.Digest.c_str());
+      removeTree(StoreDir);
+      return 1;
+    }
+  }
+  double WarmAvgMs = WarmSw.ms() / WarmIters;
+  removeTree(StoreDir);
+
+  double Speedup = WarmAvgMs > 0 ? ColdMs / WarmAvgMs : 0;
+
+  TextTable T;
+  T.setHeader({"Path", "ms/request", "payload"});
+  T.addRow({"cold (compute + persist)", fmt(ColdMs, 3),
+            std::to_string(Cold.Payload.size()) + " B"});
+  T.addRow({"warm (store read), avg of " + std::to_string(WarmIters),
+            fmt(WarmAvgMs, 3), "byte-identical"});
+  T.print();
+  std::printf("\nwarm-path speedup: %.1fx (digest %s)\n", Speedup,
+              Cold.Digest.c_str());
+
+  if (ColdMs < 2.0) {
+    std::printf("PASS (unresolved): cold pass finished in %.3f ms; the "
+                "10x ratio gate is below measurement noise\n",
+                ColdMs);
+    return 0;
+  }
+  if (Speedup >= 10.0) {
+    std::printf("PASS: warm requests are %.1fx faster than cold (>= 10x "
+                "gate) and byte-identical\n",
+                Speedup);
+    return 0;
+  }
+  std::printf("FAIL: warm speedup %.1fx (< 10x gate)\n", Speedup);
+  return 1;
+}

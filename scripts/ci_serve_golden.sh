@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Serve-daemon golden gate.
+#
+# Starts jrpm-serve against a fresh artifact store, submits the golden
+# sweep request twice, and requires:
+#   1. the first submission to report "cache miss" (computed), the second
+#      "cache hit" (served from the store without recompute),
+#   2. both payloads to be byte-identical to the committed golden sweep
+#      report (tests/golden/sweep_small.json) — the daemon path must not
+#      introduce any schema or formatting drift over the CLI path,
+#   3. a SIGTERM to drain the daemon cleanly: it prints "drained" and
+#      exits 0.
+#
+# Usage:
+#   scripts/ci_serve_golden.sh                    # configure+build, then check
+#   scripts/ci_serve_golden.sh --bin <jrpm-serve> --golden <file>
+#
+# The second form is how the tier-1 ctest suite invokes it (see
+# tools/CMakeLists.txt).
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+GOLDEN="${ROOT}/tests/golden/sweep_small.json"
+
+BIN=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --bin) BIN="$2"; shift 2 ;;
+    --golden) GOLDEN="$2"; shift 2 ;;
+    *) break ;;
+  esac
+done
+
+if [[ -z "${BIN}" ]]; then
+  BUILD="${ROOT}/build"
+  JOBS="$(nproc 2>/dev/null || echo 4)"
+  cmake -B "${BUILD}" -S "${ROOT}" "$@"
+  cmake --build "${BUILD}" -j"${JOBS}" --target jrpm-serve
+  BIN="${BUILD}/tools/jrpm-serve"
+fi
+
+TMP="$(mktemp -d "${TMPDIR:-/tmp}/jrpm-serve-golden.XXXXXX")"
+SOCK="${TMP}/d.sock"
+DAEMON_PID=""
+cleanup() {
+  if [[ -n "${DAEMON_PID}" ]] && kill -0 "${DAEMON_PID}" 2>/dev/null; then
+    kill -KILL "${DAEMON_PID}" 2>/dev/null || true
+    wait "${DAEMON_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${TMP}"
+}
+trap cleanup EXIT
+
+"${BIN}" serve --socket "${SOCK}" --store "${TMP}/store" \
+  > "${TMP}/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+# Wait for the daemon to come up (the socket appears once listen() runs).
+for _ in $(seq 1 100); do
+  [[ -S "${SOCK}" ]] && break
+  if ! kill -0 "${DAEMON_PID}" 2>/dev/null; then
+    echo "serve-golden: daemon died during startup" >&2
+    cat "${TMP}/daemon.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ ! -S "${SOCK}" ]]; then
+  echo "serve-golden: daemon socket never appeared" >&2
+  exit 1
+fi
+
+STATUS=0
+
+submit() {
+  local OUT="$1" LOG="$2"
+  "${BIN}" submit --socket "${SOCK}" \
+    --workloads BitOps,fft --levels base,optimized \
+    --config banks=2,history=48 --seed 7 \
+    -o "${OUT}" 2> "${LOG}"
+}
+
+# Cold submission: must compute (cache miss).
+if ! submit "${TMP}/cold.json" "${TMP}/cold.log"; then
+  echo "serve-golden: cold submission failed" >&2
+  cat "${TMP}/cold.log" >&2
+  STATUS=1
+elif ! grep -q "cache miss" "${TMP}/cold.log"; then
+  echo "serve-golden: cold submission was not a cache miss:" >&2
+  cat "${TMP}/cold.log" >&2
+  STATUS=1
+else
+  echo "serve-golden: cold submission computed"
+fi
+
+# Warm submission: must be served from the artifact store.
+if ! submit "${TMP}/warm.json" "${TMP}/warm.log"; then
+  echo "serve-golden: warm submission failed" >&2
+  cat "${TMP}/warm.log" >&2
+  STATUS=1
+elif ! grep -q "cache hit" "${TMP}/warm.log"; then
+  echo "serve-golden: warm submission was not a cache hit:" >&2
+  cat "${TMP}/warm.log" >&2
+  STATUS=1
+else
+  echo "serve-golden: warm submission was a cache hit"
+fi
+
+for LEG in cold warm; do
+  if cmp -s "${GOLDEN}" "${TMP}/${LEG}.json"; then
+    echo "serve-golden: ${LEG} payload matches golden"
+  else
+    echo "serve-golden: ${LEG} payload DIFFERS from golden" >&2
+    diff -u "${GOLDEN}" "${TMP}/${LEG}.json" >&2 || true
+    STATUS=1
+  fi
+done
+
+# Graceful drain: SIGTERM must produce a clean exit 0 and the drain banner.
+kill -TERM "${DAEMON_PID}"
+DRAIN_RC=0
+wait "${DAEMON_PID}" || DRAIN_RC=$?
+DAEMON_PID=""
+if [[ ${DRAIN_RC} -ne 0 ]]; then
+  echo "serve-golden: daemon exited ${DRAIN_RC} on SIGTERM, want 0" >&2
+  cat "${TMP}/daemon.log" >&2
+  STATUS=1
+elif ! grep -q "drained" "${TMP}/daemon.log"; then
+  echo "serve-golden: daemon log is missing the drain banner:" >&2
+  cat "${TMP}/daemon.log" >&2
+  STATUS=1
+else
+  echo "serve-golden: daemon drained cleanly on SIGTERM"
+fi
+
+exit "${STATUS}"

@@ -6,8 +6,9 @@
 # Configures a dedicated build tree with -DJRPM_TSAN=ON (see the option in
 # the top-level CMakeLists.txt; mutually exclusive with JRPM_SANITIZE),
 # builds everything, and runs the concurrency-focused subset of ctest: the
-# Sweep* suites (thread pool, plan runner, determinism) and the concurrent
-# fuzz harness that dispatches generated programs across the pool. TSan
+# Sweep* suites (thread pool, plan runner, determinism), the concurrent
+# fuzz harness that dispatches generated programs across the pool, and the
+# Serve* suites (daemon single-flight dedup, saturation, drain). TSan
 # reports are fatal (-fno-sanitize-recover=all), so any data race fails
 # the suite.
 
@@ -20,4 +21,4 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 cmake -B "${BUILD}" -S "${ROOT}" -DJRPM_TSAN=ON "$@"
 cmake --build "${BUILD}" -j"${JOBS}"
 ctest --test-dir "${BUILD}" --output-on-failure -j"${JOBS}" \
-  -R 'Sweep|Concurrent|Interleaved'
+  -R 'Sweep|Concurrent|Interleaved|Serve'

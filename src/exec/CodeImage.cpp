@@ -2,8 +2,10 @@
 
 #include "exec/CodeImage.h"
 
+#include "metrics/Metrics.h"
 #include "support/Compiler.h"
 
+#include <list>
 #include <mutex>
 #include <unordered_map>
 
@@ -160,10 +162,29 @@ CodeImage::CodeImage(const ir::Module &M) {
 
 namespace {
 
+/// LRU-bounded digest-memo cache. Entries carry their position in the
+/// recency list; a hit splices the key to the front, an insert beyond
+/// capacity drops the back. Evicting only unlinks the cache's reference —
+/// consumers holding the shared_ptr keep their image alive.
 struct ImageCache {
+  struct Entry {
+    std::shared_ptr<const CodeImage> Image;
+    std::list<std::uint64_t>::iterator LruPos;
+  };
+
   std::mutex Mu;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const CodeImage>> Map;
+  std::unordered_map<std::uint64_t, Entry> Map;
+  std::list<std::uint64_t> Lru; ///< front = most recently used
+  std::size_t Capacity = CodeImage::DefaultCacheCapacity;
   ImageCacheStats Stats;
+
+  void evictOverCapacity() {
+    while (Map.size() > Capacity) {
+      Map.erase(Lru.back());
+      Lru.pop_back();
+      ++Stats.Evictions;
+    }
+  }
 };
 
 ImageCache &cache() {
@@ -181,7 +202,8 @@ std::shared_ptr<const CodeImage> CodeImage::getShared(const ir::Module &M) {
     auto It = C.Map.find(Key);
     if (It != C.Map.end()) {
       ++C.Stats.Hits;
-      return It->second;
+      C.Lru.splice(C.Lru.begin(), C.Lru, It->second.LruPos);
+      return It->second.Image;
     }
   }
   // Build outside the lock: sweep jobs compile distinct workloads
@@ -190,19 +212,50 @@ std::shared_ptr<const CodeImage> CodeImage::getShared(const ir::Module &M) {
   auto Image = std::make_shared<const CodeImage>(M);
   std::lock_guard<std::mutex> Lock(C.Mu);
   ++C.Stats.Misses;
-  C.Map[Key] = Image;
+  auto It = C.Map.find(Key);
+  if (It != C.Map.end()) {
+    // Lost the build race; keep the incumbent and refresh its recency.
+    C.Lru.splice(C.Lru.begin(), C.Lru, It->second.LruPos);
+    return It->second.Image;
+  }
+  C.Lru.push_front(Key);
+  C.Map[Key] = ImageCache::Entry{Image, C.Lru.begin()};
+  C.evictOverCapacity();
   return Image;
 }
 
 ImageCacheStats CodeImage::cacheStats() {
   ImageCache &C = cache();
   std::lock_guard<std::mutex> Lock(C.Mu);
-  return C.Stats;
+  ImageCacheStats S = C.Stats;
+  S.Entries = C.Map.size();
+  S.Capacity = C.Capacity;
+  return S;
+}
+
+std::size_t CodeImage::setCacheCapacity(std::size_t Capacity) {
+  ImageCache &C = cache();
+  std::lock_guard<std::mutex> Lock(C.Mu);
+  std::size_t Prev = C.Capacity;
+  C.Capacity = Capacity ? Capacity : 1;
+  C.evictOverCapacity();
+  return Prev;
 }
 
 void CodeImage::clearCache() {
   ImageCache &C = cache();
   std::lock_guard<std::mutex> Lock(C.Mu);
   C.Map.clear();
+  C.Lru.clear();
+  C.Capacity = DefaultCacheCapacity;
   C.Stats = ImageCacheStats();
+}
+
+void exec::exportImageCacheMetrics(metrics::Registry &R) {
+  ImageCacheStats S = CodeImage::cacheStats();
+  R.gauge("exec.image_cache.hits").peak(S.Hits);
+  R.gauge("exec.image_cache.misses").peak(S.Misses);
+  R.gauge("exec.image_cache.evictions").peak(S.Evictions);
+  R.gauge("exec.image_cache.entries").set(S.Entries);
+  R.gauge("exec.image_cache.capacity").set(S.Capacity);
 }

@@ -1,0 +1,100 @@
+//===- serve/ArtifactStore.cpp ---------------------------------------------==//
+
+#include "serve/ArtifactStore.h"
+
+#include "serve/Protocol.h"
+#include "support/AtomicFile.h"
+#include "support/Format.h"
+
+#include <cstring>
+#include <string>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace jrpm;
+using namespace jrpm::serve;
+
+namespace {
+
+/// mkdir -p via repeated mkdir(2): std::filesystem would work too, but the
+/// store only ever needs three fixed levels and this keeps the error text
+/// precise.
+bool makeDirs(const std::string &Path, std::string *Err) {
+  std::string Partial;
+  for (std::size_t I = 0; I <= Path.size(); ++I) {
+    if (I != Path.size() && Path[I] != '/') {
+      Partial.push_back(Path[I]);
+      continue;
+    }
+    if (I != Path.size())
+      Partial.push_back('/');
+    if (Partial.empty() || Partial == "/")
+      continue;
+    if (::mkdir(Partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      if (Err)
+        *Err = "cannot create " + Partial + ": " + std::strerror(errno);
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+bool ArtifactStore::ensureRoot(std::string *Err) {
+  if (Root.empty()) {
+    if (Err)
+      *Err = "artifact store has no root directory";
+    return false;
+  }
+  return makeDirs(Root, Err);
+}
+
+std::string ArtifactStore::pathFor(const char *Kind,
+                                   std::uint64_t Digest) const {
+  const char *Ext = std::strcmp(Kind, kind::Trace) == 0 ? "jtrace" : "json";
+  return formatString("%s/%s/%02x/%s.%s", Root.c_str(), Kind,
+                      (unsigned)(Digest >> 56), digestHex(Digest).c_str(),
+                      Ext);
+}
+
+bool ArtifactStore::has(const char *Kind, std::uint64_t Digest) const {
+  return ::access(pathFor(Kind, Digest).c_str(), F_OK) == 0;
+}
+
+bool ArtifactStore::load(const char *Kind, std::uint64_t Digest,
+                         std::string &Out, std::string *Err) {
+  std::string Path = pathFor(Kind, Digest);
+  if (::access(Path.c_str(), F_OK) != 0) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Stats.Misses;
+    if (Err)
+      Err->clear();
+    return false;
+  }
+  if (!readFileToString(Path, Out, Err))
+    return false;
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Stats.Hits;
+  return true;
+}
+
+bool ArtifactStore::put(const char *Kind, std::uint64_t Digest,
+                        const std::string &Bytes, std::string *Err) {
+  std::string Path = pathFor(Kind, Digest);
+  std::string Dir = Path.substr(0, Path.rfind('/'));
+  if (!makeDirs(Dir, Err))
+    return false;
+  if (!writeFileAtomic(Path, Bytes, Err))
+    return false;
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Stats.Puts;
+  Stats.PutBytes += Bytes.size();
+  return true;
+}
+
+StoreStats ArtifactStore::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}

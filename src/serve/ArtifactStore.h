@@ -1,0 +1,84 @@
+//===- serve/ArtifactStore.h - Content-addressed artifact store ------------==//
+//
+// The daemon's on-disk cache: every completed computation is persisted
+// under the digest of its canonical request, so a repeated request is an
+// O(1) file read returning byte-identical payload bytes — across requests,
+// connections, and daemon restarts. Layout:
+//
+//   <root>/<kind>/<hh>/<digest16>.<ext>
+//
+// where <kind> is one of {sweep, metrics, analyze, replay, trace, failed},
+// <hh> is the top byte of the digest in hex (a fan-out shard so no single
+// directory grows unboundedly), <digest16> the full 16-hex-digit digest,
+// and <ext> "jtrace" for recorded traces, "json" otherwise. Writes go
+// through writeFileAtomic (temp + fsync + rename), so a crash mid-write
+// never leaves a truncated artifact to be served later.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_SERVE_ARTIFACTSTORE_H
+#define JRPM_SERVE_ARTIFACTSTORE_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace jrpm {
+namespace serve {
+
+/// Artifact namespaces. Digests are only unique within a kind (the same
+/// request digest keys both the "sweep" report and its "metrics" export).
+namespace kind {
+inline constexpr const char *Sweep = "sweep";
+inline constexpr const char *Metrics = "metrics";
+inline constexpr const char *Analyze = "analyze";
+inline constexpr const char *Replay = "replay";
+inline constexpr const char *Trace = "trace";
+inline constexpr const char *Failed = "failed";
+} // namespace kind
+
+struct StoreStats {
+  std::uint64_t Hits = 0;   ///< load() found the artifact
+  std::uint64_t Misses = 0; ///< load() did not
+  std::uint64_t Puts = 0;
+  std::uint64_t PutBytes = 0;
+};
+
+class ArtifactStore {
+public:
+  ArtifactStore() = default;
+  explicit ArtifactStore(std::string Root) : Root(std::move(Root)) {}
+
+  const std::string &root() const { return Root; }
+
+  /// Creates the root directory (and parents). Returns false with *Err on
+  /// failure; artifact subdirectories are created lazily by put().
+  bool ensureRoot(std::string *Err = nullptr);
+
+  /// The artifact path for (\p Kind, \p Digest). Pure; the file may or may
+  /// not exist.
+  std::string pathFor(const char *Kind, std::uint64_t Digest) const;
+
+  bool has(const char *Kind, std::uint64_t Digest) const;
+
+  /// Reads the artifact into \p Out. A miss is not an error (returns false
+  /// with *Err empty); only I/O problems set *Err.
+  bool load(const char *Kind, std::uint64_t Digest, std::string &Out,
+            std::string *Err = nullptr);
+
+  /// Atomically persists \p Bytes. Creates the shard directory on demand.
+  bool put(const char *Kind, std::uint64_t Digest, const std::string &Bytes,
+           std::string *Err = nullptr);
+
+  StoreStats stats() const;
+
+private:
+  std::string Root;
+  mutable std::mutex Mu; ///< guards Stats only; the fs provides file atomicity
+  StoreStats Stats;
+};
+
+} // namespace serve
+} // namespace jrpm
+
+#endif // JRPM_SERVE_ARTIFACTSTORE_H

@@ -1,0 +1,62 @@
+//===- serve/Client.cpp ----------------------------------------------------==//
+
+#include "serve/Client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace jrpm;
+using namespace jrpm::serve;
+
+bool Client::connect(const std::string &SocketPath, std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    close();
+    return false;
+  };
+  close();
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Fail(std::string("socket: ") + std::strerror(errno));
+  struct sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path))
+    return Fail("bad socket path \"" + SocketPath + "\"");
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                sizeof(Addr)) != 0)
+    return Fail("connect " + SocketPath + ": " + std::strerror(errno));
+  return true;
+}
+
+bool Client::request(const Json &Request, Response &Out, std::string *Err) {
+  return requestRaw(Request.dump(), Out, Err);
+}
+
+bool Client::requestRaw(const std::string &FrameBytes, Response &Out,
+                        std::string *Err) {
+  if (Fd < 0) {
+    if (Err)
+      *Err = "not connected";
+    return false;
+  }
+  if (!writeFrame(Fd, FrameBytes)) {
+    if (Err)
+      *Err = std::string("send: ") + std::strerror(errno);
+    return false;
+  }
+  return readResponse(Fd, Out, Err);
+}
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}

@@ -1,0 +1,53 @@
+//===- serve/Client.h - jrpm-serve client connection -----------------------==//
+//
+// A thin synchronous client for the daemon's protocol: connect to the
+// Unix-domain socket, send one JSON request per call, read back the header
+// frame and raw payload bytes. One connection can carry any number of
+// sequential requests. Used by the `jrpm-serve submit/status/stats`
+// subcommands and by the stress tests.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_SERVE_CLIENT_H
+#define JRPM_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+
+#include <string>
+
+namespace jrpm {
+namespace serve {
+
+class Client {
+public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to the daemon at \p SocketPath. False with *Err on failure.
+  bool connect(const std::string &SocketPath, std::string *Err = nullptr);
+
+  bool connected() const { return Fd >= 0; }
+
+  /// Sends \p Request and reads the full response. False with *Err only on
+  /// transport problems; a daemon-side error (typed code) is a successful
+  /// round trip with Out.Ok == false.
+  bool request(const Json &Request, Response &Out, std::string *Err = nullptr);
+
+  /// request() with pre-serialized bytes — the fuzz and protocol tests use
+  /// this to send frames no Json value could produce.
+  bool requestRaw(const std::string &FrameBytes, Response &Out,
+                  std::string *Err = nullptr);
+
+  void close();
+
+private:
+  int Fd = -1;
+};
+
+} // namespace serve
+} // namespace jrpm
+
+#endif // JRPM_SERVE_CLIENT_H

@@ -1,0 +1,243 @@
+//===- serve/Protocol.cpp --------------------------------------------------==//
+
+#include "serve/Protocol.h"
+
+#include "support/Format.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+using namespace jrpm;
+using namespace jrpm::serve;
+
+const char *serve::errCodeName(ErrCode C) {
+  switch (C) {
+  case ErrCode::MalformedFrame:
+    return "malformed_frame";
+  case ErrCode::Oversize:
+    return "oversize";
+  case ErrCode::BadJson:
+    return "bad_json";
+  case ErrCode::BadRequest:
+    return "bad_request";
+  case ErrCode::UnknownKind:
+    return "unknown_kind";
+  case ErrCode::Saturated:
+    return "saturated";
+  case ErrCode::Draining:
+    return "draining";
+  case ErrCode::Internal:
+    return "internal";
+  }
+  return "unknown";
+}
+
+Response Response::ok(std::string Digest, std::string Cache,
+                      std::string Payload) {
+  Response R;
+  R.Ok = true;
+  R.Digest = std::move(Digest);
+  R.Cache = std::move(Cache);
+  R.Payload = std::move(Payload);
+  return R;
+}
+
+Response Response::error(ErrCode Code, std::string Message) {
+  Response R;
+  R.Ok = false;
+  R.Code = errCodeName(Code);
+  R.Message = std::move(Message);
+  // Assign as char: GCC 12 raises a spurious -Wrestrict on the literal.
+  R.Digest = '-';
+  R.Cache = "none";
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+std::string serve::encodeFrame(const std::string &Payload) {
+  std::uint32_t N = static_cast<std::uint32_t>(Payload.size());
+  std::string Out;
+  Out.reserve(4 + Payload.size());
+  Out.push_back(static_cast<char>(N & 0xff));
+  Out.push_back(static_cast<char>((N >> 8) & 0xff));
+  Out.push_back(static_cast<char>((N >> 16) & 0xff));
+  Out.push_back(static_cast<char>((N >> 24) & 0xff));
+  Out += Payload;
+  return Out;
+}
+
+FrameStatus serve::decodeFrame(const std::uint8_t *Data, std::size_t Size,
+                               std::size_t &Consumed, std::string &Payload,
+                               std::uint32_t MaxBytes) {
+  Consumed = 0;
+  if (Size < 4)
+    return FrameStatus::NeedMore;
+  std::uint32_t N = static_cast<std::uint32_t>(Data[0]) |
+                    (static_cast<std::uint32_t>(Data[1]) << 8) |
+                    (static_cast<std::uint32_t>(Data[2]) << 16) |
+                    (static_cast<std::uint32_t>(Data[3]) << 24);
+  if (N == 0)
+    return FrameStatus::Malformed;
+  if (N > MaxBytes)
+    return FrameStatus::Oversize;
+  if (Size - 4 < N)
+    return FrameStatus::NeedMore;
+  Payload.assign(reinterpret_cast<const char *>(Data + 4), N);
+  Consumed = 4 + static_cast<std::size_t>(N);
+  return FrameStatus::Ok;
+}
+
+namespace {
+
+/// Reads exactly \p Size bytes. Returns Size on success, 0 on clean EOF
+/// before the first byte, and -1 on error or mid-read EOF.
+long readExact(int Fd, void *Data, std::size_t Size) {
+  std::size_t Got = 0;
+  char *P = static_cast<char *>(Data);
+  while (Got < Size) {
+    ssize_t N = ::read(Fd, P + Got, Size - Got);
+    if (N == 0)
+      return Got == 0 ? 0 : -1;
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    Got += static_cast<std::size_t>(N);
+  }
+  return static_cast<long>(Got);
+}
+
+} // namespace
+
+FrameRead serve::readFrame(int Fd, std::string &Payload,
+                           std::uint32_t MaxBytes) {
+  std::uint8_t Len[4];
+  long R = readExact(Fd, Len, 4);
+  if (R == 0)
+    return FrameRead::Eof;
+  if (R < 0)
+    return FrameRead::Malformed;
+  std::uint32_t N = static_cast<std::uint32_t>(Len[0]) |
+                    (static_cast<std::uint32_t>(Len[1]) << 8) |
+                    (static_cast<std::uint32_t>(Len[2]) << 16) |
+                    (static_cast<std::uint32_t>(Len[3]) << 24);
+  if (N == 0)
+    return FrameRead::Malformed;
+  if (N > MaxBytes)
+    return FrameRead::Oversize;
+  Payload.resize(N);
+  if (readExact(Fd, Payload.data(), N) != static_cast<long>(N))
+    return FrameRead::Malformed;
+  return FrameRead::Ok;
+}
+
+bool serve::writeAll(int Fd, const void *Data, std::size_t Size) {
+  const char *P = static_cast<const char *>(Data);
+  std::size_t Sent = 0;
+  while (Sent < Size) {
+    ssize_t N = ::write(Fd, P + Sent, Size - Sent);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Sent += static_cast<std::size_t>(N);
+  }
+  return true;
+}
+
+bool serve::writeFrame(int Fd, const std::string &Payload) {
+  std::string F = encodeFrame(Payload);
+  return writeAll(Fd, F.data(), F.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Responses
+//===----------------------------------------------------------------------===//
+
+Json serve::responseHeader(const Response &R) {
+  Json H = Json::object();
+  H["status"] = R.Ok ? "ok" : "error";
+  H["code"] = R.Code;
+  H["message"] = R.Message;
+  H["digest"] = R.Digest;
+  H["cache"] = R.Cache;
+  H["payload_bytes"] = static_cast<std::uint64_t>(R.Payload.size());
+  return H;
+}
+
+bool serve::writeResponse(int Fd, const Response &R) {
+  if (!writeFrame(Fd, responseHeader(R).dump()))
+    return false;
+  if (R.Payload.empty())
+    return true;
+  return writeAll(Fd, R.Payload.data(), R.Payload.size());
+}
+
+bool serve::readResponse(int Fd, Response &Out, std::string *Err,
+                         std::uint32_t MaxBytes) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  std::string HeaderBytes;
+  switch (readFrame(Fd, HeaderBytes, MaxBytes)) {
+  case FrameRead::Ok:
+    break;
+  case FrameRead::Eof:
+    return Fail("connection closed before response");
+  case FrameRead::Oversize:
+    return Fail("oversize response header");
+  default:
+    return Fail("malformed response frame");
+  }
+  Json H;
+  std::string JsonErr;
+  if (!Json::parse(HeaderBytes, H, &JsonErr))
+    return Fail("bad response header: " + JsonErr);
+  const Json *Status = H.find("status");
+  if (!Status || !Status->isString())
+    return Fail("response header missing status");
+  Out.Ok = Status->str() == "ok";
+  auto Str = [&](const char *Key) {
+    const Json *V = H.find(Key);
+    return V && V->isString() ? V->str() : std::string();
+  };
+  Out.Code = Str("code");
+  Out.Message = Str("message");
+  Out.Digest = Str("digest");
+  Out.Cache = Str("cache");
+  const Json *Bytes = H.find("payload_bytes");
+  std::uint64_t N = Bytes ? Bytes->asUint() : 0;
+  if (N > MaxBytes)
+    return Fail("oversize response payload");
+  Out.Payload.resize(static_cast<std::size_t>(N));
+  if (N && readExact(Fd, Out.Payload.data(),
+                     static_cast<std::size_t>(N)) != static_cast<long>(N))
+    return Fail("truncated response payload");
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Digests
+//===----------------------------------------------------------------------===//
+
+std::uint64_t serve::fnv1a(const std::string &Bytes) {
+  std::uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : Bytes) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string serve::digestHex(std::uint64_t Digest) {
+  return formatString("%016llx", (unsigned long long)Digest);
+}

@@ -1,0 +1,132 @@
+//===- serve/Protocol.h - jrpm-serve wire protocol --------------------------==//
+//
+// The daemon speaks a deliberately small protocol over a Unix-domain
+// stream socket:
+//
+//   frame    := u32-LE payload length (1..MaxFrameBytes) ++ payload bytes
+//   request  := one frame holding a JSON object {"kind": ..., ...body}
+//   response := one frame holding a JSON header object
+//                 {"cache","code","digest","message","payload_bytes","status"}
+//               ++ exactly payload_bytes raw bytes
+//
+// The response payload rides *outside* the JSON header, as raw bytes: a
+// cached artifact is served exactly as stored — byte-identical to the cold
+// computation that produced it — with no escape/unescape round trip in
+// between, and binary artifacts need no encoding. Every malformed input
+// (bad length prefix, oversize frame, non-JSON payload, depth bomb) maps
+// to a typed error code; the daemon never dies on a bad client.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_SERVE_PROTOCOL_H
+#define JRPM_SERVE_PROTOCOL_H
+
+#include "support/Json.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace jrpm {
+namespace serve {
+
+/// Upper bound a peer may claim for one frame. Requests are small JSON
+/// documents and responses inline one artifact; 16 MiB bounds a hostile
+/// length prefix without constraining any real payload.
+constexpr std::uint32_t MaxFrameBytes = 16u << 20;
+
+/// Typed protocol/request error codes (the "code" field of an error
+/// response). Names are the wire form.
+enum class ErrCode {
+  MalformedFrame, ///< bad length prefix (zero, or stream ended mid-frame)
+  Oversize,       ///< frame length beyond MaxFrameBytes
+  BadJson,        ///< frame payload failed Json::parse
+  BadRequest,     ///< well-formed JSON, invalid fields for its kind
+  UnknownKind,    ///< "kind" is none of ping/stats/sweep/analyze/replay
+  Saturated,      ///< admission control rejected the request (queue bound)
+  Draining,       ///< daemon is shutting down; no new work admitted
+  Internal,       ///< the computation itself failed
+};
+
+const char *errCodeName(ErrCode C);
+
+/// One fully decoded response: header fields plus the raw payload bytes.
+struct Response {
+  bool Ok = false;
+  std::string Code;    ///< errCodeName(...) when !Ok, empty when Ok
+  std::string Message; ///< human-readable detail; empty when Ok
+  std::string Digest;  ///< 16-hex-digit request digest ("-" for ping/stats)
+  std::string Cache;   ///< "hit" | "miss" | "join" | "none"
+  std::string Payload;
+
+  static Response ok(std::string Digest, std::string Cache,
+                     std::string Payload);
+  static Response error(ErrCode Code, std::string Message);
+};
+
+// --- Framing (buffer level; testable without sockets) ---------------------
+
+enum class FrameStatus {
+  Ok,        ///< one complete frame decoded
+  NeedMore,  ///< prefix of a valid frame; read more bytes
+  Malformed, ///< zero-length frame
+  Oversize,  ///< declared length beyond \p MaxBytes
+};
+
+/// Encodes \p Payload as a length-prefixed frame.
+std::string encodeFrame(const std::string &Payload);
+
+/// Attempts to decode one frame from the front of [Data, Data+Size). On
+/// Ok, sets \p Payload and \p Consumed (prefix bytes eaten). On NeedMore,
+/// nothing is consumed. Malformed/Oversize are terminal for the stream.
+FrameStatus decodeFrame(const std::uint8_t *Data, std::size_t Size,
+                        std::size_t &Consumed, std::string &Payload,
+                        std::uint32_t MaxBytes = MaxFrameBytes);
+
+// --- Framing (fd level) ----------------------------------------------------
+
+enum class FrameRead {
+  Ok,
+  Eof,       ///< clean end of stream before any frame byte
+  Malformed, ///< zero length, or stream ended inside a frame
+  Oversize,
+  IoError,
+};
+
+/// Blocking read of one frame from \p Fd.
+FrameRead readFrame(int Fd, std::string &Payload,
+                    std::uint32_t MaxBytes = MaxFrameBytes);
+
+/// Blocking write of all \p Size bytes (retries short writes/EINTR).
+bool writeAll(int Fd, const void *Data, std::size_t Size);
+
+/// writeAll of encodeFrame(Payload).
+bool writeFrame(int Fd, const std::string &Payload);
+
+// --- Response encode/decode ------------------------------------------------
+
+/// Serializes the header for \p R (payload_bytes filled from R.Payload).
+Json responseHeader(const Response &R);
+
+/// Sends header frame + raw payload bytes.
+bool writeResponse(int Fd, const Response &R);
+
+/// Reads a full response (header frame + payload bytes). Returns false on
+/// any framing, JSON, or I/O problem, with *Err describing it.
+bool readResponse(int Fd, Response &Out, std::string *Err,
+                  std::uint32_t MaxBytes = MaxFrameBytes);
+
+// --- Content digests -------------------------------------------------------
+
+/// FNV-1a over \p Bytes — the request-digest primitive. Callers digest the
+/// *canonical* dump of a request body (sorted keys, defaults filled), so
+/// two requests meaning the same thing always collide onto one artifact.
+std::uint64_t fnv1a(const std::string &Bytes);
+
+/// 16-hex-digit rendering used in response headers and store filenames.
+std::string digestHex(std::uint64_t Digest);
+
+} // namespace serve
+} // namespace jrpm
+
+#endif // JRPM_SERVE_PROTOCOL_H

@@ -1,0 +1,840 @@
+//===- serve/Server.cpp ----------------------------------------------------==//
+
+#include "serve/Server.h"
+
+#include "exec/CodeImage.h"
+#include "jrpm/Pipeline.h"
+#include "support/AtomicFile.h"
+#include "support/Format.h"
+#include "sweep/SweepRunner.h"
+#include "trace/Replay.h"
+#include "workloads/Workload.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace jrpm;
+using namespace jrpm::serve;
+
+//===----------------------------------------------------------------------===//
+// Request parsing & canonicalization
+//===----------------------------------------------------------------------===//
+//
+// Every compute request is reduced to a *canonical* body before digesting:
+// defaults are filled in explicitly, workload selections are expanded,
+// config points are renamed to their canonical (knob-sorted) form. Two
+// requests that mean the same computation therefore always produce the
+// same digest — and hit the same artifact — however they were spelled.
+
+namespace {
+
+bool checkKeys(const Json &Req, std::initializer_list<const char *> Allowed,
+               std::string &Err) {
+  for (const auto &KV : Req.members()) {
+    bool Known = false;
+    for (const char *A : Allowed)
+      Known |= KV.first == A;
+    if (!Known) {
+      Err = "unknown field \"" + KV.first + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Optional array-of-strings field; absent leaves \p Out empty.
+bool getStringArray(const Json &Req, const char *Key,
+                    std::vector<std::string> &Out, std::string &Err) {
+  const Json *V = Req.find(Key);
+  if (!V)
+    return true;
+  if (!V->isArray()) {
+    Err = std::string("\"") + Key + "\" must be an array of strings";
+    return false;
+  }
+  for (const Json &Item : V->items()) {
+    if (!Item.isString()) {
+      Err = std::string("\"") + Key + "\" must be an array of strings";
+      return false;
+    }
+    Out.push_back(Item.str());
+  }
+  return true;
+}
+
+/// Optional string field; absent leaves \p Out unchanged.
+bool getString(const Json &Req, const char *Key, std::string &Out,
+               std::string &Err) {
+  const Json *V = Req.find(Key);
+  if (!V)
+    return true;
+  if (!V->isString()) {
+    Err = std::string("\"") + Key + "\" must be a string";
+    return false;
+  }
+  Out = V->str();
+  return true;
+}
+
+/// Optional unsigned field; absent leaves \p Out unchanged.
+bool getUint(const Json &Req, const char *Key, std::uint64_t &Out,
+             std::string &Err) {
+  const Json *V = Req.find(Key);
+  if (!V)
+    return true;
+  if (!V->isNumber()) {
+    Err = std::string("\"") + Key + "\" must be a number";
+    return false;
+  }
+  Out = V->asUint();
+  return true;
+}
+
+bool levelFromName(const std::string &Name, jit::AnnotationLevel &Out) {
+  if (Name == "base") {
+    Out = jit::AnnotationLevel::Base;
+    return true;
+  }
+  if (Name == "optimized") {
+    Out = jit::AnnotationLevel::Optimized;
+    return true;
+  }
+  return false;
+}
+
+/// Parses and validates a config-point spec; returns the canonical name.
+bool canonConfig(const std::string &Spec, sweep::ConfigPoint &CP,
+                 std::string &Name, std::string &Err) {
+  if (!sweep::parseConfigPoint(Spec, CP, &Err))
+    return false;
+  pipeline::PipelineConfig Scratch;
+  if (!CP.apply(Scratch, &Err)) // catches unknown knobs up front
+    return false;
+  Name = CP.name();
+  return true;
+}
+
+Json stringArrayJson(const std::vector<std::string> &V) {
+  Json A = Json::array();
+  for (const std::string &S : V)
+    A.push(S);
+  return A;
+}
+
+/// A parsed + canonicalized sweep request.
+struct SweepRequest {
+  sweep::SweepPlan Plan;
+  Json Canon;
+};
+
+bool parseSweepRequest(const Json &Req, SweepRequest &Out, std::string &Err) {
+  if (!checkKeys(Req,
+                 {"kind", "workloads", "levels", "configs", "mode", "seed",
+                  "timeout_ms"},
+                 Err))
+    return false;
+
+  std::vector<std::string> Workloads, LevelNames, ConfigSpecs;
+  if (!getStringArray(Req, "workloads", Workloads, Err) ||
+      !getStringArray(Req, "levels", LevelNames, Err) ||
+      !getStringArray(Req, "configs", ConfigSpecs, Err))
+    return false;
+
+  // Empty workload selection means the full registry; canonicalize by
+  // expanding it, so {"workloads": []} and the explicit full list digest
+  // identically.
+  if (Workloads.empty())
+    for (const workloads::Workload &W : workloads::allWorkloads())
+      Workloads.push_back(W.Name);
+  for (const std::string &W : Workloads)
+    if (!workloads::findWorkload(W)) {
+      Err = "unknown workload \"" + W + "\"";
+      return false;
+    }
+
+  if (LevelNames.empty())
+    LevelNames.push_back("optimized");
+  std::vector<jit::AnnotationLevel> Levels;
+  for (const std::string &L : LevelNames) {
+    jit::AnnotationLevel Level;
+    if (!levelFromName(L, Level)) {
+      Err = "unknown level \"" + L + "\" (expected base or optimized)";
+      return false;
+    }
+    Levels.push_back(Level);
+  }
+
+  if (ConfigSpecs.empty())
+    ConfigSpecs.push_back("default");
+  std::vector<sweep::ConfigPoint> Configs;
+  std::vector<std::string> ConfigNames;
+  for (const std::string &Spec : ConfigSpecs) {
+    sweep::ConfigPoint CP;
+    std::string Name;
+    if (!canonConfig(Spec, CP, Name, Err))
+      return false;
+    Configs.push_back(std::move(CP));
+    ConfigNames.push_back(std::move(Name));
+  }
+
+  std::string Mode = "pipeline";
+  std::uint64_t Seed = 0, TimeoutMs = 0;
+  if (!getString(Req, "mode", Mode, Err) ||
+      !getUint(Req, "seed", Seed, Err) ||
+      !getUint(Req, "timeout_ms", TimeoutMs, Err))
+    return false;
+  if (Mode != "pipeline" && Mode != "conformance") {
+    Err = "unknown mode \"" + Mode + "\"";
+    return false;
+  }
+
+  Out.Plan.Workloads = Workloads;
+  Out.Plan.Levels = Levels;
+  Out.Plan.Configs = Configs;
+  Out.Plan.Mode = Mode == "pipeline" ? sweep::JobMode::Pipeline
+                                     : sweep::JobMode::Conformance;
+  Out.Plan.TimeoutMs = static_cast<std::uint32_t>(TimeoutMs);
+  Out.Plan.Seed = Seed;
+
+  Out.Canon = Json::object();
+  Out.Canon["kind"] = "sweep";
+  Out.Canon["workloads"] = stringArrayJson(Workloads);
+  Out.Canon["levels"] = stringArrayJson(LevelNames);
+  Out.Canon["configs"] = stringArrayJson(ConfigNames);
+  Out.Canon["mode"] = Mode;
+  Out.Canon["seed"] = Seed;
+  Out.Canon["timeout_ms"] = TimeoutMs;
+  return true;
+}
+
+/// A parsed + canonicalized analyze/replay request (one workload x level x
+/// config point).
+struct PointRequest {
+  std::string Workload;
+  std::string LevelName = "optimized";
+  jit::AnnotationLevel Level = jit::AnnotationLevel::Optimized;
+  sweep::ConfigPoint Config;
+  std::string ConfigName;
+  std::uint64_t TimeoutMs = 0;
+  Json Canon;
+};
+
+bool parsePointRequest(const Json &Req, const char *Kind, bool AllowTimeout,
+                       PointRequest &Out, std::string &Err) {
+  if (AllowTimeout) {
+    if (!checkKeys(Req, {"kind", "workload", "level", "config", "timeout_ms"},
+                   Err))
+      return false;
+  } else if (!checkKeys(Req, {"kind", "workload", "level", "config"}, Err)) {
+    return false;
+  }
+
+  if (!getString(Req, "workload", Out.Workload, Err))
+    return false;
+  if (Out.Workload.empty()) {
+    Err = "missing \"workload\"";
+    return false;
+  }
+  if (!workloads::findWorkload(Out.Workload)) {
+    Err = "unknown workload \"" + Out.Workload + "\"";
+    return false;
+  }
+
+  if (!getString(Req, "level", Out.LevelName, Err))
+    return false;
+  if (!levelFromName(Out.LevelName, Out.Level)) {
+    Err = "unknown level \"" + Out.LevelName +
+          "\" (expected base or optimized)";
+    return false;
+  }
+
+  std::string Spec = "default";
+  if (!getString(Req, "config", Spec, Err))
+    return false;
+  if (!canonConfig(Spec, Out.Config, Out.ConfigName, Err))
+    return false;
+
+  if (AllowTimeout && !getUint(Req, "timeout_ms", Out.TimeoutMs, Err))
+    return false;
+
+  Out.Canon = Json::object();
+  Out.Canon["kind"] = Kind;
+  Out.Canon["workload"] = Out.Workload;
+  Out.Canon["level"] = Out.LevelName;
+  Out.Canon["config"] = Out.ConfigName;
+  if (AllowTimeout)
+    Out.Canon["timeout_ms"] = Out.TimeoutMs;
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+Server::Server(ServerConfig Config)
+    : Cfg(std::move(Config)), Store(Cfg.StoreDir), Pool(Cfg.Threads) {}
+
+Server::~Server() { drain(); }
+
+bool Server::start(std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    if (ListenFd >= 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+    }
+    if (WakeR >= 0) {
+      ::close(WakeR);
+      ::close(WakeW);
+      WakeR = WakeW = -1;
+    }
+    return false;
+  };
+
+  if (!Store.ensureRoot(Err))
+    return false;
+
+  int P[2];
+  if (::pipe(P) != 0)
+    return Fail(std::string("pipe: ") + std::strerror(errno));
+  WakeR = P[0];
+  WakeW = P[1];
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return Fail(std::string("socket: ") + std::strerror(errno));
+
+  struct sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Cfg.SocketPath.empty() ||
+      Cfg.SocketPath.size() >= sizeof(Addr.sun_path))
+    return Fail("bad socket path \"" + Cfg.SocketPath + "\"");
+  std::strncpy(Addr.sun_path, Cfg.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+
+  ::unlink(Cfg.SocketPath.c_str());
+  if (::bind(ListenFd, reinterpret_cast<struct sockaddr *>(&Addr),
+             sizeof(Addr)) != 0)
+    return Fail("bind " + Cfg.SocketPath + ": " + std::strerror(errno));
+  if (::listen(ListenFd, 64) != 0)
+    return Fail(std::string("listen: ") + std::strerror(errno));
+
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void Server::requestStop() {
+  Stopping.store(true, std::memory_order_release);
+  if (WakeW >= 0) {
+    char C = 'x';
+    ssize_t N = ::write(WakeW, &C, 1);
+    (void)N;
+  }
+}
+
+void Server::waitForStop() {
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+}
+
+void Server::drain() {
+  if (Drained.exchange(true))
+    return;
+  requestStop();
+  waitForStop();
+
+  std::lock_guard<std::mutex> Lock(ConnM);
+  // Wake idle connections: SHUT_RD turns their blocking read into EOF. A
+  // connection mid-compute finishes, writes its response (the write half
+  // stays open), then sees EOF and exits.
+  for (std::unique_ptr<Conn> &C : Conns)
+    if (C->Fd >= 0)
+      ::shutdown(C->Fd, SHUT_RD);
+  for (std::unique_ptr<Conn> &C : Conns) {
+    if (C->T.joinable())
+      C->T.join();
+    if (C->Fd >= 0)
+      ::close(C->Fd);
+  }
+  Conns.clear();
+
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  if (!Cfg.SocketPath.empty())
+    ::unlink(Cfg.SocketPath.c_str());
+  if (WakeR >= 0) {
+    ::close(WakeR);
+    WakeR = -1;
+  }
+  if (WakeW >= 0) {
+    ::close(WakeW);
+    WakeW = -1;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Accept loop & connections
+//===----------------------------------------------------------------------===//
+
+void Server::acceptLoop() {
+  for (;;) {
+    struct pollfd P[2];
+    P[0].fd = ListenFd;
+    P[0].events = POLLIN;
+    P[0].revents = 0;
+    P[1].fd = WakeR;
+    P[1].events = POLLIN;
+    P[1].revents = 0;
+    if (::poll(P, 2, -1) < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (stopRequested() || P[1].revents != 0)
+      break;
+    if ((P[0].revents & POLLIN) == 0)
+      continue;
+
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      if (stopRequested())
+        break;
+      continue;
+    }
+
+    auto C = std::make_unique<Conn>();
+    C->Fd = Fd;
+    Conn *CP = C.get();
+    {
+      std::lock_guard<std::mutex> Lock(ConnM);
+      reapFinishedLocked();
+      Conns.push_back(std::move(C));
+    }
+    CP->T = std::thread([this, CP] { handleConnection(*CP); });
+  }
+}
+
+void Server::reapFinishedLocked() {
+  for (auto It = Conns.begin(); It != Conns.end();) {
+    Conn &C = **It;
+    if (C.Done.load(std::memory_order_acquire) && C.T.joinable()) {
+      C.T.join();
+      if (C.Fd >= 0)
+        ::close(C.Fd);
+      It = Conns.erase(It);
+    } else {
+      ++It;
+    }
+  }
+}
+
+void Server::handleConnection(Conn &C) {
+  for (;;) {
+    std::string Frame;
+    FrameRead R = readFrame(C.Fd, Frame, Cfg.FrameLimit);
+    if (R == FrameRead::Eof)
+      break;
+    if (R != FrameRead::Ok) {
+      // Framing is lost; answer with a typed error and drop the
+      // connection. The daemon itself shrugs this off.
+      count("serve.protocol_errors");
+      ErrCode Code = R == FrameRead::Oversize ? ErrCode::Oversize
+                                              : ErrCode::MalformedFrame;
+      writeResponse(C.Fd, Response::error(
+                              Code, R == FrameRead::Oversize
+                                        ? "frame exceeds size limit"
+                                        : "malformed frame"));
+      break;
+    }
+    Response Resp = handle(Frame);
+    if (!writeResponse(C.Fd, Resp))
+      break;
+  }
+  // The accept loop (or drain) owns the fd and the join; only flag here.
+  C.Done.store(true, std::memory_order_release);
+}
+
+//===----------------------------------------------------------------------===//
+// Request handling
+//===----------------------------------------------------------------------===//
+
+void Server::count(const char *Name, std::uint64_t N) {
+  std::lock_guard<std::mutex> Lock(RegM);
+  Reg.counter(Name).inc(N);
+}
+
+void Server::foldRequestMetrics(const metrics::Registry &R) {
+  std::lock_guard<std::mutex> Lock(RegM);
+  Reg.mergePrefixed(R, "serve.");
+}
+
+Response Server::handle(const std::string &FrameBytes) {
+  count("serve.requests");
+  Response Resp = [&] {
+    Json Req;
+    std::string Err;
+    if (!Json::parse(FrameBytes, Req, &Err))
+      return Response::error(ErrCode::BadJson, Err);
+    if (!Req.isObject())
+      return Response::error(ErrCode::BadRequest,
+                             "request must be a JSON object");
+    const Json *Kind = Req.find("kind");
+    if (!Kind || !Kind->isString())
+      return Response::error(ErrCode::BadRequest,
+                             "missing string field \"kind\"");
+    const std::string &K = Kind->str();
+
+    // Monitoring kinds stay available while draining.
+    if (K == "ping") {
+      Json D = Json::object();
+      D["pong"] = true;
+      D["threads"] = static_cast<std::uint64_t>(Pool.threadCount());
+      return Response::ok("-", "none", D.dump());
+    }
+    if (K == "stats")
+      return handleStats();
+
+    if (stopRequested())
+      return Response::error(ErrCode::Draining, "daemon is shutting down");
+
+    if (K == "sweep")
+      return handleSweep(Req);
+    if (K == "analyze")
+      return handleAnalyze(Req);
+    if (K == "replay")
+      return handleReplay(Req);
+    return Response::error(ErrCode::UnknownKind,
+                           "unknown kind \"" + K + "\"");
+  }();
+
+  count(Resp.Ok ? "serve.requests_ok" : "serve.requests_error");
+  {
+    std::lock_guard<std::mutex> Lock(RegM);
+    Reg.histogram("serve.payload_bytes").record(Resp.Payload.size());
+  }
+  return Resp;
+}
+
+Response Server::handleStats() {
+  return Response::ok("-", "none", statsJson().dump());
+}
+
+Response Server::computeGated(const char *Kind, std::uint64_t Digest,
+                              const std::function<std::string()> &Compute) {
+  return computeGatedImpl(Kind, Digest, Compute, /*Admit=*/true);
+}
+
+Response Server::computeGatedImpl(const char *Kind, std::uint64_t Digest,
+                                  const std::function<std::string()> &Compute,
+                                  bool Admit) {
+  std::string Hex = digestHex(Digest);
+
+  // Fast path: a persisted artifact is served as-is — byte-identical to
+  // the computation that produced it.
+  std::string Bytes;
+  std::string Err;
+  if (Store.load(Kind, Digest, Bytes, &Err)) {
+    count("serve.cache_hits");
+    Response R = Response::ok(Hex, "hit", std::move(Bytes));
+    return R;
+  }
+  if (!Err.empty()) {
+    count("serve.store_errors");
+    return Response::error(ErrCode::Internal, Err);
+  }
+
+  std::shared_ptr<Inflight> F;
+  bool Leader = false;
+  unsigned ActiveNow = 0;
+  {
+    std::lock_guard<std::mutex> Lock(FlightM);
+    auto It = Flights.find(Digest);
+    if (It != Flights.end()) {
+      F = It->second;
+    } else if (Admit && Active >= Cfg.MaxActive) {
+      count("serve.rejected_saturated");
+      return Response::error(
+          ErrCode::Saturated,
+          formatString("%u compute requests already admitted",
+                       Cfg.MaxActive));
+    } else {
+      F = std::make_shared<Inflight>();
+      Flights.emplace(Digest, F);
+      ActiveNow = Admit ? ++Active : Active;
+      Leader = true;
+    }
+  }
+
+  if (!Leader) {
+    // Single-flight join: wait for the leader, return the same bytes.
+    count("serve.dedup_joined");
+    std::unique_lock<std::mutex> L(F->M);
+    F->Cv.wait(L, [&] { return F->DoneFlag; });
+    Response R = F->R;
+    R.Cache = "join";
+    return R;
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(RegM);
+    Reg.gauge("serve.active_peak").peak(ActiveNow);
+  }
+  count("serve.computed");
+
+  Response R;
+  try {
+    std::string Payload = Compute();
+    std::string PutErr;
+    // A failed persist still serves the freshly computed bytes; the next
+    // identical request just recomputes.
+    if (!Store.put(Kind, Digest, Payload, &PutErr))
+      count("serve.store_errors");
+    R = Response::ok(Hex, "miss", std::move(Payload));
+  } catch (const std::exception &E) {
+    // Persist the failure for post-mortem inspection, then report it.
+    Json Fail = Json::object();
+    Fail["digest"] = Hex;
+    Fail["error"] = std::string(E.what());
+    Fail["kind"] = Kind;
+    std::string PutErr;
+    Store.put(kind::Failed, Digest, Fail.dump(), &PutErr);
+    count("serve.compute_failures");
+    R = Response::error(ErrCode::Internal, E.what());
+    R.Digest = Hex;
+    R.Cache = "miss";
+  }
+
+  // Persist-then-publish: the artifact hits the store before the flight
+  // slot is retired, so a request arriving in between either joins the
+  // flight or takes the fast path — never recomputes.
+  {
+    std::lock_guard<std::mutex> Lock(FlightM);
+    Flights.erase(Digest);
+    if (Admit)
+      --Active;
+  }
+  {
+    std::lock_guard<std::mutex> L(F->M);
+    F->R = R;
+    F->DoneFlag = true;
+  }
+  F->Cv.notify_all();
+  return R;
+}
+
+Response Server::handleSweep(const Json &Req) {
+  SweepRequest S;
+  std::string Err;
+  if (!parseSweepRequest(Req, S, Err))
+    return Response::error(ErrCode::BadRequest, Err);
+  std::vector<sweep::SweepJob> Jobs;
+  if (!S.Plan.expand(Jobs, &Err))
+    return Response::error(ErrCode::BadRequest, Err);
+
+  std::uint64_t Digest = fnv1a(S.Canon.dump());
+  return computeGated(kind::Sweep, Digest, [&]() -> std::string {
+    sweep::SweepReport Rep = sweep::runSweepOn(Pool, Jobs);
+    Rep.Seed = S.Plan.Seed;
+    metrics::Registry Merged = sweep::mergedMetrics(Rep);
+    foldRequestMetrics(Merged);
+    std::string PutErr;
+    if (!Store.put(kind::Metrics, Digest, Merged.toJson().dump(), &PutErr))
+      count("serve.store_errors");
+    return sweep::reportToJson(Rep, false).dump();
+  });
+}
+
+Response Server::handleAnalyze(const Json &Req) {
+  PointRequest P;
+  std::string Err;
+  if (!parsePointRequest(Req, "analyze", /*AllowTimeout=*/true, P, Err))
+    return Response::error(ErrCode::BadRequest, Err);
+
+  std::uint64_t Digest = fnv1a(P.Canon.dump());
+  return computeGated(kind::Analyze, Digest, [&]() -> std::string {
+    sweep::SweepJob Job;
+    Job.Index = 0;
+    Job.Workload = P.Workload;
+    Job.Level = P.Level;
+    Job.ConfigName = P.ConfigName;
+    Job.Cfg.Level = P.Level;
+    std::string ApplyErr;
+    if (!P.Config.apply(Job.Cfg, &ApplyErr)) // validated; belt and braces
+      throw std::runtime_error(ApplyErr);
+    Job.Mode = sweep::JobMode::Pipeline;
+    Job.TimeoutMs = static_cast<std::uint32_t>(P.TimeoutMs);
+
+    sweep::SweepReport Rep = sweep::runSweepOn(Pool, {Job});
+    const sweep::SweepResult &R = Rep.Results.at(0);
+    foldRequestMetrics(R.Metrics);
+    if (R.Status == sweep::JobStatus::Failed)
+      throw std::runtime_error(R.Error.empty() ? "job failed" : R.Error);
+
+    Json D = Json::object();
+    D["schema"] = "jrpm-serve-analyze-v1";
+    D["workload"] = R.Workload;
+    D["level"] = P.LevelName;
+    D["config"] = R.ConfigName;
+    D["status"] = sweep::jobStatusName(R.Status);
+    Json Cycles = Json::object();
+    Cycles["plain"] = R.PlainCycles;
+    Cycles["profiled"] = R.ProfiledCycles;
+    Cycles["tls"] = R.TlsCycles;
+    D["cycles"] = Cycles;
+    D["checksum"] = R.Checksum;
+    D["loops"] = R.Loops;
+    D["selected_loops"] = R.SelectedLoops;
+    D["predicted_speedup"] = R.PredictedSpeedup;
+    D["actual_speedup"] = R.ActualSpeedup;
+    D["profiling_slowdown"] = R.ProfilingSlowdown;
+    D["selection_digest"] = digestHex(R.SelectionDigest);
+    return D.dump();
+  });
+}
+
+std::uint64_t Server::ensureTrace(const std::string &Workload,
+                                  const std::string &LevelName) {
+  Json Canon = Json::object();
+  Canon["kind"] = "trace";
+  Canon["workload"] = Workload;
+  Canon["level"] = LevelName;
+  std::uint64_t TraceDigest = fnv1a(Canon.dump());
+  if (Store.has(kind::Trace, TraceDigest))
+    return TraceDigest;
+
+  jit::AnnotationLevel Level;
+  levelFromName(LevelName, Level); // caller validated
+
+  // Record through the single-flight machinery (without taking a second
+  // admission slot — the replay request already holds one), so concurrent
+  // replays of the same capture record it once.
+  auto Record = [&]() -> std::string {
+    const workloads::Workload *W = workloads::findWorkload(Workload);
+    if (!W)
+      throw std::runtime_error("unknown workload \"" + Workload + "\"");
+    std::string Tmp = Store.root() + "/.rec-" + digestHex(TraceDigest) +
+                      "-" + std::to_string(static_cast<long>(getpid())) +
+                      ".jtrace";
+    pipeline::PipelineConfig PC;
+    PC.Level = Level;
+    PC.RecordTracePath = Tmp;
+    PC.WorkloadName = Workload;
+    pipeline::Jrpm J(W->Build(), PC);
+    J.profileAndSelect();
+    std::string Bytes, ReadErr;
+    if (!readFileToString(Tmp, Bytes, &ReadErr))
+      throw std::runtime_error("recorded trace unreadable: " + ReadErr);
+    std::remove(Tmp.c_str());
+    return Bytes;
+  };
+  Response R =
+      computeGatedImpl(kind::Trace, TraceDigest, Record, /*Admit=*/false);
+  if (!R.Ok)
+    throw std::runtime_error("trace capture failed: " + R.Message);
+  return TraceDigest;
+}
+
+Response Server::handleReplay(const Json &Req) {
+  PointRequest P;
+  std::string Err;
+  if (!parsePointRequest(Req, "replay", /*AllowTimeout=*/false, P, Err))
+    return Response::error(ErrCode::BadRequest, Err);
+
+  std::uint64_t Digest = fnv1a(P.Canon.dump());
+  return computeGated(kind::Replay, Digest, [&]() -> std::string {
+    std::uint64_t TraceDigest = ensureTrace(P.Workload, P.LevelName);
+    std::shared_ptr<const trace::CachedTrace> T = trace::getSharedTrace(
+        Store.pathFor(kind::Trace, TraceDigest), TraceDigest);
+
+    // The request's config point contributes its tracer-side knobs; the
+    // capture itself is addressed by (workload, level) alone, so any
+    // number of replay configurations share one recorded trace.
+    pipeline::PipelineConfig PC;
+    std::string ApplyErr;
+    if (!P.Config.apply(PC, &ApplyErr))
+      throw std::runtime_error(ApplyErr);
+    metrics::Registry ReqReg;
+    trace::ReplayConfig RC;
+    RC.Hw = PC.Hw;
+    RC.ExtendedPcBinning = PC.ExtendedPcBinning;
+    RC.DisableLoopAfterThreads = PC.DisableLoopAfterThreads;
+    RC.Metrics = &ReqReg;
+
+    trace::ReplayOutcome Out = trace::selectFromTrace(*T, RC);
+    foldRequestMetrics(ReqReg);
+
+    Json D = Json::object();
+    D["schema"] = "jrpm-serve-replay-v1";
+    D["workload"] = P.Workload;
+    D["level"] = P.LevelName;
+    D["config"] = P.ConfigName;
+    D["events_replayed"] = Out.EventsReplayed;
+    D["loops"] = static_cast<std::uint64_t>(Out.Selection.Loops.size());
+    D["selected_loops"] =
+        static_cast<std::uint64_t>(Out.Selection.SelectedLoops.size());
+    D["predicted_speedup"] = Out.Selection.PredictedSpeedup;
+    D["selection_digest"] = digestHex(tracer::selectionDigest(Out.Selection));
+    Json Capture = Json::object();
+    Capture["cycles"] = Out.Run.Cycles;
+    Capture["checksum"] = Out.Run.ReturnValue;
+    Capture["trace_digest"] = digestHex(TraceDigest);
+    D["capture"] = Capture;
+    return D.dump();
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Stats
+//===----------------------------------------------------------------------===//
+
+Json Server::statsJson() {
+  metrics::Registry Snap;
+  {
+    std::lock_guard<std::mutex> Lock(RegM);
+    Snap = Reg;
+  }
+
+  StoreStats SS = Store.stats();
+  Snap.gauge("serve.store.hits").set(SS.Hits);
+  Snap.gauge("serve.store.misses").set(SS.Misses);
+  Snap.gauge("serve.store.puts").set(SS.Puts);
+  Snap.gauge("serve.store.put_bytes").set(SS.PutBytes);
+
+  unsigned ActiveNow = 0;
+  std::uint64_t Keys = 0;
+  {
+    std::lock_guard<std::mutex> Lock(FlightM);
+    ActiveNow = Active;
+    Keys = Flights.size();
+  }
+  Snap.gauge("serve.active").set(ActiveNow);
+  Snap.gauge("serve.inflight_keys").set(Keys);
+  Snap.gauge("serve.max_active").set(Cfg.MaxActive);
+  Snap.gauge("serve.pool_threads").set(Pool.threadCount());
+
+  exec::exportImageCacheMetrics(Snap);
+
+  trace::TraceCacheStats TS = trace::traceCacheStats();
+  Snap.gauge("trace.trace_cache.hits").set(TS.Hits);
+  Snap.gauge("trace.trace_cache.misses").set(TS.Misses);
+  Snap.gauge("trace.trace_cache.evictions").set(TS.Evictions);
+  Snap.gauge("trace.trace_cache.entries").set(TS.Entries);
+  Snap.gauge("trace.trace_cache.capacity").set(TS.Capacity);
+
+  return Snap.toJson();
+}

@@ -1,0 +1,175 @@
+//===- serve/Server.h - The jrpm-serve analysis daemon ---------------------==//
+//
+// A long-running daemon that accepts analysis requests (sweeps, single-job
+// analyses, trace replays) over a Unix-domain socket and serves results
+// from a content-addressed artifact store. The execution model:
+//
+//   * Every request body is canonicalized (defaults filled, config points
+//     renamed to canonical form, sorted-key dump) and digested; the digest
+//     addresses the artifact store, so repeated requests — across clients,
+//     connections, and daemon restarts — are O(1) cache hits returning
+//     byte-identical payloads.
+//   * Identical requests in flight are deduplicated (single-flight): one
+//     leader computes, every concurrent joiner waits on its completion and
+//     receives the same bytes. The daemon never computes the same digest
+//     twice concurrently.
+//   * Admission control bounds the number of concurrently admitted compute
+//     requests; beyond the bound, requests are rejected with the typed
+//     "saturated" error rather than queued without bound.
+//   * Compute requests dispatch their jobs onto one shared work-stealing
+//     ThreadPool via runSweepOn (per-call latch), so N concurrent requests
+//     time-share the pool instead of spawning N pools.
+//   * SIGTERM-style shutdown is graceful: requestStop() is async-signal-
+//     safe; new requests are rejected with "draining", in-flight work
+//     completes and persists, then drain() joins every thread.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_SERVE_SERVER_H
+#define JRPM_SERVE_SERVER_H
+
+#include "metrics/Metrics.h"
+#include "serve/ArtifactStore.h"
+#include "serve/Protocol.h"
+#include "sweep/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+namespace jrpm {
+namespace serve {
+
+struct ServerConfig {
+  std::string SocketPath;
+  std::string StoreDir;
+  /// Worker threads in the shared pool (0 = hardware width).
+  unsigned Threads = 0;
+  /// Admission bound: concurrently admitted compute requests beyond this
+  /// are rejected with ErrCode::Saturated. Cache hits and joins are always
+  /// admitted (they cost no pool time).
+  unsigned MaxActive = 8;
+  std::uint32_t FrameLimit = MaxFrameBytes;
+};
+
+class Server {
+public:
+  explicit Server(ServerConfig Config);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  const ServerConfig &config() const { return Cfg; }
+  ArtifactStore &store() { return Store; }
+
+  /// Binds the socket, spawns the accept loop. False with *Err on failure.
+  bool start(std::string *Err);
+
+  /// Initiates shutdown. Async-signal-safe (atomic store + pipe write):
+  /// this is the SIGTERM handler's entire job.
+  void requestStop();
+
+  bool stopRequested() const {
+    return Stopping.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until the accept loop has exited (i.e. until requestStop(),
+  /// from any thread or a signal handler, has taken effect).
+  void waitForStop();
+
+  /// Graceful teardown: requestStop(), join the accept loop, shut down
+  /// idle connections, join every connection thread (in-flight computes
+  /// finish and persist first), unlink the socket. Idempotent; the
+  /// destructor calls it.
+  void drain();
+
+  /// Handles one decoded request frame — the protocol core, exposed so
+  /// tests can drive the daemon without sockets.
+  Response handle(const std::string &FrameBytes);
+
+  /// Point-in-time stats document: the daemon's "serve.*" registry (with
+  /// per-request metrics folded in), store stats, and the process-wide
+  /// image/trace cache stats, rendered as a jrpm-metrics-v1 document that
+  /// jrpm-metrics show/diff can read.
+  Json statsJson();
+
+private:
+  struct Conn {
+    int Fd = -1;
+    std::thread T;
+    std::atomic<bool> Done{false};
+  };
+
+  /// One single-flight slot: the leader fills R and flips DoneFlag; every
+  /// joiner waits on Cv and copies R.
+  struct Inflight {
+    std::mutex M;
+    std::condition_variable Cv;
+    bool DoneFlag = false;
+    Response R;
+  };
+
+  void acceptLoop();
+  void handleConnection(Conn &C);
+  void reapFinishedLocked();
+
+  Response handleSweep(const Json &Req);
+  Response handleAnalyze(const Json &Req);
+  Response handleReplay(const Json &Req);
+  Response handleStats();
+
+  /// The store-first / single-flight / admission-control core shared by
+  /// every compute kind. \p Compute returns the payload bytes (and may
+  /// throw); its result is persisted under (\p Kind, \p Digest) before
+  /// joiners are released.
+  Response computeGated(const char *Kind, std::uint64_t Digest,
+                        const std::function<std::string()> &Compute);
+
+  /// computeGated with admission control optional: nested computations
+  /// (a replay capturing its trace) already hold a slot and must not be
+  /// double-counted — or spuriously saturated — by the inner call.
+  Response computeGatedImpl(const char *Kind, std::uint64_t Digest,
+                            const std::function<std::string()> &Compute,
+                            bool Admit);
+
+  /// Ensures the recorded trace for (workload, level) exists in the store;
+  /// returns its digest. Throws on record failure.
+  std::uint64_t ensureTrace(const std::string &Workload,
+                            const std::string &LevelName);
+
+  void count(const char *Name, std::uint64_t N = 1);
+  void foldRequestMetrics(const metrics::Registry &R);
+
+  ServerConfig Cfg;
+  ArtifactStore Store;
+  sweep::ThreadPool Pool;
+
+  int ListenFd = -1;
+  int WakeR = -1, WakeW = -1; ///< self-pipe: signal handler -> accept loop
+  std::atomic<bool> Stopping{false};
+  std::atomic<bool> Drained{false};
+  std::thread AcceptThread;
+
+  std::mutex ConnM;
+  std::list<std::unique_ptr<Conn>> Conns;
+
+  std::mutex FlightM;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Inflight>> Flights;
+  unsigned Active = 0; ///< admitted compute leaders in flight
+
+  std::mutex RegM;
+  metrics::Registry Reg; ///< daemon-lifetime "serve.*" namespace
+};
+
+} // namespace serve
+} // namespace jrpm
+
+#endif // JRPM_SERVE_SERVER_H

@@ -1,0 +1,57 @@
+//===- support/AtomicFile.cpp ---------------------------------------------==//
+
+#include "support/AtomicFile.h"
+
+#include <cstdio>
+#include <unistd.h>
+
+using namespace jrpm;
+
+bool jrpm::writeFileAtomic(const std::string &Path, const std::string &Content,
+                           std::string *Err) {
+  std::string Tmp =
+      Path + ".tmp." + std::to_string(static_cast<long>(getpid()));
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open " + Tmp + " for writing";
+    return false;
+  }
+  bool Ok = std::fwrite(Content.data(), 1, Content.size(), F) ==
+            Content.size();
+  Ok &= std::fflush(F) == 0;
+  // Force the bytes to stable storage before the rename publishes the
+  // file: rename-over is atomic against readers, but without the fsync a
+  // crash could publish a name whose data blocks never hit disk.
+  if (Ok)
+    Ok &= fsync(fileno(F)) == 0;
+  Ok &= std::fclose(F) == 0;
+  if (Ok && std::rename(Tmp.c_str(), Path.c_str()) != 0)
+    Ok = false;
+  if (!Ok) {
+    std::remove(Tmp.c_str());
+    if (Err)
+      *Err = "failed writing " + Path;
+  }
+  return Ok;
+}
+
+bool jrpm::readFileToString(const std::string &Path, std::string &Out,
+                            std::string *Err) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open " + Path;
+    return false;
+  }
+  Out.clear();
+  char Buf[1 << 16];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof Buf, F)) > 0)
+    Out.append(Buf, N);
+  bool Ok = !std::ferror(F);
+  std::fclose(F);
+  if (!Ok && Err)
+    *Err = "read error on " + Path;
+  return Ok;
+}

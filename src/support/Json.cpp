@@ -202,6 +202,9 @@ private:
   bool value(Json &Out) {
     if (Pos >= T.size())
       return fail("unexpected end of input");
+    if (Depth > Json::MaxParseDepth)
+      return fail("nesting deeper than " +
+                  std::to_string(Json::MaxParseDepth) + " levels");
     switch (T[Pos]) {
     case 'n':
       Out = Json();
@@ -347,10 +350,12 @@ private:
 
   bool array(Json &Out) {
     ++Pos; // '['
+    ++Depth;
     Out = Json::array();
     skipWs();
     if (Pos < T.size() && T[Pos] == ']') {
       ++Pos;
+      --Depth;
       return true;
     }
     while (true) {
@@ -368,6 +373,7 @@ private:
       }
       if (T[Pos] == ']') {
         ++Pos;
+        --Depth;
         return true;
       }
       return fail("expected ',' or ']'");
@@ -376,10 +382,12 @@ private:
 
   bool object(Json &Out) {
     ++Pos; // '{'
+    ++Depth;
     Out = Json::object();
     skipWs();
     if (Pos < T.size() && T[Pos] == '}') {
       ++Pos;
+      --Depth;
       return true;
     }
     while (true) {
@@ -407,6 +415,7 @@ private:
       }
       if (T[Pos] == '}') {
         ++Pos;
+        --Depth;
         return true;
       }
       return fail("expected ',' or '}'");
@@ -416,6 +425,7 @@ private:
   const std::string &T;
   std::string *Err;
   std::size_t Pos = 0;
+  int Depth = 0;
 };
 
 } // namespace
@@ -429,28 +439,4 @@ std::string Json::dump() const {
   render(Out, 0);
   Out.push_back('\n');
   return Out;
-}
-
-bool jrpm::writeFileAtomic(const std::string &Path, const std::string &Content,
-                           std::string *Err) {
-  std::string Tmp =
-      Path + ".tmp." + std::to_string(static_cast<long>(getpid()));
-  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
-  if (!F) {
-    if (Err)
-      *Err = "cannot open " + Tmp + " for writing";
-    return false;
-  }
-  bool Ok = std::fwrite(Content.data(), 1, Content.size(), F) ==
-            Content.size();
-  Ok &= std::fflush(F) == 0;
-  Ok &= std::fclose(F) == 0;
-  if (Ok && std::rename(Tmp.c_str(), Path.c_str()) != 0)
-    Ok = false;
-  if (!Ok) {
-    std::remove(Tmp.c_str());
-    if (Err)
-      *Err = "failed writing " + Path;
-  }
-  return Ok;
 }

@@ -70,10 +70,17 @@ public:
   double number() const;
   std::uint64_t asUint() const;
 
+  /// Maximum container nesting depth parse() accepts. Deeper documents are
+  /// rejected with a typed error instead of recursing toward a stack
+  /// overflow — a requirement now that the serve daemon parses frames from
+  /// untrusted sockets (depth bombs are a classic protocol attack).
+  static constexpr int MaxParseDepth = 96;
+
   /// Parses \p Text (the subset this class emits: null, bool, numbers,
   /// strings with the escapes jsonEscape produces plus \/ and \uXXXX for
   /// ASCII, arrays, objects). Returns false with *Err set on malformed
-  /// input. Duplicate object keys keep the last value.
+  /// input (including nesting beyond MaxParseDepth). Duplicate object keys
+  /// keep the last value.
   static bool parse(const std::string &Text, Json &Out,
                     std::string *Err = nullptr);
 
@@ -96,13 +103,6 @@ private:
 
 /// Escapes \p V as a JSON string literal (with surrounding quotes).
 std::string jsonEscape(const std::string &V);
-
-/// Writes \p Content to \p Path atomically: the bytes go to a sibling
-/// temporary file which is renamed over the target, so a concurrently
-/// reading consumer sees either the old file or the complete new one,
-/// never a torn write. Returns false (with *Err set) on I/O failure.
-bool writeFileAtomic(const std::string &Path, const std::string &Content,
-                     std::string *Err = nullptr);
 
 } // namespace jrpm
 

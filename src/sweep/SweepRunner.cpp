@@ -3,6 +3,7 @@
 #include "sweep/SweepRunner.h"
 
 #include "exec/CodeImage.h"
+#include "support/AtomicFile.h"
 #include "support/Format.h"
 #include "trace/Replay.h"
 #include "workloads/Workload.h"
@@ -166,15 +167,37 @@ SweepResult sweep::runJob(const SweepJob &Job) {
   return R;
 }
 
-SweepReport sweep::runSweep(const std::vector<SweepJob> &Jobs,
-                            unsigned Threads,
-                            metrics::Timeline *Timeline) {
+namespace {
+
+/// Per-call completion latch: lets concurrent runSweepOn() callers share
+/// one pool without stealing each other's ThreadPool::wait() wakeups.
+struct JobLatch {
+  std::mutex M;
+  std::condition_variable Cv;
+  std::size_t Left;
+
+  explicit JobLatch(std::size_t N) : Left(N) {}
+  void done() {
+    std::lock_guard<std::mutex> Lock(M);
+    if (--Left == 0)
+      Cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> Lock(M);
+    Cv.wait(Lock, [this] { return Left == 0; });
+  }
+};
+
+} // namespace
+
+SweepReport sweep::runSweepOn(ThreadPool &Pool,
+                              const std::vector<SweepJob> &Jobs,
+                              metrics::Timeline *Timeline) {
   SweepReport Report;
   Report.Results.resize(Jobs.size());
+  Report.Threads = Pool.threadCount();
   Clock::time_point T0 = Clock::now();
   {
-    ThreadPool Pool(Threads);
-    Report.Threads = Pool.threadCount();
     // Worker tracks are registered before any job runs, in index order, so
     // the timeline's pid/tid assignment never depends on scheduling.
     std::vector<metrics::TrackId> WorkerTracks;
@@ -182,9 +205,10 @@ SweepReport sweep::runSweep(const std::vector<SweepJob> &Jobs,
       for (unsigned W = 0; W < Pool.threadCount(); ++W)
         WorkerTracks.push_back(
             Timeline->track("sweep", W, "worker" + std::to_string(W)));
+    JobLatch Latch(Jobs.size());
     for (const SweepJob &Job : Jobs)
       // Each job writes its preassigned slot; completion order is free.
-      Pool.submit([&Job, &Report, Timeline, &WorkerTracks, T0] {
+      Pool.submit([&Job, &Report, &Latch, Timeline, &WorkerTracks, T0] {
         int W = ThreadPool::currentWorker();
         bool Spanned = Timeline && W >= 0 &&
                        static_cast<std::size_t>(W) < WorkerTracks.size();
@@ -204,8 +228,9 @@ SweepReport sweep::runSweep(const std::vector<SweepJob> &Jobs,
                             std::chrono::duration_cast<
                                 std::chrono::microseconds>(Clock::now() - T0)
                                 .count()));
+        Latch.done();
       });
-    Pool.wait();
+    Latch.wait();
   }
   Report.WallMs = msSince(T0);
   for (const SweepResult &R : Report.Results) {
@@ -222,6 +247,13 @@ SweepReport sweep::runSweep(const std::vector<SweepJob> &Jobs,
     }
   }
   return Report;
+}
+
+SweepReport sweep::runSweep(const std::vector<SweepJob> &Jobs,
+                            unsigned Threads,
+                            metrics::Timeline *Timeline) {
+  ThreadPool Pool(Threads);
+  return runSweepOn(Pool, Jobs, Timeline);
 }
 
 metrics::Registry sweep::mergedMetrics(const SweepReport &R) {

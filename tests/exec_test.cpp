@@ -14,6 +14,7 @@
 #include "exec/CodeImage.h"
 #include "interp/Trap.h"
 #include "jit/TlsPlan.h"
+#include "metrics/Metrics.h"
 
 #include <gtest/gtest.h>
 
@@ -146,6 +147,79 @@ TEST(CodeImage, DigestSharingAndCache) {
   C.finalize();
   EXPECT_NE(exec::moduleDigest(C), exec::moduleDigest(A));
   EXPECT_NE(exec::CodeImage::getShared(C).get(), S1.get());
+}
+
+TEST(CodeImageCache, LruEvictsLeastRecentlyUsed) {
+  exec::CodeImage::clearCache();
+  exec::CodeImage::setCacheCapacity(2);
+
+  // Three content-distinct programs.
+  ir::Module A = makeMain(ret(c(11)));
+  ir::Module B = makeMain(ret(c(22)));
+  ir::Module C = makeMain(ret(c(33)));
+  A.finalize();
+  B.finalize();
+  C.finalize();
+
+  auto SA = exec::CodeImage::getShared(A);
+  auto SB = exec::CodeImage::getShared(B);
+  // Touch A so B becomes the least recently used entry...
+  EXPECT_EQ(exec::CodeImage::getShared(A).get(), SA.get());
+  // ...and inserting C evicts B, not A.
+  auto SC = exec::CodeImage::getShared(C);
+
+  exec::ImageCacheStats St = exec::CodeImage::cacheStats();
+  EXPECT_EQ(St.Evictions, 1u);
+  EXPECT_EQ(St.Entries, 2u);
+  EXPECT_EQ(St.Capacity, 2u);
+
+  // A is still resident; B rebuilds (a fresh image — the old shared_ptr
+  // keeps the evicted one alive independently).
+  EXPECT_EQ(exec::CodeImage::getShared(A).get(), SA.get());
+  auto SB2 = exec::CodeImage::getShared(B);
+  EXPECT_NE(SB2.get(), SB.get());
+  EXPECT_EQ(SB2->digest(), SB->digest());
+
+  exec::CodeImage::clearCache();
+}
+
+TEST(CodeImageCache, ShrinkingCapacityEvictsImmediately) {
+  exec::CodeImage::clearCache();
+  exec::CodeImage::setCacheCapacity(8);
+
+  std::vector<ir::Module> Mods;
+  for (int I = 0; I < 4; ++I) {
+    Mods.push_back(makeMain(ret(c(100 + I))));
+    Mods.back().finalize();
+    exec::CodeImage::getShared(Mods.back());
+  }
+  EXPECT_EQ(exec::CodeImage::cacheStats().Entries, 4u);
+
+  std::size_t Prev = exec::CodeImage::setCacheCapacity(1);
+  EXPECT_EQ(Prev, 8u);
+  exec::ImageCacheStats St = exec::CodeImage::cacheStats();
+  EXPECT_EQ(St.Entries, 1u);
+  EXPECT_EQ(St.Evictions, 3u);
+
+  exec::CodeImage::clearCache();
+}
+
+TEST(CodeImageCache, MetricsExportReflectsStats) {
+  exec::CodeImage::clearCache();
+  ir::Module A = makeMain(ret(c(5)));
+  A.finalize();
+  exec::CodeImage::getShared(A); // miss
+  exec::CodeImage::getShared(A); // hit
+
+  metrics::Registry R;
+  exec::exportImageCacheMetrics(R);
+  EXPECT_GE(R.gauge("exec.image_cache.hits").value(), 1u);
+  EXPECT_GE(R.gauge("exec.image_cache.misses").value(), 1u);
+  EXPECT_EQ(R.gauge("exec.image_cache.entries").value(), 1u);
+  EXPECT_EQ(R.gauge("exec.image_cache.capacity").value(),
+            exec::CodeImage::DefaultCacheCapacity);
+
+  exec::CodeImage::clearCache();
 }
 
 TEST(ExecContext, StepGranularitiesAgreeOnRandomPrograms) {

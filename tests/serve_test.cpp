@@ -1,0 +1,444 @@
+//===- tests/serve_test.cpp - jrpm-serve daemon & protocol tests -----------==//
+//
+// Covers the wire protocol (framing, typed errors), the content-addressed
+// artifact store, and the daemon itself over real Unix-domain sockets:
+// cache-hit byte-identity, request canonicalization, single-flight dedup
+// under concurrent identical clients (the TSan-checked stress test),
+// deterministic admission-control saturation, replay/analyze digest
+// agreement, and graceful drain semantics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "serve/ArtifactStore.h"
+#include "serve/Client.h"
+#include "serve/Protocol.h"
+#include "serve/Server.h"
+#include "trace/Replay.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+using namespace jrpm;
+using jrpm::testutil::ScopedTempDir;
+
+namespace {
+
+/// Starts a daemon on scratch paths inside \p Dir.
+struct TestDaemon {
+  explicit TestDaemon(const ScopedTempDir &Dir, unsigned MaxActive = 8,
+                      unsigned Threads = 2) {
+    serve::ServerConfig Cfg;
+    Cfg.SocketPath = Dir.file("d.sock");
+    Cfg.StoreDir = Dir.file("store");
+    Cfg.Threads = Threads;
+    Cfg.MaxActive = MaxActive;
+    S = std::make_unique<serve::Server>(Cfg);
+    std::string Err;
+    Started = S->start(&Err);
+    EXPECT_TRUE(Started) << Err;
+  }
+
+  serve::Response roundTrip(const Json &Req) {
+    serve::Client C;
+    serve::Response R;
+    std::string Err;
+    EXPECT_TRUE(C.connect(S->config().SocketPath, &Err)) << Err;
+    EXPECT_TRUE(C.request(Req, R, &Err)) << Err;
+    return R;
+  }
+
+  /// Counter value from a stats round trip.
+  std::uint64_t counter(const std::string &Name) {
+    Json Stats = Json::object();
+    Stats["kind"] = "stats";
+    serve::Response R = roundTrip(Stats);
+    Json D;
+    EXPECT_TRUE(Json::parse(R.Payload, D, nullptr));
+    const Json *Counters = D.find("counters");
+    const Json *V = Counters ? Counters->find(Name) : nullptr;
+    return V ? V->asUint() : 0;
+  }
+
+  std::uint64_t gaugeValue(const std::string &Name) {
+    Json Stats = Json::object();
+    Stats["kind"] = "stats";
+    serve::Response R = roundTrip(Stats);
+    Json D;
+    EXPECT_TRUE(Json::parse(R.Payload, D, nullptr));
+    const Json *Gauges = D.find("gauges");
+    const Json *V = Gauges ? Gauges->find(Name) : nullptr;
+    return V ? V->asUint() : 0;
+  }
+
+  std::unique_ptr<serve::Server> S;
+  bool Started = false;
+};
+
+Json smallSweep() {
+  Json Req = Json::object();
+  Req["kind"] = "sweep";
+  Json W = Json::array();
+  W.push("BitOps");
+  Req["workloads"] = W;
+  Json L = Json::array();
+  L.push("base");
+  Req["levels"] = L;
+  Req["seed"] = std::uint64_t(3);
+  return Req;
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol framing
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocol, FrameRoundTripAndBinarySafety) {
+  std::string Payload("\x00\x01hello\xff\x00", 9); // embedded NULs survive
+  std::string Frame = serve::encodeFrame(Payload);
+  ASSERT_EQ(Frame.size(), 4 + Payload.size());
+
+  std::string Decoded;
+  std::size_t Consumed = 0;
+  EXPECT_EQ(serve::decodeFrame(
+                reinterpret_cast<const std::uint8_t *>(Frame.data()),
+                Frame.size(), Consumed, Decoded),
+            serve::FrameStatus::Ok);
+  EXPECT_EQ(Consumed, Frame.size());
+  EXPECT_EQ(Decoded, Payload);
+}
+
+TEST(ServeProtocol, DecodeFrameTypedStatuses) {
+  std::string Decoded;
+  std::size_t Consumed = 0;
+
+  // Every strict prefix of a valid frame wants more bytes.
+  std::string Frame = serve::encodeFrame("abc");
+  for (std::size_t N = 0; N < Frame.size(); ++N)
+    EXPECT_EQ(serve::decodeFrame(
+                  reinterpret_cast<const std::uint8_t *>(Frame.data()), N,
+                  Consumed, Decoded),
+              serve::FrameStatus::NeedMore)
+        << N;
+
+  // Zero-length frames are malformed, not empty requests.
+  const std::uint8_t Zero[4] = {0, 0, 0, 0};
+  EXPECT_EQ(serve::decodeFrame(Zero, 4, Consumed, Decoded),
+            serve::FrameStatus::Malformed);
+
+  // A hostile length prefix is rejected before any allocation.
+  const std::uint8_t Huge[4] = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_EQ(serve::decodeFrame(Huge, 4, Consumed, Decoded),
+            serve::FrameStatus::Oversize);
+}
+
+TEST(ServeProtocol, DigestIsCanonical) {
+  EXPECT_EQ(serve::fnv1a("abc"), serve::fnv1a("abc"));
+  EXPECT_NE(serve::fnv1a("abc"), serve::fnv1a("abd"));
+  EXPECT_EQ(serve::digestHex(0xdeadbeefull), "00000000deadbeef");
+  EXPECT_EQ(serve::digestHex(0).size(), 16u);
+}
+
+//===----------------------------------------------------------------------===//
+// Artifact store
+//===----------------------------------------------------------------------===//
+
+TEST(ServeStore, PutLoadRoundTrip) {
+  ScopedTempDir Dir("jrpm-store");
+  ASSERT_TRUE(Dir.valid());
+  serve::ArtifactStore Store(Dir.file("store"));
+  ASSERT_TRUE(Store.ensureRoot());
+
+  const std::uint64_t Digest = 0x0123456789abcdefull;
+  EXPECT_FALSE(Store.has(serve::kind::Sweep, Digest));
+  std::string Out;
+  EXPECT_FALSE(Store.load(serve::kind::Sweep, Digest, Out));
+
+  std::string Bytes("payload\x00with nul", 16);
+  ASSERT_TRUE(Store.put(serve::kind::Sweep, Digest, Bytes));
+  EXPECT_TRUE(Store.has(serve::kind::Sweep, Digest));
+  ASSERT_TRUE(Store.load(serve::kind::Sweep, Digest, Out));
+  EXPECT_EQ(Out, Bytes);
+
+  // Kinds are separate namespaces; traces use the .jtrace extension.
+  EXPECT_FALSE(Store.has(serve::kind::Replay, Digest));
+  std::string P = Store.pathFor(serve::kind::Trace, Digest);
+  EXPECT_NE(P.find("/trace/01/0123456789abcdef.jtrace"), std::string::npos);
+
+  serve::StoreStats St = Store.stats();
+  EXPECT_EQ(St.Hits, 1u);
+  EXPECT_EQ(St.Misses, 1u);
+  EXPECT_EQ(St.Puts, 1u);
+  EXPECT_EQ(St.PutBytes, Bytes.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon basics
+//===----------------------------------------------------------------------===//
+
+TEST(ServeDaemon, PingStatsAndTypedErrors) {
+  ScopedTempDir Dir("jrpm-serve");
+  ASSERT_TRUE(Dir.valid());
+  TestDaemon D(Dir);
+
+  Json Ping = Json::object();
+  Ping["kind"] = "ping";
+  serve::Response R = D.roundTrip(Ping);
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.Cache, "none");
+  EXPECT_NE(R.Payload.find("\"pong\": true"), std::string::npos);
+
+  Json Bad = Json::object();
+  Bad["kind"] = "frobnicate";
+  R = D.roundTrip(Bad);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Code, "unknown_kind");
+
+  Json NoKind = Json::object();
+  NoKind["x"] = 1;
+  R = D.roundTrip(NoKind);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Code, "bad_request");
+
+  Json BadField = smallSweep();
+  BadField["bogus"] = 1;
+  R = D.roundTrip(BadField);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Code, "bad_request");
+
+  Json BadWorkload = Json::object();
+  BadWorkload["kind"] = "analyze";
+  BadWorkload["workload"] = "NoSuchWorkload";
+  R = D.roundTrip(BadWorkload);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Code, "bad_request");
+
+  // Non-JSON payload: typed error, connection keeps serving afterwards.
+  serve::Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(D.S->config().SocketPath, &Err)) << Err;
+  ASSERT_TRUE(C.requestRaw("this is not json", R, &Err)) << Err;
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Code, "bad_json");
+  ASSERT_TRUE(C.request(Ping, R, &Err)) << Err;
+  EXPECT_TRUE(R.Ok);
+
+  EXPECT_GE(D.counter("serve.requests"), 5u);
+}
+
+TEST(ServeDaemon, SweepCacheHitIsByteIdentical) {
+  ScopedTempDir Dir("jrpm-serve");
+  ASSERT_TRUE(Dir.valid());
+  TestDaemon D(Dir);
+
+  serve::Response First = D.roundTrip(smallSweep());
+  ASSERT_TRUE(First.Ok) << First.Message;
+  EXPECT_EQ(First.Cache, "miss");
+  EXPECT_FALSE(First.Payload.empty());
+
+  serve::Response Second = D.roundTrip(smallSweep());
+  ASSERT_TRUE(Second.Ok) << Second.Message;
+  EXPECT_EQ(Second.Cache, "hit");
+  EXPECT_EQ(Second.Digest, First.Digest);
+  EXPECT_EQ(Second.Payload, First.Payload);
+
+  // Canonicalization: spelling the defaults explicitly digests the same.
+  Json Explicit = smallSweep();
+  Json Cfgs = Json::array();
+  Cfgs.push("default");
+  Explicit["configs"] = Cfgs;
+  Explicit["mode"] = "pipeline";
+  Explicit["timeout_ms"] = std::uint64_t(0);
+  serve::Response Third = D.roundTrip(Explicit);
+  ASSERT_TRUE(Third.Ok) << Third.Message;
+  EXPECT_EQ(Third.Digest, First.Digest);
+  EXPECT_EQ(Third.Cache, "hit");
+  EXPECT_EQ(Third.Payload, First.Payload);
+
+  EXPECT_EQ(D.counter("serve.computed"), 1u);
+  EXPECT_GE(D.counter("serve.cache_hits"), 2u);
+}
+
+TEST(ServeDaemon, ReplayAgreesWithAnalyzeSelection) {
+  ScopedTempDir Dir("jrpm-serve");
+  ASSERT_TRUE(Dir.valid());
+  TestDaemon D(Dir);
+
+  Json Analyze = Json::object();
+  Analyze["kind"] = "analyze";
+  Analyze["workload"] = "BitOps";
+  serve::Response AR = D.roundTrip(Analyze);
+  ASSERT_TRUE(AR.Ok) << AR.Message;
+
+  Json Replay = Json::object();
+  Replay["kind"] = "replay";
+  Replay["workload"] = "BitOps";
+  serve::Response RR = D.roundTrip(Replay);
+  ASSERT_TRUE(RR.Ok) << RR.Message;
+
+  Json ADoc, RDoc;
+  ASSERT_TRUE(Json::parse(AR.Payload, ADoc, nullptr));
+  ASSERT_TRUE(Json::parse(RR.Payload, RDoc, nullptr));
+  // Replay under the capture config reproduces the live selection digest.
+  ASSERT_NE(ADoc.find("selection_digest"), nullptr);
+  ASSERT_NE(RDoc.find("selection_digest"), nullptr);
+  EXPECT_EQ(ADoc.find("selection_digest")->str(),
+            RDoc.find("selection_digest")->str());
+
+  // A second replay under a different config misses the result cache but
+  // shares the recorded capture (same trace digest, no second recording).
+  Json Replay2 = Replay;
+  Replay2["config"] = "banks=2";
+  serve::Response RR2 = D.roundTrip(Replay2);
+  ASSERT_TRUE(RR2.Ok) << RR2.Message;
+  EXPECT_EQ(RR2.Cache, "miss");
+  Json RDoc2;
+  ASSERT_TRUE(Json::parse(RR2.Payload, RDoc2, nullptr));
+  EXPECT_EQ(RDoc.find("capture")->find("trace_digest")->str(),
+            RDoc2.find("capture")->find("trace_digest")->str());
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency: single-flight dedup & admission control
+//===----------------------------------------------------------------------===//
+
+TEST(ServeConcurrent, SingleFlightDeduplicatesIdenticalRequests) {
+  ScopedTempDir Dir("jrpm-serve");
+  ASSERT_TRUE(Dir.valid());
+  TestDaemon D(Dir, /*MaxActive=*/8, /*Threads=*/2);
+
+  constexpr int NumClients = 8;
+  std::vector<serve::Response> Results(NumClients);
+  std::atomic<int> TransportFailures{0};
+  {
+    std::vector<std::thread> Clients;
+    for (int I = 0; I < NumClients; ++I)
+      Clients.emplace_back([&, I] {
+        serve::Client C;
+        serve::Response R;
+        std::string Err;
+        if (!C.connect(D.S->config().SocketPath, &Err) ||
+            !C.request(smallSweep(), R, &Err)) {
+          ++TransportFailures;
+          return;
+        }
+        Results[I] = R;
+      });
+    for (std::thread &T : Clients)
+      T.join();
+  }
+  EXPECT_EQ(TransportFailures.load(), 0);
+
+  // Everyone got the same bytes; exactly one computation happened —
+  // whether a client led, joined the flight, or arrived late and hit the
+  // store.
+  for (const serve::Response &R : Results) {
+    ASSERT_TRUE(R.Ok) << R.Message;
+    EXPECT_EQ(R.Digest, Results[0].Digest);
+    EXPECT_EQ(R.Payload, Results[0].Payload);
+    EXPECT_TRUE(R.Cache == "miss" || R.Cache == "join" || R.Cache == "hit")
+        << R.Cache;
+  }
+  EXPECT_EQ(D.counter("serve.computed"), 1u);
+  EXPECT_EQ(D.counter("serve.cache_hits") + D.counter("serve.dedup_joined"),
+            static_cast<std::uint64_t>(NumClients - 1));
+}
+
+TEST(ServeConcurrent, SaturationRejectsWithTypedError) {
+  ScopedTempDir Dir("jrpm-serve");
+  ASSERT_TRUE(Dir.valid());
+  TestDaemon D(Dir, /*MaxActive=*/1, /*Threads=*/1);
+
+  // A heavier sweep occupies the single admission slot...
+  Json Heavy = Json::object();
+  Heavy["kind"] = "sweep";
+  Json W = Json::array();
+  W.push("fft");
+  W.push("BitOps");
+  Heavy["workloads"] = W;
+  std::thread Leader([&] {
+    serve::Response R = D.roundTrip(Heavy);
+    EXPECT_TRUE(R.Ok) << R.Message;
+  });
+
+  // ...wait (via the always-admitted stats kind) until it is admitted,
+  // then a *different* request must be rejected with the typed error.
+  while (D.gaugeValue("serve.active") == 0)
+    std::this_thread::yield();
+
+  serve::Response R = D.roundTrip(smallSweep());
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Code, "saturated");
+  EXPECT_GE(D.counter("serve.rejected_saturated"), 1u);
+
+  Leader.join();
+
+  // With the slot free again the same request computes fine.
+  R = D.roundTrip(smallSweep());
+  EXPECT_TRUE(R.Ok) << R.Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Drain
+//===----------------------------------------------------------------------===//
+
+TEST(ServeDaemon, DrainRejectsNewWorkAndExitsCleanly) {
+  ScopedTempDir Dir("jrpm-serve");
+  ASSERT_TRUE(Dir.valid());
+  TestDaemon D(Dir);
+
+  serve::Client C;
+  serve::Response R;
+  std::string Err;
+  ASSERT_TRUE(C.connect(D.S->config().SocketPath, &Err)) << Err;
+
+  Json Ping = Json::object();
+  Ping["kind"] = "ping";
+  ASSERT_TRUE(C.request(Ping, R, &Err)) << Err;
+  EXPECT_TRUE(R.Ok);
+
+  D.S->requestStop();
+  D.S->waitForStop();
+
+  // The live connection still answers, but compute kinds are refused with
+  // the draining error; monitoring kinds stay available.
+  ASSERT_TRUE(C.request(smallSweep(), R, &Err)) << Err;
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Code, "draining");
+  ASSERT_TRUE(C.request(Ping, R, &Err)) << Err;
+  EXPECT_TRUE(R.Ok);
+
+  C.close();
+  D.S->drain(); // joins everything; double-drain via dtor is a no-op
+}
+
+//===----------------------------------------------------------------------===//
+// Store-backed restart
+//===----------------------------------------------------------------------===//
+
+TEST(ServeDaemon, ArtifactsSurviveDaemonRestart) {
+  ScopedTempDir Dir("jrpm-serve");
+  ASSERT_TRUE(Dir.valid());
+
+  std::string FirstPayload, FirstDigest;
+  {
+    TestDaemon D(Dir);
+    serve::Response R = D.roundTrip(smallSweep());
+    ASSERT_TRUE(R.Ok) << R.Message;
+    EXPECT_EQ(R.Cache, "miss");
+    FirstPayload = R.Payload;
+    FirstDigest = R.Digest;
+  } // drained & destroyed
+
+  TestDaemon D2(Dir);
+  serve::Response R = D2.roundTrip(smallSweep());
+  ASSERT_TRUE(R.Ok) << R.Message;
+  EXPECT_EQ(R.Cache, "hit"); // served straight from the on-disk store
+  EXPECT_EQ(R.Digest, FirstDigest);
+  EXPECT_EQ(R.Payload, FirstPayload);
+  EXPECT_EQ(D2.counter("serve.computed"), 0u);
+}
+
+} // namespace

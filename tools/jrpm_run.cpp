@@ -29,6 +29,7 @@
 #include "jrpm/Pipeline.h"
 #include "metrics/Metrics.h"
 #include "metrics/Timeline.h"
+#include "support/AtomicFile.h"
 #include "support/Format.h"
 #include "support/Table.h"
 #include "trace/Dump.h"

@@ -1,0 +1,350 @@
+//===- tools/jrpm_serve.cpp - Persistent analysis daemon & client ----------==//
+//
+// Usage:
+//   jrpm-serve serve --socket <path> --store <dir> [--threads N]
+//                    [--max-active N]
+//       Run the analysis daemon in the foreground: accept requests on the
+//       Unix-domain socket, serve results from the content-addressed
+//       artifact store under <dir>, compute misses on a shared
+//       work-stealing pool. SIGTERM/SIGINT drain gracefully: in-flight
+//       work completes and persists, then the daemon exits 0.
+//   jrpm-serve submit --socket <path> (--json <request> | [flags])
+//                    [-o <file>] [--quiet]
+//       Send one request and print the payload to stdout (or -o, written
+//       atomically). Without --json the request is assembled from
+//       --kind sweep|analyze|replay (default sweep), --workloads a,b,
+//       --levels base,optimized, --config <point> (repeatable),
+//       --workload <name>, --level <name>, --mode pipeline|conformance,
+//       --seed N, --timeout-ms N. The response's digest and cache
+//       disposition (hit/miss/join) are reported on stderr.
+//   jrpm-serve status --socket <path>
+//       Ping the daemon; prints its worker-thread count.
+//   jrpm-serve stats --socket <path> [-o <file>]
+//       Fetch the daemon's metrics document (jrpm-metrics-v1; readable by
+//       `jrpm-metrics show`).
+//
+// Exit codes: 0 success, 1 request/transport failure, 2 bad invocation
+// (usage on stderr).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+#include "serve/Server.h"
+#include "support/AtomicFile.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+
+using namespace jrpm;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: jrpm-serve serve --socket <path> --store <dir> [--threads N]\n"
+      "                        [--max-active N]\n"
+      "       jrpm-serve submit --socket <path> (--json <request> |\n"
+      "                        [--kind sweep|analyze|replay]\n"
+      "                        [--workloads a,b,...] [--levels a,b]\n"
+      "                        [--config <point>]... [--workload <name>]\n"
+      "                        [--level <name>] [--mode <mode>] [--seed N]\n"
+      "                        [--timeout-ms N]) [-o <file>] [--quiet]\n"
+      "       jrpm-serve status --socket <path>\n"
+      "       jrpm-serve stats --socket <path> [-o <file>]\n");
+  return 2;
+}
+
+std::vector<std::string> splitCommas(const std::string &S) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == ',') {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur.push_back(C);
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}
+
+serve::Server *SignalTarget = nullptr;
+
+void onStopSignal(int) {
+  // requestStop is async-signal-safe by contract (atomic store + pipe
+  // write); everything else happens on the main thread after waitForStop.
+  if (SignalTarget)
+    SignalTarget->requestStop();
+}
+
+int cmdServe(const std::vector<std::string> &Args) {
+  serve::ServerConfig Cfg;
+  for (std::size_t I = 0; I < Args.size(); ++I) {
+    const std::string &A = Args[I];
+    auto Next = [&]() -> const std::string * {
+      return I + 1 < Args.size() ? &Args[++I] : nullptr;
+    };
+    const std::string *V;
+    if (A == "--socket" && (V = Next()))
+      Cfg.SocketPath = *V;
+    else if (A == "--store" && (V = Next()))
+      Cfg.StoreDir = *V;
+    else if (A == "--threads" && (V = Next()))
+      Cfg.Threads = static_cast<unsigned>(std::strtoul(V->c_str(), nullptr, 10));
+    else if (A == "--max-active" && (V = Next()))
+      Cfg.MaxActive =
+          static_cast<unsigned>(std::strtoul(V->c_str(), nullptr, 10));
+    else
+      return usage();
+  }
+  if (Cfg.SocketPath.empty() || Cfg.StoreDir.empty() || Cfg.MaxActive == 0)
+    return usage();
+
+  serve::Server S(Cfg);
+  std::string Err;
+  if (!S.start(&Err)) {
+    std::fprintf(stderr, "jrpm-serve: %s\n", Err.c_str());
+    return 1;
+  }
+
+  SignalTarget = &S;
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onStopSignal;
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+
+  std::printf("jrpm-serve: listening on %s (store %s)\n",
+              Cfg.SocketPath.c_str(), Cfg.StoreDir.c_str());
+  std::fflush(stdout);
+
+  S.waitForStop();
+  S.drain();
+  SignalTarget = nullptr;
+  std::printf("jrpm-serve: drained\n");
+  return 0;
+}
+
+/// Assembles a request document from submit's convenience flags.
+bool buildRequest(const std::string &Kind,
+                  const std::vector<std::string> &Workloads,
+                  const std::vector<std::string> &Levels,
+                  const std::vector<std::string> &Configs,
+                  const std::string &Workload, const std::string &Level,
+                  const std::string &Mode, const std::string &Seed,
+                  const std::string &TimeoutMs, Json &Out) {
+  Out = Json::object();
+  Out["kind"] = Kind;
+  if (Kind == "sweep") {
+    if (!Workload.empty() || !Level.empty())
+      return false; // those are analyze/replay spellings
+    Json W = Json::array(), L = Json::array(), C = Json::array();
+    for (const std::string &S : Workloads)
+      W.push(S);
+    for (const std::string &S : Levels)
+      L.push(S);
+    for (const std::string &S : Configs)
+      C.push(S);
+    Out["workloads"] = W;
+    Out["levels"] = L;
+    Out["configs"] = C;
+    if (!Mode.empty())
+      Out["mode"] = Mode;
+    if (!Seed.empty())
+      Out["seed"] = static_cast<std::uint64_t>(
+          std::strtoull(Seed.c_str(), nullptr, 10));
+    if (!TimeoutMs.empty())
+      Out["timeout_ms"] = static_cast<std::uint64_t>(
+          std::strtoull(TimeoutMs.c_str(), nullptr, 10));
+    return true;
+  }
+  if (Kind == "analyze" || Kind == "replay") {
+    if (Workload.empty() || !Workloads.empty() || !Levels.empty() ||
+        !Mode.empty() || !Seed.empty() || Configs.size() > 1)
+      return false;
+    Out["workload"] = Workload;
+    if (!Level.empty())
+      Out["level"] = Level;
+    if (!Configs.empty())
+      Out["config"] = Configs.front();
+    if (Kind == "analyze" && !TimeoutMs.empty())
+      Out["timeout_ms"] = static_cast<std::uint64_t>(
+          std::strtoull(TimeoutMs.c_str(), nullptr, 10));
+    return true;
+  }
+  return false;
+}
+
+/// Writes \p Payload to \p OutPath (atomically) or stdout.
+bool emitPayload(const std::string &Payload, const std::string &OutPath) {
+  if (OutPath.empty()) {
+    std::fwrite(Payload.data(), 1, Payload.size(), stdout);
+    return true;
+  }
+  std::string Err;
+  if (!writeFileAtomic(OutPath, Payload, &Err)) {
+    std::fprintf(stderr, "jrpm-serve: %s\n", Err.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmdSubmit(const std::vector<std::string> &Args) {
+  std::string Socket, RawJson, Kind = "sweep", Workload, Level, Mode, Seed;
+  std::string TimeoutMs, OutPath;
+  std::vector<std::string> Workloads, Levels, Configs;
+  bool Quiet = false;
+  for (std::size_t I = 0; I < Args.size(); ++I) {
+    const std::string &A = Args[I];
+    auto Next = [&]() -> const std::string * {
+      return I + 1 < Args.size() ? &Args[++I] : nullptr;
+    };
+    const std::string *V;
+    if (A == "--socket" && (V = Next()))
+      Socket = *V;
+    else if (A == "--json" && (V = Next()))
+      RawJson = *V;
+    else if (A == "--kind" && (V = Next()))
+      Kind = *V;
+    else if (A == "--workloads" && (V = Next()))
+      Workloads = splitCommas(*V);
+    else if (A == "--levels" && (V = Next()))
+      Levels = splitCommas(*V);
+    else if (A == "--config" && (V = Next()))
+      Configs.push_back(*V);
+    else if (A == "--workload" && (V = Next()))
+      Workload = *V;
+    else if (A == "--level" && (V = Next()))
+      Level = *V;
+    else if (A == "--mode" && (V = Next()))
+      Mode = *V;
+    else if (A == "--seed" && (V = Next()))
+      Seed = *V;
+    else if (A == "--timeout-ms" && (V = Next()))
+      TimeoutMs = *V;
+    else if (A == "-o" && (V = Next()))
+      OutPath = *V;
+    else if (A == "--quiet")
+      Quiet = true;
+    else
+      return usage();
+  }
+  if (Socket.empty())
+    return usage();
+
+  Json Request;
+  if (!RawJson.empty()) {
+    std::string Err;
+    if (!Json::parse(RawJson, Request, &Err)) {
+      std::fprintf(stderr, "jrpm-serve: --json: %s\n", Err.c_str());
+      return 2;
+    }
+  } else if (!buildRequest(Kind, Workloads, Levels, Configs, Workload, Level,
+                           Mode, Seed, TimeoutMs, Request)) {
+    return usage();
+  }
+
+  serve::Client C;
+  serve::Response R;
+  std::string Err;
+  if (!C.connect(Socket, &Err) || !C.request(Request, R, &Err)) {
+    std::fprintf(stderr, "jrpm-serve: %s\n", Err.c_str());
+    return 1;
+  }
+  if (!R.Ok) {
+    std::fprintf(stderr, "jrpm-serve: %s: %s\n", R.Code.c_str(),
+                 R.Message.c_str());
+    return 1;
+  }
+  if (!Quiet)
+    std::fprintf(stderr, "jrpm-serve: digest %s cache %s bytes %zu\n",
+                 R.Digest.c_str(), R.Cache.c_str(), R.Payload.size());
+  return emitPayload(R.Payload, OutPath) ? 0 : 1;
+}
+
+int cmdStatus(const std::string &Socket) {
+  serve::Client C;
+  serve::Response R;
+  std::string Err;
+  Json Ping = Json::object();
+  Ping["kind"] = "ping";
+  if (!C.connect(Socket, &Err) || !C.request(Ping, R, &Err)) {
+    std::fprintf(stderr, "jrpm-serve: %s\n", Err.c_str());
+    return 1;
+  }
+  if (!R.Ok) {
+    std::fprintf(stderr, "jrpm-serve: %s: %s\n", R.Code.c_str(),
+                 R.Message.c_str());
+    return 1;
+  }
+  Json D;
+  std::string ParseErr;
+  std::uint64_t Threads = 0;
+  if (Json::parse(R.Payload, D, &ParseErr))
+    if (const Json *T = D.find("threads"))
+      Threads = T->asUint();
+  std::printf("jrpm-serve: up (%llu worker threads)\n",
+              (unsigned long long)Threads);
+  return 0;
+}
+
+int cmdStats(const std::string &Socket, const std::string &OutPath) {
+  serve::Client C;
+  serve::Response R;
+  std::string Err;
+  Json Stats = Json::object();
+  Stats["kind"] = "stats";
+  if (!C.connect(Socket, &Err) || !C.request(Stats, R, &Err)) {
+    std::fprintf(stderr, "jrpm-serve: %s\n", Err.c_str());
+    return 1;
+  }
+  if (!R.Ok) {
+    std::fprintf(stderr, "jrpm-serve: %s: %s\n", R.Code.c_str(),
+                 R.Message.c_str());
+    return 1;
+  }
+  return emitPayload(R.Payload, OutPath) ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // A client vanishing mid-response must surface as EPIPE, not kill us.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (Argc < 2)
+    return usage();
+  std::string Cmd = Argv[1];
+  std::vector<std::string> Args(Argv + 2, Argv + Argc);
+
+  if (Cmd == "serve")
+    return cmdServe(Args);
+  if (Cmd == "submit")
+    return cmdSubmit(Args);
+  if (Cmd == "status" || Cmd == "stats") {
+    std::string Socket, OutPath;
+    for (std::size_t I = 0; I < Args.size(); ++I) {
+      const std::string &A = Args[I];
+      if (A == "--socket" && I + 1 < Args.size())
+        Socket = Args[++I];
+      else if (Cmd == "stats" && A == "-o" && I + 1 < Args.size())
+        OutPath = Args[++I];
+      else
+        return usage();
+    }
+    if (Socket.empty())
+      return usage();
+    return Cmd == "status" ? cmdStatus(Socket) : cmdStats(Socket, OutPath);
+  }
+  return usage();
+}

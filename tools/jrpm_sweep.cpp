@@ -35,6 +35,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/AtomicFile.h"
 #include "support/Format.h"
 #include "support/Table.h"
 #include "sweep/Conformance.h"
