@@ -1,11 +1,15 @@
 //===- bench/bench_static_vs_test.cpp - Static analysis vs dynamic TEST ----==//
 //
 // Precision/recall conformance harness for the static speculation stack
-// against the dynamic TEST tracer, over three corpora:
+// against the dynamic TEST tracer, over four corpora:
 //
 //   * the full 26-workload registry,
-//   * a seeded pseudo-random program corpus (>= 200 programs), and
-//   * synthetic programs built around the shapes the static rules target.
+//   * a seeded pseudo-random program corpus (>= 200 programs),
+//   * synthetic programs built around the shapes the static rules target,
+//     and
+//   * the template-extracted variant corpus (src/corpus): every registry
+//     template instantiated at 25 seeds, >= 2000 variants, scored per
+//     family.
 //
 // Two static modes are scored. The PR1 pre-filter recognises one shape —
 // an invariant-addressed latch store reloaded by the header. The affine
@@ -23,9 +27,11 @@
 #include "BenchUtil.h"
 #include "RandomProgram.h"
 #include "analysis/Candidates.h"
+#include "corpus/Variant.h"
 #include "frontend/Ast.h"
 #include "frontend/Lower.h"
 
+#include <map>
 #include <set>
 
 using namespace jrpm;
@@ -321,12 +327,61 @@ int main() {
               "arc, inside the same budget.\n");
 
   //===------------------------------------------------------------------===//
+  // Corpus 4: template-extracted variants (pooled, preassigned slots).
+  //===------------------------------------------------------------------===//
+  std::vector<corpus::Template> Templates = corpus::extractRegistryTemplates();
+  constexpr std::uint32_t VariantsPerTemplate = 25;
+  const std::size_t NumVariants = Templates.size() * VariantsPerTemplate;
+  std::vector<ProgramStats> CorpStats(NumVariants);
+  std::vector<std::function<void()>> CorpJobs;
+  for (std::size_t Ti = 0; Ti < Templates.size(); ++Ti)
+    for (std::uint32_t S = 0; S < VariantsPerTemplate; ++S)
+      CorpJobs.push_back([&CorpStats, &Templates, Ti, S]() {
+        corpus::Variant V = corpus::instantiate(Templates[Ti], 1 + S);
+        CorpStats[Ti * VariantsPerTemplate + S] =
+            compare(V.Module, /*Profiled=*/false);
+      });
+  runOnPool(CorpJobs);
+
+  std::printf("\n== Template-extracted variant corpus (%zu variants, %zu "
+              "templates x %u seeds) ==\n\n",
+              NumVariants, Templates.size(), VariantsPerTemplate);
+  struct FamilyAgg {
+    std::uint32_t Variants = 0;
+    ProgramStats Stats;
+  };
+  std::map<std::string, FamilyAgg> Families;
+  for (std::size_t Ti = 0; Ti < Templates.size(); ++Ti) {
+    FamilyAgg &F = Families[Templates[Ti].Family];
+    for (std::uint32_t S = 0; S < VariantsPerTemplate; ++S) {
+      ++F.Variants;
+      F.Stats.add(CorpStats[Ti * VariantsPerTemplate + S]);
+    }
+  }
+  TextTable CT;
+  CT.setHeader({"Family", "variants", "loops", "dyn sel", "pre rej",
+                "orc rej", "false rej"});
+  ProgramStats Corpus;
+  for (const auto &[Family, F] : Families) {
+    Corpus.add(F.Stats);
+    CT.addRow({Family, formatString("%u", F.Variants),
+               formatString("%u", F.Stats.Loops),
+               formatString("%u", F.Stats.DynSelected),
+               formatString("%u", F.Stats.Pre.Rejected),
+               formatString("%u", F.Stats.Orc.Rejected),
+               formatString("%u", F.Stats.Pre.FalseRejections +
+                                      F.Stats.Orc.FalseRejections)});
+  }
+  CT.print();
+
+  //===------------------------------------------------------------------===//
   // Conformance scorecard and hard gates.
   //===------------------------------------------------------------------===//
   ProgramStats Total;
   Total.add(Registry);
   Total.add(Random);
   Total.add(Synth);
+  Total.add(Corpus);
 
   std::printf("\n== Conformance vs dynamic TEST (ground truth: loop not "
               "selected) ==\n\n");
@@ -334,6 +389,8 @@ int main() {
   printModeSummary(formatString("random corpus (%zu)", NumRandom).c_str(),
                    Random);
   printModeSummary("synthetics", Synth);
+  printModeSummary(
+      formatString("variant corpus (%zu)", NumVariants).c_str(), Corpus);
   printModeSummary("total", Total);
 
   std::printf("\n%-10s precision %-5s recall %-5s (of %u dynamically "
@@ -359,13 +416,16 @@ int main() {
   bool ZeroFalse =
       Total.Pre.FalseRejections == 0 && Total.Orc.FalseRejections == 0;
   bool StrictGain = Total.Orc.TrueRejections > Total.Pre.TrueRejections;
+  bool CorpusScale = NumVariants >= 2000;
   bool Pass = ZeroFalse && StrictGain && SyntheticOk &&
-              GuardedOracleOnly > 0 && SlotsIdentical;
+              GuardedOracleOnly > 0 && SlotsIdentical && CorpusScale;
   std::printf("\n%s: %u false rejection(s); oracle true rejections %u vs "
-              "prefilter %u (%s); %u oracle-only shapes.\n",
+              "prefilter %u (%s); %u oracle-only shapes; %zu corpus "
+              "variants.\n",
               Pass ? "PASS" : "FAIL",
               Total.Pre.FalseRejections + Total.Orc.FalseRejections,
               Total.Orc.TrueRejections, Total.Pre.TrueRejections,
-              StrictGain ? "strictly more" : "NO GAIN", GuardedOracleOnly);
+              StrictGain ? "strictly more" : "NO GAIN", GuardedOracleOnly,
+              NumVariants);
   return Pass ? 0 : 1;
 }

@@ -6,11 +6,12 @@
 # Usage (how the tier-1 ctest invokes it — see tools/CMakeLists.txt):
 #   scripts/ci_cli_usage.sh --run-bin <jrpm-run> --trace-bin <jrpm-trace> \
 #     --sweep-bin <jrpm-sweep> --lint-bin <jrpm-lint> \
-#     --metrics-bin <jrpm-metrics> --serve-bin <jrpm-serve>
+#     --metrics-bin <jrpm-metrics> --serve-bin <jrpm-serve> \
+#     --corpus-bin <jrpm-corpus>
 
 set -uo pipefail
 
-RUN_BIN=""; TRACE_BIN=""; SWEEP_BIN=""; LINT_BIN=""; METRICS_BIN=""; SERVE_BIN=""
+RUN_BIN=""; TRACE_BIN=""; SWEEP_BIN=""; LINT_BIN=""; METRICS_BIN=""; SERVE_BIN=""; CORPUS_BIN=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --run-bin) RUN_BIN="$2"; shift 2 ;;
@@ -19,11 +20,12 @@ while [[ $# -gt 0 ]]; do
     --lint-bin) LINT_BIN="$2"; shift 2 ;;
     --metrics-bin) METRICS_BIN="$2"; shift 2 ;;
     --serve-bin) SERVE_BIN="$2"; shift 2 ;;
+    --corpus-bin) CORPUS_BIN="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
 
-for V in RUN_BIN TRACE_BIN SWEEP_BIN LINT_BIN METRICS_BIN SERVE_BIN; do
+for V in RUN_BIN TRACE_BIN SWEEP_BIN LINT_BIN METRICS_BIN SERVE_BIN CORPUS_BIN; do
   if [[ -z "${!V}" ]]; then
     echo "missing --$(echo "${V%_BIN}" | tr 'A-Z' 'a-z')-bin" >&2
     exit 2
@@ -108,5 +110,15 @@ expect_usage "serve: submit mixed kinds" \
 expect_usage "serve: status no socket" "${SERVE_BIN}" status
 expect_usage "serve: status with junk" "${SERVE_BIN}" status --socket a.sock extra
 expect_usage "serve: stats bad option" "${SERVE_BIN}" stats --socket a.sock -x
+
+# jrpm-corpus
+expect_usage "corpus: no args"          "${CORPUS_BIN}"
+expect_usage "corpus: bad subcommand"   "${CORPUS_BIN}" mutate
+expect_usage "corpus: unknown option"   "${CORPUS_BIN}" run --bogus
+expect_usage "corpus: missing value"    "${CORPUS_BIN}" run --seed
+expect_usage "corpus: generate no tmpl" "${CORPUS_BIN}" generate
+expect_usage "corpus: generate count 0" "${CORPUS_BIN}" generate --template x --count 0
+expect_usage "corpus: shrink no repro"  "${CORPUS_BIN}" shrink
+expect_usage "corpus: stats with junk"  "${CORPUS_BIN}" stats extra
 
 exit "${STATUS}"

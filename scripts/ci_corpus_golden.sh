@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Golden-corpus JSON gate.
+#
+# Runs a fixed small corpus sweep (three workloads' templates, four seeds
+# per template) and compares the report byte-for-byte against the
+# committed golden file, once with a single worker thread and once with
+# four: any schema drift, key reordering, digest change (a generator or
+# extractor behavior change), or thread-count dependence in the report
+# fails the check.
+#
+# With JRPM_CORPUS_FULL=1 the gate additionally runs the full-scale corpus
+# (the whole registry, 25 seeds per template — >= 2000 variants) on 1 and
+# 4 threads and requires those two reports to be byte-identical too. The
+# full sweep takes tens of seconds, so tier-1 keeps it behind the knob.
+#
+# Usage:
+#   scripts/ci_corpus_golden.sh                    # configure+build, then check
+#   scripts/ci_corpus_golden.sh --bin <jrpm-corpus> --golden <file>
+#
+# The second form is how the tier-1 ctest suite invokes it (see
+# tools/CMakeLists.txt). To regenerate the golden file after an intentional
+# schema or generator change:
+#   build/tools/jrpm-corpus run --workloads BitOps,fft,compress \
+#     --variants-per-template 4 --seed 3 --quiet \
+#     -o tests/golden/corpus_small.json
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+GOLDEN="${ROOT}/tests/golden/corpus_small.json"
+
+BIN=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --bin) BIN="$2"; shift 2 ;;
+    --golden) GOLDEN="$2"; shift 2 ;;
+    *) break ;;
+  esac
+done
+
+if [[ -z "${BIN}" ]]; then
+  BUILD="${ROOT}/build"
+  JOBS="$(nproc 2>/dev/null || echo 4)"
+  cmake -B "${BUILD}" -S "${ROOT}" "$@"
+  cmake --build "${BUILD}" -j"${JOBS}" --target jrpm-corpus
+  BIN="${BUILD}/tools/jrpm-corpus"
+fi
+
+TMP="$(mktemp -d "${TMPDIR:-/tmp}/jrpm-corpus-golden.XXXXXX")"
+trap 'rm -rf "${TMP}"' EXIT
+
+STATUS=0
+for THREADS in 1 4; do
+  OUT="${TMP}/corpus.t${THREADS}.json"
+  "${BIN}" run --workloads BitOps,fft,compress --variants-per-template 4 \
+    --seed 3 --threads "${THREADS}" --quiet -o "${OUT}" > /dev/null
+  if cmp -s "${GOLDEN}" "${OUT}"; then
+    echo "golden-corpus: ${THREADS}-thread report matches"
+  else
+    echo "golden-corpus: ${THREADS}-thread report DIFFERS from golden" >&2
+    diff -u "${GOLDEN}" "${OUT}" >&2 || true
+    STATUS=1
+  fi
+done
+
+if [[ "${JRPM_CORPUS_FULL:-0}" == "1" ]]; then
+  FULL1="${TMP}/full.t1.json"
+  FULL4="${TMP}/full.t4.json"
+  "${BIN}" run --variants-per-template 25 --seed 1 --threads 1 --quiet \
+    -o "${FULL1}" > /dev/null
+  "${BIN}" run --variants-per-template 25 --seed 1 --threads 4 --quiet \
+    -o "${FULL4}" > /dev/null
+  if cmp -s "${FULL1}" "${FULL4}"; then
+    echo "golden-corpus: full-scale 1-vs-4-thread reports identical"
+  else
+    echo "golden-corpus: full-scale reports DIFFER across threads" >&2
+    diff -u "${FULL1}" "${FULL4}" >&2 || true
+    STATUS=1
+  fi
+fi
+
+exit "${STATUS}"

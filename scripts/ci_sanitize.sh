@@ -4,9 +4,10 @@
 # Usage: scripts/ci_sanitize.sh [extra cmake args...]
 #
 # Configures a dedicated build tree with -DJRPM_SANITIZE=ON (see the option
-# in the top-level CMakeLists.txt), builds everything, and runs ctest.
-# Sanitizer failures are fatal (-fno-sanitize-recover=all), so any report
-# fails the suite.
+# in the top-level CMakeLists.txt), builds everything, and runs ctest —
+# the full tier-1 suite, which includes the Corpus* template-corpus suites
+# and the corpus golden gate. Sanitizer failures are fatal
+# (-fno-sanitize-recover=all), so any report fails the suite.
 
 set -euo pipefail
 

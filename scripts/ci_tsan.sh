@@ -7,10 +7,11 @@
 # the top-level CMakeLists.txt; mutually exclusive with JRPM_SANITIZE),
 # builds everything, and runs the concurrency-focused subset of ctest: the
 # Sweep* suites (thread pool, plan runner, determinism), the concurrent
-# fuzz harness that dispatches generated programs across the pool, and the
-# Serve* suites (daemon single-flight dedup, saturation, drain). TSan
-# reports are fatal (-fno-sanitize-recover=all), so any data race fails
-# the suite.
+# fuzz harness that dispatches generated programs across the pool, the
+# Corpus* suites (template corpus sweeps on the pool, 1-vs-N thread report
+# identity), and the Serve* suites (daemon single-flight dedup, saturation,
+# drain). TSan reports are fatal (-fno-sanitize-recover=all), so any data
+# race fails the suite.
 
 set -euo pipefail
 
@@ -21,4 +22,4 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 cmake -B "${BUILD}" -S "${ROOT}" -DJRPM_TSAN=ON "$@"
 cmake --build "${BUILD}" -j"${JOBS}"
 ctest --test-dir "${BUILD}" --output-on-failure -j"${JOBS}" \
-  -R 'Sweep|Concurrent|Interleaved|Serve'
+  -R 'Sweep|Concurrent|Interleaved|Serve|Corpus'

@@ -1,0 +1,93 @@
+//===- corpus/Shrink.cpp ---------------------------------------------------==//
+
+#include "corpus/Shrink.h"
+
+using namespace jrpm;
+using namespace jrpm::corpus;
+
+Json ShrinkResult::toJson() const {
+  Json J = Json::object();
+  J["minimized"] = Minimized.toJson();
+  J["steps"] = Steps;
+  J["evaluations"] = Evaluations;
+  J["still_failing"] = StillFailing;
+  return J;
+}
+
+namespace {
+
+/// Canonicalizes \p Spec against \p T: every template hole present exactly
+/// once, clamped, in template order. Extra holes are dropped. This is the
+/// domain the shrinker walks, so weight comparisons are meaningful.
+VariantSpec canonicalize(const Template &T, const VariantSpec &Spec) {
+  VariantSpec Out;
+  Out.TemplateId = Spec.TemplateId.empty() ? T.Id : Spec.TemplateId;
+  Out.Seed = Spec.Seed;
+  for (const Hole &H : T.Holes)
+    Out.Holes.push_back({H.Name, H.clamp(Spec.valueOf(H.Name, H.Observed))});
+  return Out;
+}
+
+} // namespace
+
+ShrinkResult corpus::shrinkVariant(const Template &T,
+                                   const VariantSpec &Failing,
+                                   const OracleConfig &Cfg) {
+  ShrinkResult R;
+  VariantSpec Cur = canonicalize(T, Failing);
+
+  auto Evaluate = [&](const VariantSpec &Spec) {
+    ++R.Evaluations;
+    return runOracles(T, instantiate(T, Spec), Cfg);
+  };
+
+  OracleOutcome CurOutcome = Evaluate(Cur);
+  if (CurOutcome.Passed) {
+    R.Minimized = Cur;
+    R.Outcome = std::move(CurOutcome);
+    R.StillFailing = false;
+    return R;
+  }
+
+  // Greedy hole-wise descent to a fixpoint. For each hole, candidates in
+  // decreasing ambition: the minimum, the midpoint toward it, one step
+  // down. Accepting any of them strictly decreases the weight, so the
+  // loop terminates without further bookkeeping.
+  bool Improved = true;
+  while (Improved && R.Evaluations < MaxShrinkEvaluations) {
+    Improved = false;
+    for (std::size_t I = 0; I < T.Holes.size(); ++I) {
+      const Hole &H = T.Holes[I];
+      bool HoleImproved = true;
+      while (HoleImproved && R.Evaluations < MaxShrinkEvaluations) {
+        HoleImproved = false;
+        std::int64_t V = Cur.Holes[I].Value;
+        if (V <= H.Min)
+          break;
+        const std::int64_t Candidates[3] = {H.Min, (V + H.Min) / 2, V - 1};
+        for (std::int64_t C : Candidates) {
+          if (C >= V || C < H.Min)
+            continue;
+          VariantSpec Next = Cur;
+          Next.Holes[I].Value = C;
+          OracleOutcome O = Evaluate(Next);
+          if (!O.Passed) {
+            Cur = std::move(Next);
+            CurOutcome = std::move(O);
+            ++R.Steps;
+            HoleImproved = true;
+            Improved = true;
+            break;
+          }
+          if (R.Evaluations >= MaxShrinkEvaluations)
+            break;
+        }
+      }
+    }
+  }
+
+  R.Minimized = std::move(Cur);
+  R.Outcome = std::move(CurOutcome);
+  R.StillFailing = true;
+  return R;
+}

@@ -1,0 +1,57 @@
+//===- corpus/Shrink.h - Hole-wise minimization of failing variants --------==//
+//
+// When an oracle flags a variant, the shrinker reduces it to a smallest
+// failing assignment by delta debugging over the template's holes: for
+// each hole it tries jumping straight to the minimum, then halving toward
+// it, then single steps, keeping any candidate that still fails, and
+// repeats to a fixpoint. The metric is VariantSpec::weight — the total
+// distance of all holes from their template minima — which every accepted
+// step strictly decreases, so termination is structural.
+//
+// Shrinking is a pure function of (template, spec, oracle config): the
+// minimized repro is as deterministic as the corpus itself, and the
+// emitted `.jrpm` document carries the explicit hole assignment alongside
+// the original {template_id, seed} provenance.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_CORPUS_SHRINK_H
+#define JRPM_CORPUS_SHRINK_H
+
+#include "corpus/Oracles.h"
+
+#include <cstdint>
+
+namespace jrpm {
+namespace corpus {
+
+struct ShrinkResult {
+  /// Smallest failing assignment found (== the input when no smaller
+  /// failing neighbor exists, or when the input did not fail at all).
+  VariantSpec Minimized;
+  /// Oracle outcome at Minimized.
+  OracleOutcome Outcome;
+  /// Accepted shrink steps (each strictly decreased the weight).
+  std::uint32_t Steps = 0;
+  /// Oracle evaluations spent (the shrink cost).
+  std::uint32_t Evaluations = 0;
+  /// True when Minimized still fails the oracles (the normal case; false
+  /// means the input itself passed and there was nothing to shrink).
+  bool StillFailing = false;
+
+  Json toJson() const;
+};
+
+/// Evaluation budget: delta debugging over <= 10 holes with ranges this
+/// size converges in far fewer, so hitting the cap indicates a flapping
+/// (non-deterministic) oracle and the shrinker stops with the best-so-far.
+inline constexpr std::uint32_t MaxShrinkEvaluations = 256;
+
+/// Minimizes \p Failing against the oracle stack.
+ShrinkResult shrinkVariant(const Template &T, const VariantSpec &Failing,
+                           const OracleConfig &Cfg);
+
+} // namespace corpus
+} // namespace jrpm
+
+#endif // JRPM_CORPUS_SHRINK_H

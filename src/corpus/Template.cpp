@@ -1,0 +1,278 @@
+//===- corpus/Template.cpp -------------------------------------------------==//
+
+#include "corpus/Template.h"
+
+#include "analysis/Candidates.h"
+#include "workloads/Workload.h"
+
+#include <cassert>
+
+using namespace jrpm;
+using namespace jrpm::corpus;
+
+const char *corpus::holeKindName(HoleKind K) {
+  switch (K) {
+  case HoleKind::TripCount:
+    return "trip-count";
+  case HoleKind::ArraySizeLog2:
+    return "array-size-log2";
+  case HoleKind::Stride:
+    return "stride";
+  case HoleKind::DepDistance:
+    return "dep-distance";
+  case HoleKind::GuardPeriod:
+    return "guard-period";
+  case HoleKind::MixConst:
+    return "mix-const";
+  case HoleKind::ExtraStmts:
+    return "extra-stmts";
+  }
+  return "unknown";
+}
+
+bool corpus::holeKindFromName(const std::string &Name, HoleKind &Out) {
+  for (HoleKind K : AllHoleKinds)
+    if (Name == holeKindName(K)) {
+      Out = K;
+      return true;
+    }
+  return false;
+}
+
+std::int64_t Hole::pick(Prng &Rng) const {
+  assert(Max >= Min && "malformed hole range");
+  std::uint64_t Span = static_cast<std::uint64_t>(Max - Min) + 1;
+  return Min + static_cast<std::int64_t>(Rng.nextBelow(Span));
+}
+
+std::int64_t Hole::clamp(std::int64_t V) const {
+  if (V < Min)
+    return Min;
+  if (V > Max)
+    return Max;
+  return V;
+}
+
+const std::vector<std::string> &corpus::templateFamilies() {
+  static const std::vector<std::string> Families = {
+      "serial-walk",  "guarded-recurrence", "may-recurrence", "reduction",
+      "call-mix",     "loop-nest",          "affine-stride",  "scalar-chain",
+  };
+  return Families;
+}
+
+Json Template::toJson() const {
+  Json J = Json::object();
+  J["id"] = Id;
+  J["family"] = Family;
+  J["source_loop_id"] = SourceLoopId;
+  J["source_loops"] = SourceLoops;
+  Json F = Json::object();
+  F["depth"] = Features.Depth;
+  F["loads"] = Features.NumLoads;
+  F["stores"] = Features.NumStores;
+  F["has_call"] = Features.HasCall;
+  F["has_guard"] = Features.HasGuard;
+  F["has_carried_scalar"] = Features.HasCarriedScalar;
+  F["has_mem_recurrence"] = Features.HasMemRecurrence;
+  F["has_reduction"] = Features.HasReduction;
+  F["oracle_verdict"] = Features.OracleVerdict;
+  J["features"] = std::move(F);
+  Json Holes = Json::array();
+  for (const Hole &H : this->Holes) {
+    Json HJ = Json::object();
+    HJ["name"] = H.Name;
+    HJ["kind"] = holeKindName(H.Kind);
+    HJ["min"] = H.Min;
+    HJ["max"] = H.Max;
+    HJ["observed"] = H.Observed;
+    Holes.push(std::move(HJ));
+  }
+  J["holes"] = std::move(Holes);
+  return J;
+}
+
+const Hole *Template::findHole(const std::string &Name) const {
+  for (const Hole &H : Holes)
+    if (H.Name == Name)
+      return &H;
+  return nullptr;
+}
+
+namespace {
+
+Hole makeHole(const char *Name, HoleKind Kind, std::int64_t Min,
+              std::int64_t Max, std::int64_t Observed) {
+  Hole H;
+  H.Name = Name;
+  H.Kind = Kind;
+  H.Min = Min;
+  H.Max = Max;
+  H.Observed = Observed;
+  return H;
+}
+
+/// True when a non-latch block inside \p L branches conditionally to two
+/// in-loop targets: the loop body forks (an if/guard), rather than only
+/// the header/latch deciding exit-vs-iterate.
+bool hasBodyGuard(const ir::Function &F, const analysis::Loop &L) {
+  for (std::uint32_t B : L.Blocks) {
+    bool IsLatch = false;
+    for (std::uint32_t Latch : L.Latches)
+      IsLatch |= Latch == B;
+    if (B == L.Header || IsLatch)
+      continue;
+    const ir::BasicBlock &BB = F.Blocks[B];
+    if (!BB.hasTerminator())
+      continue;
+    const ir::Instruction &T = BB.terminator();
+    if (T.Op != ir::Opcode::CondBr)
+      continue;
+    if (L.contains(static_cast<std::uint32_t>(T.Imm)) &&
+        L.contains(static_cast<std::uint32_t>(T.Imm2)))
+      return true;
+  }
+  return false;
+}
+
+/// Classifies one candidate loop into its template family. Precedence
+/// mirrors templateFamilies(): the most scenario-specific family wins, so
+/// a provably-serial recurrence with a guard lands in guarded-recurrence
+/// even though it also stores to the heap.
+std::string classifyFamily(const TemplateFeatures &Feat) {
+  if (Feat.HasMemRecurrence && Feat.OracleVerdict == "provably-serial")
+    return Feat.HasGuard ? "guarded-recurrence" : "serial-walk";
+  if (Feat.HasMemRecurrence)
+    return "may-recurrence";
+  if (Feat.HasReduction)
+    return "reduction";
+  if (Feat.HasCall)
+    return "call-mix";
+  if (Feat.Depth >= 2)
+    return "loop-nest";
+  if (Feat.NumStores > 0)
+    return "affine-stride";
+  return "scalar-chain";
+}
+
+/// Builds the hole list of one family. Every family carries the common
+/// four holes (trip, array size, mixing constant, filler statements); the
+/// dependence-shaped families add strides, distances, and guard periods
+/// with family-specific validity constraints.
+std::vector<Hole> holesForFamily(const std::string &Family) {
+  std::vector<Hole> H;
+  H.push_back(makeHole("trip", HoleKind::TripCount, 2, 24, 8));
+  H.push_back(makeHole("arr_log2", HoleKind::ArraySizeLog2, 4, 8, 6));
+  H.push_back(makeHole("mix", HoleKind::MixConst, 3, 61, 17));
+  H.push_back(makeHole("extra", HoleKind::ExtraStmts, 0, 3, 1));
+  if (Family == "serial-walk" || Family == "guarded-recurrence") {
+    // The recurrence distance is what makes the family serial: pinned.
+    H.push_back(makeHole("dist", HoleKind::DepDistance, 1, 1, 1));
+  } else if (Family == "may-recurrence" || Family == "affine-stride" ||
+             Family == "reduction" || Family == "loop-nest") {
+    H.push_back(makeHole("stride", HoleKind::Stride, 1, 4, 1));
+    H.push_back(makeHole("dist", HoleKind::DepDistance, 1, 4, 1));
+  }
+  if (Family == "guarded-recurrence")
+    H.push_back(makeHole("guard_log2", HoleKind::GuardPeriod, 1, 3, 2));
+  if (Family == "loop-nest")
+    H.push_back(makeHole("trip_inner", HoleKind::TripCount, 2, 12, 4));
+  if (Family == "call-mix")
+    H.push_back(makeHole("helper_trip", HoleKind::TripCount, 1, 6, 3));
+  return H;
+}
+
+} // namespace
+
+std::vector<Template> corpus::extractTemplates(const std::string &WorkloadName,
+                                               const ir::Module &M) {
+  analysis::AnalysisOptions Opts;
+  Opts.AffineOracle = true;
+  analysis::ModuleAnalysis MA(M, Opts);
+
+  // One representative per family, in first-seen candidate order.
+  std::vector<Template> Out;
+  for (const analysis::CandidateStl &C : MA.candidates()) {
+    const analysis::FunctionAnalysis &FA = MA.func(C.FuncIndex);
+    const analysis::Loop &L = MA.loopOf(C);
+    const analysis::LoopMemDep &D = FA.MemDep->loopDep(C.LoopIdx);
+    const analysis::InductionInfo &S = MA.scalarsOf(C);
+    const ir::Function &F = M.Functions[C.FuncIndex];
+
+    TemplateFeatures Feat;
+    Feat.Depth = L.Children.empty() ? 1 : 2;
+    Feat.NumLoads = D.NumLoads;
+    Feat.NumStores = D.NumStores;
+    Feat.HasCall = D.HasCall;
+    Feat.HasGuard = hasBodyGuard(F, L);
+    Feat.HasCarriedScalar = !S.OtherCarried.empty();
+    Feat.HasMemRecurrence = D.Serial.Found || D.NumRaw > 0;
+    Feat.HasReduction = !S.Reductions.empty();
+    const analysis::LoopOracleResult *O = MA.oracleResult(C.LoopId);
+    Feat.OracleVerdict =
+        analysis::oracleVerdictName(O ? O->Verdict
+                                      : analysis::OracleVerdict::Unknown);
+
+    std::string Family = classifyFamily(Feat);
+    Template *Existing = nullptr;
+    for (Template &T : Out)
+      if (T.Family == Family)
+        Existing = &T;
+    if (Existing) {
+      ++Existing->SourceLoops;
+      continue;
+    }
+
+    Template T;
+    T.Id = WorkloadName + "/" + Family;
+    T.Family = Family;
+    T.SourceLoopId = C.LoopId;
+    T.SourceLoops = 1;
+    T.Features = Feat;
+    T.Holes = holesForFamily(Family);
+    Out.push_back(std::move(T));
+  }
+
+  // Totality: a (hypothetical) loop-free workload still contributes the
+  // scalar-chain shape, so downstream consumers can rely on >= 1 template
+  // per workload.
+  if (Out.empty()) {
+    Template T;
+    T.Id = WorkloadName + "/scalar-chain";
+    T.Family = "scalar-chain";
+    T.SourceLoops = 0;
+    T.Features.OracleVerdict =
+        analysis::oracleVerdictName(analysis::OracleVerdict::Unknown);
+    T.Holes = holesForFamily(T.Family);
+    Out.push_back(std::move(T));
+  }
+  return Out;
+}
+
+std::vector<Template> corpus::extractRegistryTemplates() {
+  std::vector<Template> Out;
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    std::vector<Template> Ts = extractTemplates(W.Name, W.Build());
+    for (Template &T : Ts)
+      Out.push_back(std::move(T));
+  }
+  return Out;
+}
+
+const Template *corpus::findTemplate(const std::vector<Template> &Templates,
+                                     const std::string &Id) {
+  for (const Template &T : Templates)
+    if (T.Id == Id)
+      return &T;
+  return nullptr;
+}
+
+Json corpus::templatesToJson(const std::vector<Template> &Templates) {
+  Json J = Json::object();
+  J["count"] = static_cast<std::uint64_t>(Templates.size());
+  Json Arr = Json::array();
+  for (const Template &T : Templates)
+    Arr.push(T.toJson());
+  J["templates"] = std::move(Arr);
+  return J;
+}

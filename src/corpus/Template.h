@@ -1,0 +1,142 @@
+//===- corpus/Template.h - Loop/dependence templates lifted from the IR ----==//
+//
+// Template extraction in the style of "Java JIT Testing with Template
+// Extraction" (PAPERS.md), applied to the speculative-thread domain: walk
+// each registry workload's lowered IR through the full static stack
+// (LoopInfo / InductionInfo / MemDep / affine oracle) and lift every
+// candidate loop's shape into a parameterized *template* — a point in the
+// feature lattice {nest depth, memory-access mix, carried-dependence kind,
+// guard shape, call structure, reduction presence} whose concrete numbers
+// (trip counts, strides, array sizes, dependence distances, guard periods)
+// become typed holes with validity constraints.
+//
+// A template deliberately does not keep the source loop's body: filling
+// the holes re-synthesizes a canonical loop nest with the same lattice
+// coordinates (Variant.h), which is what makes thousands of seeded
+// variants per extracted shape possible while every variant stays
+// terminating, trap-free, and checksum-comparable.
+//
+// Extraction is deterministic and total: the same registry always yields
+// the same template list (ids, ordering, hole bounds — byte-identical
+// JSON), and every workload contributes at least one template; the test
+// suite holds it to both.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JRPM_CORPUS_TEMPLATE_H
+#define JRPM_CORPUS_TEMPLATE_H
+
+#include "ir/IR.h"
+#include "support/Json.h"
+#include "support/Prng.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jrpm {
+namespace corpus {
+
+/// What a hole parameterizes. The kind fixes the validity constraint the
+/// filler and the shrinker must respect beyond the [Min, Max] range:
+/// ArraySizeLog2 values are exponents (the array size is 1 << v, so masked
+/// indexing stays in bounds for any value), DepDistance of a serial family
+/// is pinned to 1 by construction, GuardPeriod values are log2 of the
+/// firing period so `(i & (p-1)) == p-1` fires every p-th iteration.
+enum class HoleKind : std::uint8_t {
+  TripCount,     ///< iterations of one loop level
+  ArraySizeLog2, ///< log2 of the backing array's word count
+  Stride,        ///< affine index multiplier
+  DepDistance,   ///< store-to-load iteration distance
+  GuardPeriod,   ///< power-of-two firing period of a body guard
+  MixConst,      ///< multiplicative mixing constant for data values
+  ExtraStmts,    ///< independent filler statements in the body
+};
+
+/// Returns a short stable name for \p K (JSON, tables).
+const char *holeKindName(HoleKind K);
+
+/// Inverse of holeKindName. Returns false when \p Name matches no kind.
+bool holeKindFromName(const std::string &Name, HoleKind &Out);
+
+/// Every HoleKind value, in declaration order (round-trip tests).
+inline constexpr HoleKind AllHoleKinds[] = {
+    HoleKind::TripCount,  HoleKind::ArraySizeLog2, HoleKind::Stride,
+    HoleKind::DepDistance, HoleKind::GuardPeriod,  HoleKind::MixConst,
+    HoleKind::ExtraStmts,
+};
+
+/// One typed hole: a name, a kind, and an inclusive validity range.
+/// Observed is the value (or closest representative) seen in the source
+/// loop, kept for diagnostics and as the shrinker's starting intuition.
+struct Hole {
+  std::string Name;
+  HoleKind Kind = HoleKind::TripCount;
+  std::int64_t Min = 0;
+  std::int64_t Max = 0;
+  std::int64_t Observed = 0;
+
+  /// Draws a uniformly distributed valid value from \p Rng.
+  std::int64_t pick(Prng &Rng) const;
+  /// Clamps \p V into [Min, Max] (the shrinker proposes raw values).
+  std::int64_t clamp(std::int64_t V) const;
+};
+
+/// The lattice coordinates lifted from one source loop.
+struct TemplateFeatures {
+  std::uint32_t Depth = 1; ///< synthesized nest depth (1 or 2)
+  std::uint32_t NumLoads = 0;
+  std::uint32_t NumStores = 0;
+  bool HasCall = false;
+  bool HasGuard = false;          ///< conditional inside the body
+  bool HasCarriedScalar = false;  ///< beyond inductors and reductions
+  bool HasMemRecurrence = false;  ///< carried RAW through the heap
+  bool HasReduction = false;
+  std::string OracleVerdict; ///< affine-oracle verdict name at extraction
+};
+
+/// A parameterized loop/dependence template.
+struct Template {
+  /// "<workload>/<family>" — stable across extractions, embedded in every
+  /// generated artifact as provenance.
+  std::string Id;
+  /// The shape family; decides which skeleton Variant.h synthesizes.
+  /// One of: serial-walk, guarded-recurrence, may-recurrence, reduction,
+  /// call-mix, loop-nest, affine-stride, scalar-chain.
+  std::string Family;
+  /// Loop id of the representative source loop (diagnostics only).
+  std::uint32_t SourceLoopId = 0;
+  /// Number of source loops in the workload that mapped to this template
+  /// (the family's population before dedup).
+  std::uint32_t SourceLoops = 0;
+  TemplateFeatures Features;
+  std::vector<Hole> Holes;
+
+  Json toJson() const;
+  const Hole *findHole(const std::string &Name) const;
+};
+
+/// All template family names, in extraction precedence order.
+const std::vector<std::string> &templateFamilies();
+
+/// Extracts the templates of one module: every natural loop is classified
+/// into a family; one representative template per family is kept (the
+/// first in candidate order), with SourceLoops counting the population.
+std::vector<Template> extractTemplates(const std::string &WorkloadName,
+                                       const ir::Module &M);
+
+/// Extracts over the full 26-workload Table 6 registry, in registry order.
+/// Deterministic and total (>= 1 template per workload).
+std::vector<Template> extractRegistryTemplates();
+
+/// Finds a template by id; returns nullptr when absent.
+const Template *findTemplate(const std::vector<Template> &Templates,
+                             const std::string &Id);
+
+/// The extraction manifest: {"templates": [...], "count": n}.
+Json templatesToJson(const std::vector<Template> &Templates);
+
+} // namespace corpus
+} // namespace jrpm
+
+#endif // JRPM_CORPUS_TEMPLATE_H

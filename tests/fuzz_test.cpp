@@ -15,6 +15,7 @@
 #include "RandomProgram.h"
 #include "TestUtil.h"
 #include "analysis/Candidates.h"
+#include "corpus/Variant.h"
 #include "hydra/TlsEngine.h"
 #include "jit/Annotator.h"
 #include "jit/TlsPlan.h"
@@ -25,6 +26,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
 #include <string>
 
 using namespace jrpm;
@@ -97,6 +99,36 @@ TEST_P(FuzzSuite, FullPipelineMatches) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSuite, ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(CorpusFuzz, VariantsSatisfyWholeStackInvariants) {
+  // The same whole-stack differential the random programs get, over a
+  // deterministic sample of template-extracted corpus variants: one
+  // template per family (first in registry order), two seeds each. The
+  // corpus engine runs its own oracles over thousands of variants
+  // (corpus_test.cpp, ci_corpus_golden.sh); this keeps the shape corpus
+  // wired into the classic fuzz invariants as well.
+  std::vector<corpus::Template> All = corpus::extractRegistryTemplates();
+  std::set<std::string> SeenFamilies;
+  for (const corpus::Template &T : All) {
+    if (!SeenFamilies.insert(T.Family).second)
+      continue;
+    for (std::uint64_t Seed : {3, 23}) {
+      corpus::Variant V = corpus::instantiate(T, Seed);
+      sim::HydraConfig Cfg;
+      auto Seq = testutil::runModule(V.Module, Cfg);
+      EXPECT_EQ(runTls(V.Module, Cfg).ReturnValue, Seq.ReturnValue)
+          << T.Id << " seed " << Seed << " (restart mode)";
+      sim::HydraConfig Sync = Cfg;
+      Sync.SyncCarriedLocals = true;
+      EXPECT_EQ(runTls(V.Module, Sync).ReturnValue, Seq.ReturnValue)
+          << T.Id << " seed " << Seed << " (sync mode)";
+      sim::HydraConfig Line = Cfg;
+      Line.ViolationGrain = sim::ViolationGranularity::Line;
+      EXPECT_EQ(runTls(V.Module, Line).ReturnValue, Seq.ReturnValue)
+          << T.Id << " seed " << Seed << " (line-grain mode)";
+    }
+  }
+}
 
 TEST(ConcurrentFuzz, GeneratedProgramsBitIdenticalUnderSweepPool) {
   // The sweep-engine variant of the fuzz harness: N generated programs are
