@@ -1,25 +1,34 @@
 #!/usr/bin/env bash
-# Interpreter-throughput smoke gate.
+# Throughput smoke gates.
 #
-# Runs bench_exec_throughput in --quick mode (first 8 registry workloads,
-# soft 1.2x gate on the plain-leg instructions/sec of the flat CodeImage
-# over the embedded seed nested-layout interpreter). The bench verifies
-# bit-exactness of every leg on the spot — cycles, instruction counts,
-# return values, and selection digests must match between layouts — so
-# this smoke catches both semantic regressions and gross layout-throughput
-# regressions without the runtime of the full-registry run.
+# Runs bench_exec_throughput and bench_tracer_throughput in --quick mode
+# (first 8 registry workloads, soft 1.2x gates):
 #
-# The gate is soft against machine noise: when the two flat passes differ
-# by more than 10%, the bench reports the measurement as unresolved and
-# exits 0 rather than failing on runner jitter. For a publishable number,
-# run the full bench on a quiet host, preferably under the release-native
-# preset:
+#   - bench_exec_throughput gates the flat CodeImage interpreter's
+#     instructions/sec over the embedded seed nested-layout interpreter,
+#     verifying every leg bit-exact on the spot (cycles, instruction
+#     counts, return values, selection digests).
+#   - bench_tracer_throughput gates the block-drained SoA tracer core's
+#     events/sec over the embedded seed per-event engine, verifying
+#     StlStats/parents/peaks vs the seed engine and selection digests +
+#     tracer.* metrics vs the live profiled run on every stream.
+#
+# Both catch semantic regressions and gross throughput regressions without
+# the runtime of the full-registry runs.
+#
+# The gates are soft against machine noise: when the two measured passes
+# differ by more than 10%, a bench reports the measurement as unresolved
+# and exits 0 rather than failing on runner jitter. For a publishable
+# number, run the full benches on a quiet host, preferably under the
+# release-native preset:
 #   cmake --preset release-native && cmake --build --preset release-native
 #   build-native/bench/bench_exec_throughput
+#   build-native/bench/bench_tracer_throughput
 #
 # Usage:
 #   scripts/ci_perf_smoke.sh                  # configure+build, then run
-#   scripts/ci_perf_smoke.sh --bin <bench_exec_throughput>
+#   scripts/ci_perf_smoke.sh --bin <bench_exec_throughput> \
+#     [--tracer-bin <bench_tracer_throughput>]
 #
 # The second form is how the tier-1 ctest suite invokes it (see
 # tools/CMakeLists.txt).
@@ -29,9 +38,11 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 BIN=""
+TRACER_BIN=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --bin) BIN="$2"; shift 2 ;;
+    --tracer-bin) TRACER_BIN="$2"; shift 2 ;;
     *) break ;;
   esac
 done
@@ -40,8 +51,22 @@ if [[ -z "${BIN}" ]]; then
   BUILD="${ROOT}/build"
   JOBS="$(nproc 2>/dev/null || echo 4)"
   cmake -B "${BUILD}" -S "${ROOT}" "$@"
-  cmake --build "${BUILD}" -j"${JOBS}" --target bench_exec_throughput
+  cmake --build "${BUILD}" -j"${JOBS}" \
+    --target bench_exec_throughput bench_tracer_throughput
   BIN="${BUILD}/bench/bench_exec_throughput"
+  TRACER_BIN="${BUILD}/bench/bench_tracer_throughput"
 fi
 
-exec "${BIN}" --quick
+"${BIN}" --quick
+if [[ -n "${TRACER_BIN}" ]]; then
+  # Soft throughput gate: exit 3 means every stream was bit-identical but
+  # the events/sec multiplier fell short on this host — warn without
+  # failing CI. Any other nonzero exit is a semantic divergence and fails.
+  rc=0
+  "${TRACER_BIN}" --quick || rc=$?
+  if [[ "${rc}" -eq 3 ]]; then
+    echo "WARN: tracer throughput below the quick gate (soft); see output above"
+  elif [[ "${rc}" -ne 0 ]]; then
+    exit "${rc}"
+  fi
+fi

@@ -9,9 +9,10 @@
 # Sweep* suites (thread pool, plan runner, determinism), the concurrent
 # fuzz harness that dispatches generated programs across the pool, the
 # Corpus* suites (template corpus sweeps on the pool, 1-vs-N thread report
-# identity), and the Serve* suites (daemon single-flight dedup, saturation,
-# drain). TSan reports are fatal (-fno-sanitize-recover=all), so any data
-# race fails the suite.
+# identity), the Serve* suites (daemon single-flight dedup, saturation,
+# drain), and the Tracer* suites (block-drained engine vs per-event
+# reference, batch-capacity sweeps). TSan reports are fatal
+# (-fno-sanitize-recover=all), so any data race fails the suite.
 
 set -euo pipefail
 
@@ -22,4 +23,4 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 cmake -B "${BUILD}" -S "${ROOT}" -DJRPM_TSAN=ON "$@"
 cmake --build "${BUILD}" -j"${JOBS}"
 ctest --test-dir "${BUILD}" --output-on-failure -j"${JOBS}" \
-  -R 'Sweep|Concurrent|Interleaved|Serve|Corpus'
+  -R 'Sweep|Concurrent|Interleaved|Serve|Corpus|Tracer|TraceEngine'

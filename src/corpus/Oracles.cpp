@@ -288,8 +288,10 @@ OracleOutcome corpus::runOracles(const Template &T, const Variant &V,
   // Oracle 3: record-once / replay-many — a fresh engine fed the recorded
   // events must reproduce the live selection digest exactly.
   tracer::TraceEngine Fresh(Cfg.Hw, AM.LoopInfos);
+  interp::EventBlock *FreshBlk = Fresh.eventBlock();
   for (const trace::Event &E : Recorder.events())
-    trace::dispatchEvent(E, Fresh);
+    trace::dispatchEventBatched(E, Fresh, FreshBlk);
+  interp::drainPending(Fresh, FreshBlk);
   Out.EventsReplayed = Recorder.events().size();
   tracer::SelectionResult ReplaySel =
       tracer::selectStls(Fresh, ProfRun.Cycles, Cfg.Hw);

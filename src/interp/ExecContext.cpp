@@ -2,6 +2,7 @@
 
 #include "interp/ExecContext.h"
 
+#include "interp/EventBlock.h"
 #include "interp/Trap.h"
 #include "support/Bits.h"
 #include "support/Compiler.h"
@@ -87,6 +88,10 @@ std::uint64_t ExecContext::stepImpl(MemoryPort &Mem, TraceSink *Sink,
   Frame *F = &Frames.back();
   exec::FlatPc Pc = F->Pc;
   std::uint64_t *Regs = F->Regs.data();
+  // Batched sinks expose an EventBlock; zero-cost events are appended to it
+  // and drained in blocks, control events drain-then-dispatch (see
+  // EventBlock.h for the discipline that keeps this bit-identical).
+  EventBlock *Blk = Sink ? Sink->eventBlock() : nullptr;
 
 #if defined(__GNUC__) || defined(__clang__)
   std::uint64_t Exec = Executed;
@@ -301,7 +306,7 @@ Op_Load: {
   Regs[I->Dst] = Mem.load(Addr, Extra);
   Cost += Extra;
   if (Sink)
-    Cost += Sink->onHeapLoad(Addr, Now, I->Pc);
+    Cost += emitHeapLoad(*Sink, Blk, Addr, Now, I->Pc);
   ++Pc;
   JRPM_NEXT();
 }
@@ -316,7 +321,7 @@ Op_Store: {
   Mem.store(Addr, Regs[I->Dst], Extra);
   Cost += Extra;
   if (Sink)
-    Cost += Sink->onHeapStore(Addr, Now, I->Pc);
+    Cost += emitHeapStore(*Sink, Blk, Addr, Now, I->Pc);
   ++Pc;
   JRPM_NEXT();
 }
@@ -354,7 +359,7 @@ Op_Call: {
   F->Pc = Pc + 1; // resume point after the call
   Cost = Costs.CallOverhead;
   if (Sink)
-    Sink->onCallSite(I->Pc, Now);
+    emitCallSite(*Sink, Blk, I->Pc, Now);
   Frames.push_back(std::move(NewF)); // invalidates F
   F = &Frames.back();
   Pc = F->Pc;
@@ -374,8 +379,9 @@ Op_Call: {
 Op_Ret: {
   std::uint64_t Value = I->A != ir::NoReg ? Regs[I->A] : 0;
   if (Sink) {
+    drainPending(*Sink, Blk);
     Sink->onReturn(F->Activation);
-    Sink->onCallReturn(Now);
+    emitCallReturn(*Sink, Blk, Now);
   }
   std::uint16_t RetDst = F->RetDst;
   Frames.pop_back();
@@ -405,36 +411,42 @@ Op_Ret: {
 // degrade to when the runtime disables a loop's tracing); the tracer
 // charges the coprocessor interaction on top while it is listening.
 Op_SLoop:
-  if (Sink)
+  if (Sink) {
+    drainPending(*Sink, Blk);
     Cost += Sink->onLoopStart(static_cast<std::uint32_t>(I->Imm),
                               F->Activation, Now);
+  }
   ++Pc;
   JRPM_NEXT();
 Op_Eoi:
   if (Sink)
-    Cost += Sink->onLoopIter(static_cast<std::uint32_t>(I->Imm), Now);
+    Cost += emitLoopIter(*Sink, Blk, static_cast<std::uint32_t>(I->Imm), Now);
   ++Pc;
   JRPM_NEXT();
 Op_ELoop:
-  if (Sink)
+  if (Sink) {
+    drainPending(*Sink, Blk);
     Cost += Sink->onLoopEnd(static_cast<std::uint32_t>(I->Imm), Now);
+  }
   ++Pc;
   JRPM_NEXT();
 Op_LwlAnno:
   Cost = Cfg.LocalAnnoCost;
   if (Sink)
-    Cost += Sink->onLocalLoad(F->Activation, I->A, Now, I->Pc);
+    Cost += emitLocalLoad(*Sink, Blk, F->Activation, I->A, Now, I->Pc);
   ++Pc;
   JRPM_NEXT();
 Op_SwlAnno:
   Cost = Cfg.LocalAnnoCost;
   if (Sink)
-    Cost += Sink->onLocalStore(F->Activation, I->A, Now, I->Pc);
+    Cost += emitLocalStore(*Sink, Blk, F->Activation, I->A, Now, I->Pc);
   ++Pc;
   JRPM_NEXT();
 Op_ReadStats:
-  if (Sink)
+  if (Sink) {
+    drainPending(*Sink, Blk);
     Cost += Sink->onReadStats(static_cast<std::uint32_t>(I->Imm), Now);
+  }
   ++Pc;
   JRPM_NEXT();
 Op_Nop:
@@ -604,7 +616,7 @@ Op_Nop:
       R(I.Dst) = Mem.load(Addr, Extra);
       Cost += Extra;
       if (Sink)
-        Cost += Sink->onHeapLoad(Addr, Now, I.Pc);
+        Cost += emitHeapLoad(*Sink, Blk, Addr, Now, I.Pc);
       ++Pc;
       break;
     }
@@ -619,7 +631,7 @@ Op_Nop:
       Mem.store(Addr, R(I.Dst), Extra);
       Cost += Extra;
       if (Sink)
-        Cost += Sink->onHeapStore(Addr, Now, I.Pc);
+        Cost += emitHeapStore(*Sink, Blk, Addr, Now, I.Pc);
       ++Pc;
       break;
     }
@@ -657,7 +669,7 @@ Op_Nop:
       F->Pc = Pc + 1; // resume point after the call
       Cost = Costs.CallOverhead;
       if (Sink)
-        Sink->onCallSite(I.Pc, Now);
+        emitCallSite(*Sink, Blk, I.Pc, Now);
       Frames.push_back(std::move(NewF)); // invalidates F; reloaded below
       FrameChanged = true;
       break;
@@ -665,8 +677,9 @@ Op_Nop:
     case ir::Opcode::Ret: {
       std::uint64_t Value = I.A != ir::NoReg ? R(I.A) : 0;
       if (Sink) {
+        drainPending(*Sink, Blk);
         Sink->onReturn(F->Activation);
-        Sink->onCallReturn(Now);
+        emitCallReturn(*Sink, Blk, Now);
       }
       std::uint16_t RetDst = F->RetDst;
       Frames.pop_back();
@@ -679,36 +692,43 @@ Op_Nop:
       break;
     }
     case ir::Opcode::SLoop:
-      if (Sink)
+      if (Sink) {
+        drainPending(*Sink, Blk);
         Cost += Sink->onLoopStart(static_cast<std::uint32_t>(I.Imm),
                                   F->Activation, Now);
+      }
       ++Pc;
       break;
     case ir::Opcode::Eoi:
       if (Sink)
-        Cost += Sink->onLoopIter(static_cast<std::uint32_t>(I.Imm), Now);
+        Cost +=
+            emitLoopIter(*Sink, Blk, static_cast<std::uint32_t>(I.Imm), Now);
       ++Pc;
       break;
     case ir::Opcode::ELoop:
-      if (Sink)
+      if (Sink) {
+        drainPending(*Sink, Blk);
         Cost += Sink->onLoopEnd(static_cast<std::uint32_t>(I.Imm), Now);
+      }
       ++Pc;
       break;
     case ir::Opcode::LwlAnno:
       Cost = Cfg.LocalAnnoCost;
       if (Sink)
-        Cost += Sink->onLocalLoad(F->Activation, I.A, Now, I.Pc);
+        Cost += emitLocalLoad(*Sink, Blk, F->Activation, I.A, Now, I.Pc);
       ++Pc;
       break;
     case ir::Opcode::SwlAnno:
       Cost = Cfg.LocalAnnoCost;
       if (Sink)
-        Cost += Sink->onLocalStore(F->Activation, I.A, Now, I.Pc);
+        Cost += emitLocalStore(*Sink, Blk, F->Activation, I.A, Now, I.Pc);
       ++Pc;
       break;
     case ir::Opcode::ReadStats:
-      if (Sink)
+      if (Sink) {
+        drainPending(*Sink, Blk);
         Cost += Sink->onReadStats(static_cast<std::uint32_t>(I.Imm), Now);
+      }
       ++Pc;
       break;
     case ir::Opcode::Nop:

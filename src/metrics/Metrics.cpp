@@ -8,18 +8,6 @@
 using namespace jrpm;
 using namespace jrpm::metrics;
 
-std::uint32_t Histogram::bucketIndex(std::uint64_t V) {
-  // Values below 8 get exact buckets; above that, the bucket is the
-  // power-of-two magnitude split into four linear sub-buckets keyed by the
-  // two bits after the leading one.
-  if (V < 8)
-    return static_cast<std::uint32_t>(V);
-  std::uint32_t B = 63 - static_cast<std::uint32_t>(std::countl_zero(V));
-  std::uint32_t Sub = static_cast<std::uint32_t>((V >> (B - 2)) & 3);
-  std::uint32_t Idx = 8 + (B - 3) * 4 + Sub;
-  return Idx < NumBuckets ? Idx : NumBuckets - 1;
-}
-
 std::uint64_t Histogram::bucketUpperBound(std::uint32_t Idx) {
   if (Idx < 8)
     return Idx;
@@ -28,16 +16,6 @@ std::uint64_t Histogram::bucketUpperBound(std::uint32_t Idx) {
   // Upper bound of sub-bucket Sub within [2^B, 2^(B+1)).
   return (std::uint64_t(1) << B) +
          ((std::uint64_t(1) << (B - 2)) * (Sub + 1)) - 1;
-}
-
-void Histogram::record(std::uint64_t V) {
-  ++Buckets[bucketIndex(V)];
-  ++Count;
-  Sum += V;
-  if (V < Min)
-    Min = V;
-  if (V > Max)
-    Max = V;
 }
 
 void Histogram::merge(const Histogram &O) {

@@ -19,6 +19,7 @@
 #include "support/Json.h"
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -61,7 +62,17 @@ class Histogram {
 public:
   static constexpr std::uint32_t NumBuckets = 256;
 
-  void record(std::uint64_t V);
+  // record() is inline: tracers call it once per loop iteration, so it
+  // sits on the block-drain hot path.
+  void record(std::uint64_t V) {
+    ++Buckets[bucketIndex(V)];
+    ++Count;
+    Sum += V;
+    if (V < Min)
+      Min = V;
+    if (V > Max)
+      Max = V;
+  }
   void merge(const Histogram &O);
 
   std::uint64_t count() const { return Count; }
@@ -81,7 +92,17 @@ public:
   Json toJson() const;
 
 private:
-  static std::uint32_t bucketIndex(std::uint64_t V);
+  static std::uint32_t bucketIndex(std::uint64_t V) {
+    // Values below 8 get exact buckets; above that, the bucket is the
+    // power-of-two magnitude split into four linear sub-buckets keyed by
+    // the two bits after the leading one.
+    if (V < 8)
+      return static_cast<std::uint32_t>(V);
+    std::uint32_t B = 63 - static_cast<std::uint32_t>(std::countl_zero(V));
+    std::uint32_t Sub = static_cast<std::uint32_t>((V >> (B - 2)) & 3);
+    std::uint32_t Idx = 8 + (B - 3) * 4 + Sub;
+    return Idx < NumBuckets ? Idx : NumBuckets - 1;
+  }
   static std::uint64_t bucketUpperBound(std::uint32_t Idx);
 
   std::array<std::uint64_t, NumBuckets> Buckets{};

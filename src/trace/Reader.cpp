@@ -233,10 +233,12 @@ bool Reader::next(Event &E) {
 std::uint64_t trace::replay(Reader &R, interp::TraceSink &Sink) {
   Event E;
   std::uint64_t N = 0;
+  interp::EventBlock *Blk = Sink.eventBlock();
   while (R.next(E)) {
-    dispatchEvent(E, Sink);
+    dispatchEventBatched(E, Sink, Blk);
     ++N;
   }
+  interp::drainPending(Sink, Blk);
   return N;
 }
 

@@ -76,8 +76,10 @@ CachedTrace::CachedTrace(const std::string &Path) {
 }
 
 std::uint64_t CachedTrace::replay(interp::TraceSink &Sink) const {
+  interp::EventBlock *Blk = Sink.eventBlock();
   for (const Event &E : Events)
-    dispatchEvent(E, Sink);
+    dispatchEventBatched(E, Sink, Blk);
+  interp::drainPending(Sink, Blk);
   return Events.size();
 }
 

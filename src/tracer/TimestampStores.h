@@ -7,6 +7,12 @@
 // holds local-variable store timestamps (64 slots, reserved stack-style by
 // `sloop`).
 //
+// All three stores are flat arrays — no node-based containers on the
+// per-event path. The heap history keeps its FIFO *implicitly*: line
+// entries are (re)assigned in strict rotation order, so the entry assigned
+// longest ago is always the next eviction victim, and the only auxiliary
+// structure is a small open-addressed line->entry index.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef JRPM_TRACER_TIMESTAMPSTORES_H
@@ -14,11 +20,9 @@
 
 #include "sim/Config.h"
 
-#include <array>
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 namespace jrpm {
@@ -27,52 +31,175 @@ namespace tracer {
 /// Timestamp value meaning "no record".
 inline constexpr std::uint64_t NoTimestamp = 0;
 
+/// Exact 32-bit division and modulo by a runtime divisor without a divide
+/// instruction (the Lemire/Kaser/Kurz reciprocal: M = ceil(2^64 / D) makes
+/// both operations a pair of multiplies, exact for every 32-bit operand).
+/// The per-event paths split addresses into (line, word) and lines into
+/// sets with geometry that is only known at configuration time, so the
+/// compiler cannot strength-reduce the divides itself.
+class FastDivMod {
+public:
+  explicit FastDivMod(std::uint32_t Divisor = 1)
+      : D(Divisor), M(Divisor > 1 ? ~std::uint64_t(0) / Divisor + 1 : 0) {}
+
+  std::uint32_t div(std::uint32_t N) const {
+    if (D == 1)
+      return N;
+    return static_cast<std::uint32_t>(
+        (static_cast<unsigned __int128>(M) * N) >> 64);
+  }
+
+  std::uint32_t mod(std::uint32_t N) const {
+    if (D == 1)
+      return 0;
+    std::uint64_t Low = M * N;
+    return static_cast<std::uint32_t>(
+        (static_cast<unsigned __int128>(Low) * D) >> 64);
+  }
+
+private:
+  std::uint32_t D;
+  std::uint64_t M;
+};
+
 /// FIFO history of heap store timestamps at word granularity within
 /// cache-line entries. Holds the most recent `Capacity` written lines; older
 /// history is lost, which bounds how distant a dependency the tracer can
 /// observe (a deliberate imprecision the paper discusses in Section 6.2).
+///
+/// Layout: per-line word timestamps live in one contiguous array with a
+/// WordsPerLine stride; the FIFO is the rotation order of entry slots; an
+/// open-addressed hash index (power-of-two, linear probing, backward-shift
+/// deletion, load factor <= 1/2) maps a line number to its slot.
 class HeapStoreTimestamps {
 public:
   HeapStoreTimestamps(std::uint32_t CapacityLines, std::uint32_t WordsPerLine)
-      : Capacity(CapacityLines), WordsPerLine(WordsPerLine) {}
+      : Capacity(std::max<std::uint32_t>(CapacityLines, 1)),
+        WordsPerLine(WordsPerLine), Split(WordsPerLine),
+        Lines(Capacity, 0),
+        WordTs(static_cast<std::size_t>(Capacity) * WordsPerLine,
+               NoTimestamp) {
+    std::uint32_t IndexSize = 8;
+    while (IndexSize < 2 * Capacity)
+      IndexSize *= 2;
+    Index.assign(IndexSize, EmptySlot);
+    Mask = IndexSize - 1;
+  }
 
-  /// Records that word \p Addr was stored at \p Cycle.
+  /// Records that word \p Addr was stored at \p Cycle. The hit path (line
+  /// already tracked) is a probe and one store, small enough to inline into
+  /// the per-event sweeps; the insert/evict path is outlined.
   void recordStore(std::uint32_t Addr, std::uint64_t Cycle) {
-    std::uint32_t Line = Addr / WordsPerLine;
-    auto It = Lines.find(Line);
-    if (It == Lines.end()) {
-      if (Fifo.size() == Capacity) {
-        Lines.erase(Fifo.front());
-        Fifo.pop_front();
-      }
-      Fifo.push_back(Line);
-      It = Lines.emplace(Line, LineEntry{}).first;
-    }
-    It->second.WordTs[Addr % WordsPerLine] = Cycle;
+    std::uint32_t Line = Split.div(Addr);
+    std::uint32_t E = findEntry(Line);
+    if (E == EmptySlot)
+      E = insertLine(Line);
+    WordTs[static_cast<std::size_t>(E) * WordsPerLine + Split.mod(Addr)] =
+        Cycle;
   }
 
   /// Returns the last store timestamp recorded for word \p Addr, or
   /// NoTimestamp when the history has no record.
   std::uint64_t lookup(std::uint32_t Addr) const {
-    auto It = Lines.find(Addr / WordsPerLine);
-    if (It == Lines.end())
+    std::uint32_t E = findEntry(Split.div(Addr));
+    if (E == EmptySlot)
       return NoTimestamp;
-    return It->second.WordTs[Addr % WordsPerLine];
+    return WordTs[static_cast<std::size_t>(E) * WordsPerLine +
+                  Split.mod(Addr)];
   }
 
   void clear() {
-    Lines.clear();
-    Fifo.clear();
+    std::fill(Index.begin(), Index.end(), EmptySlot);
+    Live = 0;
+    NextSlot = 0;
   }
 
+  /// Lines whose history was dropped because the FIFO wrapped. Monotonic
+  /// across clear() — an observability counter, not analysis state.
+  std::uint64_t evictions() const { return Evictions; }
+  /// Peak number of simultaneously tracked lines.
+  std::uint32_t peakOccupancy() const { return Peak; }
+
 private:
-  struct LineEntry {
-    std::array<std::uint64_t, 8> WordTs = {};
-  };
+  static constexpr std::uint32_t EmptySlot = ~std::uint32_t(0);
+
+  std::uint32_t hashSlot(std::uint32_t Line) const {
+    return static_cast<std::uint32_t>(
+               (Line * 0x9E3779B97F4A7C15ull) >> 32) &
+           Mask;
+  }
+
+  std::uint32_t findEntry(std::uint32_t Line) const {
+    for (std::uint32_t I = hashSlot(Line);; I = (I + 1) & Mask) {
+      std::uint32_t E = Index[I];
+      if (E == EmptySlot)
+        return EmptySlot;
+      if (Lines[E] == Line)
+        return E;
+    }
+  }
+
+  /// Assigns the next FIFO entry slot to \p Line (evicting the slot's
+  /// previous line once the history is full) and returns the slot.
+  std::uint32_t insertLine(std::uint32_t Line) {
+    std::uint32_t E = NextSlot;
+    NextSlot = NextSlot + 1 == Capacity ? 0 : NextSlot + 1;
+    if (Live == Capacity) {
+      eraseIndex(Lines[E]);
+      ++Evictions;
+    } else {
+      ++Live;
+      Peak = std::max(Peak, Live);
+    }
+    Lines[E] = Line;
+    std::uint64_t *W = &WordTs[static_cast<std::size_t>(E) * WordsPerLine];
+    std::fill(W, W + WordsPerLine, NoTimestamp);
+    insertIndex(Line, E);
+    return E;
+  }
+
+  void insertIndex(std::uint32_t Line, std::uint32_t Entry) {
+    std::uint32_t I = hashSlot(Line);
+    while (Index[I] != EmptySlot)
+      I = (I + 1) & Mask;
+    Index[I] = Entry;
+  }
+
+  void eraseIndex(std::uint32_t Line) {
+    std::uint32_t I = hashSlot(Line);
+    while (Index[I] == EmptySlot || Lines[Index[I]] != Line)
+      I = (I + 1) & Mask;
+    // Backward-shift deletion keeps probe chains gap-free.
+    std::uint32_t J = I;
+    for (;;) {
+      Index[I] = EmptySlot;
+      for (;;) {
+        J = (J + 1) & Mask;
+        if (Index[J] == EmptySlot)
+          return;
+        std::uint32_t Home = hashSlot(Lines[Index[J]]);
+        // Move J's occupant into the hole unless its home lies in the
+        // (cyclic) interval (I, J] — then the hole does not break its
+        // probe chain.
+        if (J > I ? (Home <= I || Home > J) : (Home <= I && Home > J))
+          break;
+      }
+      Index[I] = Index[J];
+      I = J;
+    }
+  }
+
   std::uint32_t Capacity;
   std::uint32_t WordsPerLine;
-  std::unordered_map<std::uint32_t, LineEntry> Lines;
-  std::deque<std::uint32_t> Fifo;
+  FastDivMod Split;
+  std::uint32_t Mask = 0;
+  std::uint32_t NextSlot = 0; ///< next FIFO slot to assign (oldest entry)
+  std::uint32_t Live = 0;     ///< entries currently tracked
+  std::uint32_t Peak = 0;
+  std::uint64_t Evictions = 0;
+  std::vector<std::uint32_t> Lines;  ///< line number per entry slot
+  std::vector<std::uint64_t> WordTs; ///< WordsPerLine stamps per entry slot
+  std::vector<std::uint32_t> Index;  ///< open-addressed line -> entry slot
 };
 
 /// Direct-mapped table of cache-line timestamps used by the speculative
@@ -80,60 +207,102 @@ private:
 /// associativity "introduces some error into the overflow analysis" — kept
 /// faithfully; an ablation bench quantifies it against a set-associative
 /// variant.
+///
+/// Structure-of-arrays: one contiguous key array (line + 1, so 0 means an
+/// empty way — no Valid flag to pointer-chase, and no tag division: the
+/// full line number identifies a line within its set just as well) and one
+/// contiguous timestamp array. The dominant direct-mapped configuration is
+/// a single branch-light exchange on each array.
 class CacheLineTimestampTable {
 public:
   explicit CacheLineTimestampTable(std::uint32_t NumEntries,
                                    std::uint32_t WordsPerLine,
                                    std::uint32_t Associativity = 1)
       : WordsPerLine(WordsPerLine), Assoc(Associativity),
-        Sets(NumEntries / Associativity), Table(NumEntries) {
+        Sets(NumEntries / Associativity), WordSplit(WordsPerLine),
+        SetSplit(NumEntries / Associativity), Keys(NumEntries, 0),
+        Ts(NumEntries, NoTimestamp) {
     assert(Associativity >= 1 && NumEntries % Associativity == 0 &&
            "bad table geometry");
   }
 
   /// Looks up the line containing \p Addr, returns its previous timestamp
-  /// (NoTimestamp on tag mismatch), and records \p Cycle for it.
+  /// (NoTimestamp on tag mismatch), and records \p Cycle for it. The
+  /// dominant direct-mapped configuration is small enough to inline into
+  /// the per-event sweeps; wider geometries take the outlined way scan.
   std::uint64_t exchange(std::uint32_t Addr, std::uint64_t Cycle) {
-    std::uint32_t Line = Addr / WordsPerLine;
-    std::uint32_t Set = Line % Sets;
-    std::uint32_t Tag = Line / Sets;
-    std::uint32_t Base = Set * Assoc;
-    // Hit: refresh in place.
-    for (std::uint32_t W = 0; W < Assoc; ++W) {
-      Entry &E = Table[Base + W];
-      if (E.Valid && E.Tag == Tag) {
-        std::uint64_t Old = E.Ts;
-        E.Ts = Cycle;
-        return Old;
-      }
+    std::uint32_t Line = WordSplit.div(Addr);
+    std::uint32_t Set = SetSplit.mod(Line);
+    std::uint64_t Key = static_cast<std::uint64_t>(Line) + 1;
+    if (Assoc == 1) {
+      // Hit and miss collapse to one conditional move per array.
+      bool Hit = Keys[Set] == Key;
+      Evictions += !Hit && Keys[Set] != 0;
+      Live += Keys[Set] == 0;
+      std::uint64_t Old = Hit ? Ts[Set] : NoTimestamp;
+      Keys[Set] = Key;
+      Ts[Set] = Cycle;
+      return Old;
     }
-    // Miss: evict the oldest-timestamp way (direct mapped when Assoc==1).
-    std::uint32_t Victim = 0;
-    for (std::uint32_t W = 1; W < Assoc; ++W)
-      if (!Table[Base + W].Valid || Table[Base + W].Ts < Table[Base + Victim].Ts)
-        Victim = W;
-    Entry &E = Table[Base + Victim];
-    E.Valid = true;
-    E.Tag = Tag;
-    E.Ts = Cycle;
-    return NoTimestamp;
+    return exchangeSetAssoc(Set, Key, Cycle);
   }
 
   void clear() {
-    for (Entry &E : Table)
-      E = Entry{};
+    std::fill(Keys.begin(), Keys.end(), 0);
+    std::fill(Ts.begin(), Ts.end(), NoTimestamp);
+    Peak = std::max(Peak, Live);
+    Live = 0;
   }
 
+  /// Misses that overwrote a previously valid way. Monotonic across
+  /// clear().
+  std::uint64_t evictions() const { return Evictions; }
+  /// Peak number of valid ways (entries never leave except via clear()).
+  std::uint32_t peakOccupancy() const { return std::max(Peak, Live); }
+
 private:
-  struct Entry {
-    bool Valid = false;
-    std::uint32_t Tag = 0;
-    std::uint64_t Ts = 0;
-  };
+  std::uint64_t exchangeSetAssoc(std::uint32_t Set, std::uint64_t Key,
+                                 std::uint64_t Cycle) {
+    std::uint32_t Base = Set * Assoc;
+    // Hit: refresh in place.
+    for (std::uint32_t W = 0; W < Assoc; ++W) {
+      if (Keys[Base + W] == Key) {
+        std::uint64_t Old = Ts[Base + W];
+        Ts[Base + W] = Cycle;
+        return Old;
+      }
+    }
+    // Miss: evict the oldest-timestamp way (preferring empty ways).
+    std::uint32_t Victim = 0;
+    for (std::uint32_t W = 1; W < Assoc; ++W)
+      if (Keys[Base + W] == 0 || Ts[Base + W] < Ts[Base + Victim])
+        Victim = W;
+    Evictions += Keys[Base + Victim] != 0;
+    Live += Keys[Base + Victim] == 0;
+    Keys[Base + Victim] = Key;
+    Ts[Base + Victim] = Cycle;
+    return NoTimestamp;
+  }
+
   std::uint32_t WordsPerLine;
   std::uint32_t Assoc;
   std::uint32_t Sets;
-  std::vector<Entry> Table;
+  FastDivMod WordSplit;
+  FastDivMod SetSplit;
+  std::uint32_t Live = 0;
+  std::uint32_t Peak = 0;
+  std::uint64_t Evictions = 0;
+  std::vector<std::uint64_t> Keys; ///< line + 1; 0 = empty way
+  std::vector<std::uint64_t> Ts;
+};
+
+/// Outcome of LocalVarTimestampFile::release. Anything but Ok means the
+/// caller tried a non-stack release — possible only when a malformed
+/// module survives with unbalanced `sloop`/`eloop`; the file is left
+/// unchanged so the failure is deterministic instead of UB.
+enum class SlotReleaseResult : std::uint8_t {
+  Ok,
+  NonStackRelease,
 };
 
 /// The 64-slot local-variable store-timestamp file. `sloop n` reserves n
@@ -158,9 +327,16 @@ public:
   }
 
   /// Releases the most recent reservation of \p Count slots at \p Base.
-  void release(std::uint32_t Base, std::uint32_t Count) {
-    assert(Base + Count == Top && "non-stack release");
+  /// Asserts stack discipline in debug builds; in release builds a
+  /// non-stack release is refused and reported instead of corrupting Top.
+  [[nodiscard]] SlotReleaseResult release(std::uint32_t Base,
+                                          std::uint32_t Count) {
+    assert(static_cast<std::uint64_t>(Base) + Count == Top &&
+           "non-stack release");
+    if (static_cast<std::uint64_t>(Base) + Count != Top)
+      return SlotReleaseResult::NonStackRelease;
     Top = Base;
+    return SlotReleaseResult::Ok;
   }
 
   std::uint64_t read(std::uint32_t Slot) const { return Slots[Slot]; }
@@ -174,6 +350,92 @@ public:
 private:
   std::vector<std::uint64_t> Slots;
   std::uint32_t Top = 0;
+};
+
+/// Flat open-addressed index of the live (activation, register)
+/// reservations: each maps to its slot in the LocalVarTimestampFile. At
+/// most one active bank reserves a given pair — TraceEngine::onLoopStart
+/// skips registers already covered by an enclosing reservation of the same
+/// activation — so the index resolves a local-variable event to its owning
+/// slot in O(1) instead of walking the bank stack per event. Sized at
+/// twice the slot-file capacity the probe sequences stay short; erase uses
+/// backward-shift deletion, so churny reservation stacks leave no
+/// tombstones behind.
+class LocalSlotIndex {
+public:
+  explicit LocalSlotIndex(std::uint32_t SlotCapacity) {
+    std::uint32_t Size = 8;
+    while (Size < 2 * SlotCapacity)
+      Size *= 2;
+    Entries.assign(Size, Entry{});
+    Mask = Size - 1;
+  }
+
+  /// Adds the reservation (\p Activation, \p Reg) -> \p Slot. The pair
+  /// must not be present (reservation uniqueness).
+  void insert(std::uint64_t Activation, std::uint16_t Reg,
+              std::uint32_t Slot) {
+    std::uint32_t I = hashSlot(Activation, Reg);
+    while (Entries[I].Slot != Empty)
+      I = (I + 1) & Mask;
+    Entries[I].Activation = Activation;
+    Entries[I].Reg = Reg;
+    Entries[I].Slot = Slot;
+  }
+
+  /// The slot owning (\p Activation, \p Reg), or -1 when no live
+  /// reservation covers the pair.
+  std::int32_t find(std::uint64_t Activation, std::uint16_t Reg) const {
+    for (std::uint32_t I = hashSlot(Activation, Reg);; I = (I + 1) & Mask) {
+      const Entry &E = Entries[I];
+      if (E.Slot == Empty)
+        return -1;
+      if (E.Activation == Activation && E.Reg == Reg)
+        return static_cast<std::int32_t>(E.Slot);
+    }
+  }
+
+  /// Removes the reservation (\p Activation, \p Reg); no-op when absent.
+  void erase(std::uint64_t Activation, std::uint16_t Reg) {
+    std::uint32_t I = hashSlot(Activation, Reg);
+    for (;; I = (I + 1) & Mask) {
+      if (Entries[I].Slot == Empty)
+        return;
+      if (Entries[I].Activation == Activation && Entries[I].Reg == Reg)
+        break;
+    }
+    // Backward-shift deletion: pull every displaced follower into the
+    // hole so probe chains stay contiguous without tombstones.
+    std::uint32_t Hole = I;
+    for (std::uint32_t J = (Hole + 1) & Mask; Entries[J].Slot != Empty;
+         J = (J + 1) & Mask) {
+      std::uint32_t Home = hashSlot(Entries[J].Activation, Entries[J].Reg);
+      if (((J - Home) & Mask) >= ((J - Hole) & Mask)) {
+        Entries[Hole] = Entries[J];
+        Hole = J;
+      }
+    }
+    Entries[Hole].Slot = Empty;
+  }
+
+private:
+  static constexpr std::uint32_t Empty = ~std::uint32_t(0);
+
+  struct Entry {
+    std::uint64_t Activation = 0;
+    std::uint32_t Slot = Empty;
+    std::uint16_t Reg = 0;
+  };
+
+  std::uint32_t hashSlot(std::uint64_t Activation, std::uint16_t Reg) const {
+    std::uint64_t Mixed =
+        (Activation ^ (static_cast<std::uint64_t>(Reg) << 17)) *
+        0x9E3779B97F4A7C15ull;
+    return static_cast<std::uint32_t>(Mixed >> 32) & Mask;
+  }
+
+  std::vector<Entry> Entries;
+  std::uint32_t Mask = 0;
 };
 
 } // namespace tracer

@@ -18,9 +18,53 @@ TraceEngine::TraceEngine(const sim::HydraConfig &Cfg,
                  Cfg.OverflowTableAssoc),
       StoreLineTs(Cfg.StoreTimestampEntries, Cfg.WordsPerLine,
                   Cfg.OverflowTableAssoc),
-      LocalTs(Cfg.LocalVarSlots), Stats(Loops.size()) {}
+      LocalTs(Cfg.LocalVarSlots), SlotIndex(Cfg.LocalVarSlots),
+      Stats(Loops.size()),
+      PcBinAcc(Loops.size()), ParentVotes(Loops.size()) {
+  Traced.init(Cfg.ComparatorBanks);
+  RegStack.reserve(Cfg.LocalVarSlots);
+  // Publish the deferred-eoi opt-in for the default (no dynamic disabling)
+  // configuration.
+  setDisableLoopAfterThreads(0);
+}
+
+void TraceEngine::TracedBanks::init(std::size_t Capacity) {
+  EntryTime.resize(Capacity);
+  CurStart.resize(Capacity);
+  PrevStart.resize(Capacity);
+  MinArcPrev.resize(Capacity);
+  MinArcEarlier.resize(Capacity);
+  MinArcPrevPc.resize(Capacity);
+  MinArcEarlierPc.resize(Capacity);
+  NewLoadLines.resize(Capacity);
+  NewStoreLines.resize(Capacity);
+  Size = 0;
+}
+
+void TraceEngine::TracedBanks::push(std::uint64_t Cycle) {
+  const std::size_t I = Size++;
+  EntryTime[I] = Cycle;
+  CurStart[I] = Cycle;
+  PrevStart[I] = Cycle;
+  MinArcPrev[I] = NoArc;
+  MinArcEarlier[I] = NoArc;
+  MinArcPrevPc[I] = -1;
+  MinArcEarlierPc[I] = -1;
+  NewLoadLines[I] = 0;
+  NewStoreLines[I] = 0;
+}
+
+void TraceEngine::TracedBanks::resetThread(std::size_t Idx) {
+  MinArcPrev[Idx] = NoArc;
+  MinArcEarlier[Idx] = NoArc;
+  MinArcPrevPc[Idx] = -1;
+  MinArcEarlierPc[Idx] = -1;
+  NewLoadLines[Idx] = 0;
+  NewStoreLines[Idx] = 0;
+}
 
 void TraceEngine::exportMetrics(metrics::Registry &R) const {
+  assert(Block.empty() && "exporting metrics with undrained batched events");
   R.counter("tracer.events.heap_load").inc(Events.HeapLoads);
   R.counter("tracer.events.heap_store").inc(Events.HeapStores);
   R.counter("tracer.events.local_load").inc(Events.LocalLoads);
@@ -49,117 +93,511 @@ void TraceEngine::exportMetrics(metrics::Registry &R) const {
   R.counter("tracer.crit_arcs_earlier").inc(Sum.CritArcsEarlier);
   R.counter("tracer.crit_len_prev").inc(Sum.CritLenPrev);
   R.counter("tracer.crit_len_earlier").inc(Sum.CritLenEarlier);
+  // Store-occupancy observability of the flat timestamp tables. Pure
+  // functions of the event stream like everything above, so live and
+  // replayed exports stay byte-identical.
+  R.counter("tracer.heap_ts.evictions").inc(HeapTs.evictions());
+  R.counter("tracer.line_table.evictions")
+      .inc(LoadLineTs.evictions() + StoreLineTs.evictions());
+  R.counter("tracer.local_ts.release_errors").inc(SlotReleaseErrors);
+  R.gauge("tracer.heap_ts.peak_occupancy").peak(HeapTs.peakOccupancy());
+  R.gauge("tracer.line_table.peak_occupancy")
+      .peak(LoadLineTs.peakOccupancy() + StoreLineTs.peakOccupancy());
   R.gauge("tracer.peak_banks").peak(PeakBanks);
   R.gauge("tracer.peak_local_slots").peak(PeakSlots);
   R.gauge("tracer.peak_nest").peak(PeakNest);
   R.histogram("tracer.thread_size_cycles").merge(ThreadSizeCycles);
 }
 
-std::uint32_t TraceEngine::tracedCount() const {
-  std::uint32_t N = 0;
-  for (const ComparatorBank &B : Active)
-    N += B.Traced;
-  return N;
-}
-
-ComparatorBank *TraceEngine::findTraced(std::uint32_t LoopId) {
+TraceEngine::BankFrame *TraceEngine::findTraced(std::uint32_t LoopId) {
   for (auto It = Active.rbegin(); It != Active.rend(); ++It)
     if (It->LoopId == LoopId)
       return It->Traced ? &*It : nullptr;
   return nullptr;
 }
 
-void TraceEngine::checkLoadArc(std::uint64_t StoreTs, std::uint64_t Cycle,
-                               std::int32_t Pc) {
-  if (StoreTs == NoTimestamp)
+void TraceEngine::checkLoadArcSweep(std::uint64_t StoreTs, std::uint64_t Cycle,
+                                    std::int32_t Pc) {
+  // The inline gate already rejected NoTimestamp and stores outside every
+  // bank's comparison window. One pass over the contiguous per-bank
+  // timestamp arrays; every bank updates via conditional moves, exactly
+  // Figure 7's parallel comparison.
+  const std::size_t N = Traced.size();
+  const std::uint64_t *Entry = Traced.EntryTime.data();
+  const std::uint64_t *Cur = Traced.CurStart.data();
+  const std::uint64_t *Prev = Traced.PrevStart.data();
+  std::uint64_t *MinPrev = Traced.MinArcPrev.data();
+  std::uint64_t *MinEarlier = Traced.MinArcEarlier.data();
+  std::int32_t *PrevPc = Traced.MinArcPrevPc.data();
+  std::int32_t *EarlierPc = Traced.MinArcEarlierPc.data();
+  const std::uint64_t Len = Cycle - StoreTs;
+  for (std::size_t I = 0; I < N; ++I) {
+    // Same-thread stores never create inter-thread arcs; stores before the
+    // STL entry are not loop-carried dependencies.
+    bool InWindow = StoreTs < Cur[I] && StoreTs >= Entry[I];
+    bool IsPrev = StoreTs >= Prev[I];
+    bool TakePrev = InWindow && IsPrev && Len < MinPrev[I];
+    bool TakeEarlier = InWindow && !IsPrev && Len < MinEarlier[I];
+    MinPrev[I] = TakePrev ? Len : MinPrev[I];
+    PrevPc[I] = TakePrev ? Pc : PrevPc[I];
+    MinEarlier[I] = TakeEarlier ? Len : MinEarlier[I];
+    EarlierPc[I] = TakeEarlier ? Pc : EarlierPc[I];
+  }
+}
+
+void TraceEngine::handleHeapLoad(std::uint32_t Addr, std::uint64_t Cycle,
+                                 std::int32_t Pc) {
+  ++Events.HeapLoads;
+  LastEventTime = Cycle;
+  if (Active.empty())
     return;
-  for (ComparatorBank &Bank : Active) {
-    if (!Bank.Traced)
-      continue;
-    // Same-thread stores never create inter-thread arcs.
-    if (StoreTs >= Bank.CurThreadStart)
-      continue;
-    // Stores before this STL entry are not loop-carried dependencies.
-    if (StoreTs < Bank.EntryTime)
-      continue;
-    std::uint64_t Len = Cycle - StoreTs;
-    if (StoreTs >= Bank.PrevThreadStart) {
-      if (Len < Bank.MinArcPrev) {
-        Bank.MinArcPrev = Len;
-        Bank.MinArcPrevPc = Pc;
+  // Dependency arc identification against the store timestamp history.
+  checkLoadArc(HeapTs.lookup(Addr), Cycle, Pc);
+  // Overflow analysis: was this line already part of some thread's
+  // speculative load state? A line last touched at or past every bank's
+  // current thread start is new to no bank — skip the tally sweep.
+  std::uint64_t OldLineTs = LoadLineTs.exchange(Addr, Cycle);
+  const bool NoTs = OldLineTs == NoTimestamp;
+  if (!NoTs && OldLineTs >= MaxCurStart)
+    return;
+  const std::size_t N = Traced.size();
+  const std::uint64_t *Cur = Traced.CurStart.data();
+  std::uint64_t *NewLines = Traced.NewLoadLines.data();
+  for (std::size_t I = 0; I < N; ++I)
+    NewLines[I] += NoTs || OldLineTs < Cur[I];
+}
+
+void TraceEngine::handleHeapStore(std::uint32_t Addr, std::uint64_t Cycle) {
+  ++Events.HeapStores;
+  LastEventTime = Cycle;
+  // Record history even outside loops: a loop entered shortly after can
+  // see stores that preceded it (they are filtered by EntryTime anyway).
+  HeapTs.recordStore(Addr, Cycle);
+  if (Active.empty())
+    return;
+  std::uint64_t OldLineTs = StoreLineTs.exchange(Addr, Cycle);
+  const bool NoTs = OldLineTs == NoTimestamp;
+  if (!NoTs && OldLineTs >= MaxCurStart)
+    return;
+  const std::size_t N = Traced.size();
+  const std::uint64_t *Cur = Traced.CurStart.data();
+  std::uint64_t *NewLines = Traced.NewStoreLines.data();
+  for (std::size_t I = 0; I < N; ++I)
+    NewLines[I] += NoTs || OldLineTs < Cur[I];
+}
+
+void TraceEngine::handleLocalLoad(std::uint64_t Activation, std::uint16_t Reg,
+                                  std::uint64_t Cycle, std::int32_t Pc) {
+  ++Events.LocalLoads;
+  LastEventTime = Cycle;
+  // Resolve (activation, register) to the owning reservation — unique
+  // among the live banks, so the flat index answers in one probe.
+  const std::int32_t Slot = SlotIndex.find(Activation, Reg);
+  if (Slot >= 0)
+    checkLoadArc(LocalTs.read(static_cast<std::uint32_t>(Slot)), Cycle, Pc);
+}
+
+void TraceEngine::handleLocalStore(std::uint64_t Activation, std::uint16_t Reg,
+                                   std::uint64_t Cycle) {
+  ++Events.LocalStores;
+  LastEventTime = Cycle;
+  const std::int32_t Slot = SlotIndex.find(Activation, Reg);
+  if (Slot >= 0)
+    LocalTs.write(static_cast<std::uint32_t>(Slot), Cycle);
+}
+
+void TraceEngine::drainBlock() {
+  const interp::BatchedEvent *E = Block.data();
+  const std::uint32_t N = Block.size();
+  if (N == 0)
+    return;
+  // Stack-shaping control events are never enqueued, so the bank stack,
+  // the traced SoA stack, and every slot reservation are invariants of one
+  // drain. Deferred eois only restart a thread window on an existing bank
+  // — they never change the population — so the sweep can still specialize
+  // on it once per block instead of re-deriving it per event; every
+  // specialization is observably identical to feeding the events through
+  // the per-event handlers.
+  if (Active.empty())
+    drainNoBanks(E, N);
+  else if (Traced.size() == 1)
+    drainOneBank(E, N);
+  else if (Traced.size() > 1)
+    drainManyBanks(E, N);
+  else
+    drainGeneric(E, N);
+  Block.clear();
+}
+
+void TraceEngine::drainNoBanks(const interp::BatchedEvent *E,
+                               std::uint32_t N) {
+  // No comparator banks: memory events only tick counters and feed the
+  // heap store history (a loop entered shortly after can still see these
+  // stores; they are filtered by EntryTime anyway). Deferred eois cannot
+  // match a traced bank — there are none — so they too are pure counter
+  // ticks here.
+  std::uint64_t HL = 0, HS = 0, LL = 0, LS = 0, LI = 0;
+  std::uint64_t Last = LastEventTime;
+  for (std::uint32_t I = 0; I < N; ++I) {
+    switch (E[I].Tag) {
+    case interp::EventTag::HeapLoad:
+      ++HL;
+      Last = E[I].Cycle;
+      break;
+    case interp::EventTag::HeapStore:
+      ++HS;
+      HeapTs.recordStore(E[I].Addr, E[I].Cycle);
+      Last = E[I].Cycle;
+      break;
+    case interp::EventTag::LocalLoad:
+      ++LL;
+      Last = E[I].Cycle;
+      break;
+    case interp::EventTag::LocalStore:
+      ++LS;
+      Last = E[I].Cycle;
+      break;
+    case interp::EventTag::LoopIter:
+      ++LI;
+      Last = E[I].Cycle;
+      break;
+    case interp::EventTag::CallSite:
+    case interp::EventTag::CallReturn:
+      // Call boundaries are ignored by the bank model (the MLS coverage
+      // sink consumes them on the per-event path).
+      break;
+    }
+  }
+  Events.HeapLoads += HL;
+  Events.HeapStores += HS;
+  Events.LocalLoads += LL;
+  Events.LocalStores += LS;
+  Events.LoopIters += LI;
+  LastEventTime = Last;
+}
+
+void TraceEngine::drainOneBank(const interp::BatchedEvent *E,
+                               std::uint32_t N) {
+  // Exactly one traced bank. Its comparator state lives in registers for
+  // the whole sweep; local events resolve through the flat slot index
+  // (only traced banks own slots, so every live reservation is this
+  // bank's).
+  const std::uint64_t Entry0 = Traced.EntryTime[0];
+  std::uint64_t Cur0 = Traced.CurStart[0];
+  std::uint64_t Prev0 = Traced.PrevStart[0];
+  std::uint64_t MinPrev0 = Traced.MinArcPrev[0];
+  std::uint64_t MinEarlier0 = Traced.MinArcEarlier[0];
+  std::int32_t PrevPc0 = Traced.MinArcPrevPc[0];
+  std::int32_t EarlierPc0 = Traced.MinArcEarlierPc[0];
+  std::uint64_t NewLoad0 = Traced.NewLoadLines[0];
+  std::uint64_t NewStore0 = Traced.NewStoreLines[0];
+  std::uint64_t HL = 0, HS = 0, LL = 0, LS = 0, LI = 0;
+  std::uint64_t Last = LastEventTime;
+
+  for (std::uint32_t I = 0; I < N; ++I) {
+    const interp::BatchedEvent &Ev = E[I];
+    switch (Ev.Tag) {
+    case interp::EventTag::HeapLoad: {
+      ++HL;
+      Last = Ev.Cycle;
+      const std::uint64_t StoreTs = HeapTs.lookup(Ev.Addr);
+      if (StoreTs != NoTimestamp && StoreTs < Cur0 && StoreTs >= Entry0) {
+        const std::uint64_t Len = Ev.Cycle - StoreTs;
+        if (StoreTs >= Prev0) {
+          if (Len < MinPrev0) {
+            MinPrev0 = Len;
+            PrevPc0 = Ev.Pc;
+          }
+        } else if (Len < MinEarlier0) {
+          MinEarlier0 = Len;
+          EarlierPc0 = Ev.Pc;
+        }
       }
-    } else if (Len < Bank.MinArcEarlier) {
-      Bank.MinArcEarlier = Len;
-      Bank.MinArcEarlierPc = Pc;
+      const std::uint64_t OldLineTs = LoadLineTs.exchange(Ev.Addr, Ev.Cycle);
+      NewLoad0 += OldLineTs == NoTimestamp || OldLineTs < Cur0;
+      break;
+    }
+    case interp::EventTag::HeapStore: {
+      ++HS;
+      Last = Ev.Cycle;
+      HeapTs.recordStore(Ev.Addr, Ev.Cycle);
+      const std::uint64_t OldLineTs = StoreLineTs.exchange(Ev.Addr, Ev.Cycle);
+      NewStore0 += OldLineTs == NoTimestamp || OldLineTs < Cur0;
+      break;
+    }
+    case interp::EventTag::LocalLoad: {
+      ++LL;
+      Last = Ev.Cycle;
+      const std::int32_t Slot = SlotIndex.find(Ev.Activation, Ev.Reg);
+      if (Slot < 0)
+        break;
+      const std::uint64_t StoreTs =
+          LocalTs.read(static_cast<std::uint32_t>(Slot));
+      if (StoreTs != NoTimestamp && StoreTs < Cur0 && StoreTs >= Entry0) {
+        const std::uint64_t Len = Ev.Cycle - StoreTs;
+        if (StoreTs >= Prev0) {
+          if (Len < MinPrev0) {
+            MinPrev0 = Len;
+            PrevPc0 = Ev.Pc;
+          }
+        } else if (Len < MinEarlier0) {
+          MinEarlier0 = Len;
+          EarlierPc0 = Ev.Pc;
+        }
+      }
+      break;
+    }
+    case interp::EventTag::LocalStore: {
+      ++LS;
+      Last = Ev.Cycle;
+      const std::int32_t Slot = SlotIndex.find(Ev.Activation, Ev.Reg);
+      if (Slot >= 0)
+        LocalTs.write(static_cast<std::uint32_t>(Slot), Ev.Cycle);
+      break;
+    }
+    case interp::EventTag::LoopIter: {
+      ++LI;
+      Last = Ev.Cycle;
+      // findTraced semantics: topmost frame with this loop id decides; an
+      // untraced match means no bank iterates.
+      const BankFrame *F = nullptr;
+      for (auto It = Active.rbegin(); It != Active.rend(); ++It) {
+        if (It->LoopId == Ev.Addr) {
+          F = &*It;
+          break;
+        }
+      }
+      if (F && F->Traced) {
+        // F is necessarily Owner: there is exactly one traced bank. The
+        // thread boundary folds the hoisted comparator state into the
+        // per-loop stats and restarts the window in registers.
+        ThreadSizeCycles.record(Ev.Cycle - Cur0);
+        foldThread(F->LoopId, MinPrev0, MinEarlier0, PrevPc0, EarlierPc0,
+                   NewLoad0, NewStore0);
+        MinPrev0 = NoArc;
+        MinEarlier0 = NoArc;
+        PrevPc0 = -1;
+        EarlierPc0 = -1;
+        NewLoad0 = 0;
+        NewStore0 = 0;
+        Prev0 = Cur0;
+        Cur0 = Ev.Cycle;
+      }
+      break;
+    }
+    case interp::EventTag::CallSite:
+    case interp::EventTag::CallReturn:
+      break;
+    }
+  }
+
+  Traced.CurStart[0] = Cur0;
+  Traced.PrevStart[0] = Prev0;
+  Traced.MinArcPrev[0] = MinPrev0;
+  Traced.MinArcEarlier[0] = MinEarlier0;
+  Traced.MinArcPrevPc[0] = PrevPc0;
+  Traced.MinArcEarlierPc[0] = EarlierPc0;
+  Traced.NewLoadLines[0] = NewLoad0;
+  Traced.NewStoreLines[0] = NewStore0;
+  Events.HeapLoads += HL;
+  Events.HeapStores += HS;
+  Events.LocalLoads += LL;
+  Events.LocalStores += LS;
+  Events.LoopIters += LI;
+  LastEventTime = Last;
+  recomputeWindow();
+}
+
+void TraceEngine::drainManyBanks(const interp::BatchedEvent *E,
+                                 std::uint32_t N) {
+  // Two or more traced banks — nested speculative loops, the bulk of the
+  // registry streams. All comparator state stays behind hoisted SoA
+  // pointers; the comparison-window aggregates live in locals and are only
+  // refreshed at the (rarer) deferred-eoi thread boundaries, so the
+  // per-load gate is two register compares. The bank sweeps themselves are
+  // the same branch-light conditional-move passes as checkLoadArcSweep.
+  const std::size_t NB = Traced.size();
+  const std::uint64_t *Entry = Traced.EntryTime.data();
+  std::uint64_t *Cur = Traced.CurStart.data();
+  std::uint64_t *Prev = Traced.PrevStart.data();
+  std::uint64_t *MinPrev = Traced.MinArcPrev.data();
+  std::uint64_t *MinEarlier = Traced.MinArcEarlier.data();
+  std::int32_t *PrevPc = Traced.MinArcPrevPc.data();
+  std::int32_t *EarlierPc = Traced.MinArcEarlierPc.data();
+  std::uint64_t *NewLoad = Traced.NewLoadLines.data();
+  std::uint64_t *NewStore = Traced.NewStoreLines.data();
+  std::uint64_t MaxCur = MaxCurStart;
+  std::uint64_t MinEntry = MinEntryTime;
+  std::uint64_t HL = 0, HS = 0, LL = 0, LS = 0, LI = 0;
+  std::uint64_t Last = LastEventTime;
+
+  for (std::uint32_t I = 0; I < N; ++I) {
+    const interp::BatchedEvent &Ev = E[I];
+    switch (Ev.Tag) {
+    case interp::EventTag::HeapLoad: {
+      ++HL;
+      Last = Ev.Cycle;
+      const std::uint64_t StoreTs = HeapTs.lookup(Ev.Addr);
+      if (StoreTs != NoTimestamp && StoreTs < MaxCur && StoreTs >= MinEntry) {
+        const std::uint64_t Len = Ev.Cycle - StoreTs;
+        for (std::size_t B = 0; B < NB; ++B) {
+          bool InWindow = StoreTs < Cur[B] && StoreTs >= Entry[B];
+          bool IsPrev = StoreTs >= Prev[B];
+          bool TakePrev = InWindow && IsPrev && Len < MinPrev[B];
+          bool TakeEarlier = InWindow && !IsPrev && Len < MinEarlier[B];
+          MinPrev[B] = TakePrev ? Len : MinPrev[B];
+          PrevPc[B] = TakePrev ? Ev.Pc : PrevPc[B];
+          MinEarlier[B] = TakeEarlier ? Len : MinEarlier[B];
+          EarlierPc[B] = TakeEarlier ? Ev.Pc : EarlierPc[B];
+        }
+      }
+      const std::uint64_t OldLineTs = LoadLineTs.exchange(Ev.Addr, Ev.Cycle);
+      const bool NoTs = OldLineTs == NoTimestamp;
+      if (NoTs || OldLineTs < MaxCur)
+        for (std::size_t B = 0; B < NB; ++B)
+          NewLoad[B] += NoTs || OldLineTs < Cur[B];
+      break;
+    }
+    case interp::EventTag::HeapStore: {
+      ++HS;
+      Last = Ev.Cycle;
+      HeapTs.recordStore(Ev.Addr, Ev.Cycle);
+      const std::uint64_t OldLineTs = StoreLineTs.exchange(Ev.Addr, Ev.Cycle);
+      const bool NoTs = OldLineTs == NoTimestamp;
+      if (NoTs || OldLineTs < MaxCur)
+        for (std::size_t B = 0; B < NB; ++B)
+          NewStore[B] += NoTs || OldLineTs < Cur[B];
+      break;
+    }
+    case interp::EventTag::LocalLoad: {
+      ++LL;
+      Last = Ev.Cycle;
+      const std::int32_t Slot = SlotIndex.find(Ev.Activation, Ev.Reg);
+      if (Slot < 0)
+        break;
+      const std::uint64_t StoreTs =
+          LocalTs.read(static_cast<std::uint32_t>(Slot));
+      if (StoreTs != NoTimestamp && StoreTs < MaxCur && StoreTs >= MinEntry) {
+        const std::uint64_t Len = Ev.Cycle - StoreTs;
+        for (std::size_t B = 0; B < NB; ++B) {
+          bool InWindow = StoreTs < Cur[B] && StoreTs >= Entry[B];
+          bool IsPrev = StoreTs >= Prev[B];
+          bool TakePrev = InWindow && IsPrev && Len < MinPrev[B];
+          bool TakeEarlier = InWindow && !IsPrev && Len < MinEarlier[B];
+          MinPrev[B] = TakePrev ? Len : MinPrev[B];
+          PrevPc[B] = TakePrev ? Ev.Pc : PrevPc[B];
+          MinEarlier[B] = TakeEarlier ? Len : MinEarlier[B];
+          EarlierPc[B] = TakeEarlier ? Ev.Pc : EarlierPc[B];
+        }
+      }
+      break;
+    }
+    case interp::EventTag::LocalStore: {
+      ++LS;
+      Last = Ev.Cycle;
+      const std::int32_t Slot = SlotIndex.find(Ev.Activation, Ev.Reg);
+      if (Slot >= 0)
+        LocalTs.write(static_cast<std::uint32_t>(Slot), Ev.Cycle);
+      break;
+    }
+    case interp::EventTag::LoopIter: {
+      ++LI;
+      Last = Ev.Cycle;
+      // findTraced semantics: topmost frame with this loop id decides.
+      const BankFrame *F = nullptr;
+      for (auto It = Active.rbegin(); It != Active.rend(); ++It) {
+        if (It->LoopId == Ev.Addr) {
+          F = &*It;
+          break;
+        }
+      }
+      if (F && F->Traced) {
+        const std::size_t Idx = static_cast<std::size_t>(F->TracedIdx);
+        ThreadSizeCycles.record(Ev.Cycle - Cur[Idx]);
+        foldThread(F->LoopId, MinPrev[Idx], MinEarlier[Idx], PrevPc[Idx],
+                   EarlierPc[Idx], NewLoad[Idx], NewStore[Idx]);
+        MinPrev[Idx] = NoArc;
+        MinEarlier[Idx] = NoArc;
+        PrevPc[Idx] = -1;
+        EarlierPc[Idx] = -1;
+        NewLoad[Idx] = 0;
+        NewStore[Idx] = 0;
+        Prev[Idx] = Cur[Idx];
+        Cur[Idx] = Ev.Cycle;
+        MaxCur = 0;
+        MinEntry = ~std::uint64_t(0);
+        for (std::size_t B = 0; B < NB; ++B) {
+          MaxCur = std::max(MaxCur, Cur[B]);
+          MinEntry = std::min(MinEntry, Entry[B]);
+        }
+      }
+      break;
+    }
+    case interp::EventTag::CallSite:
+    case interp::EventTag::CallReturn:
+      break;
+    }
+  }
+
+  Events.HeapLoads += HL;
+  Events.HeapStores += HS;
+  Events.LocalLoads += LL;
+  Events.LocalStores += LS;
+  Events.LoopIters += LI;
+  LastEventTime = Last;
+  MaxCurStart = MaxCur;
+  MinEntryTime = MinEntry;
+}
+
+void TraceEngine::drainGeneric(const interp::BatchedEvent *E,
+                               std::uint32_t N) {
+  for (std::uint32_t I = 0; I < N; ++I) {
+    switch (E[I].Tag) {
+    case interp::EventTag::HeapLoad:
+      handleHeapLoad(E[I].Addr, E[I].Cycle, E[I].Pc);
+      break;
+    case interp::EventTag::HeapStore:
+      handleHeapStore(E[I].Addr, E[I].Cycle);
+      break;
+    case interp::EventTag::LocalLoad:
+      handleLocalLoad(E[I].Activation, E[I].Reg, E[I].Cycle, E[I].Pc);
+      break;
+    case interp::EventTag::LocalStore:
+      handleLocalStore(E[I].Activation, E[I].Reg, E[I].Cycle);
+      break;
+    case interp::EventTag::LoopIter:
+      handleLoopIter(E[I].Addr, E[I].Cycle);
+      break;
+    case interp::EventTag::CallSite:
+    case interp::EventTag::CallReturn:
+      break;
     }
   }
 }
 
 std::uint32_t TraceEngine::onHeapLoad(std::uint32_t Addr, std::uint64_t Cycle,
                                       std::int32_t Pc) {
-  ++Events.HeapLoads;
-  LastEventTime = Cycle;
-  if (Active.empty())
-    return 0;
-  // Dependency arc identification against the store timestamp history.
-  checkLoadArc(HeapTs.lookup(Addr), Cycle, Pc);
-  // Overflow analysis: was this line already part of some thread's
-  // speculative load state?
-  std::uint64_t OldLineTs = LoadLineTs.exchange(Addr, Cycle);
-  for (ComparatorBank &Bank : Active) {
-    if (!Bank.Traced)
-      continue;
-    if (OldLineTs == NoTimestamp || OldLineTs < Bank.CurThreadStart) {
-      ++Bank.NewLoadLines;
-      if (Bank.NewLoadLines > Cfg.SpecLoadLines)
-        Bank.Overflowed = true;
-    }
-  }
+  if (!Block.empty())
+    drainBlock();
+  handleHeapLoad(Addr, Cycle, Pc);
   return 0;
 }
 
 std::uint32_t TraceEngine::onHeapStore(std::uint32_t Addr, std::uint64_t Cycle,
                                        std::int32_t Pc) {
   (void)Pc;
-  ++Events.HeapStores;
-  LastEventTime = Cycle;
-  if (Active.empty()) {
-    // Still record history: a loop entered shortly after can see stores
-    // that preceded it (they are filtered by EntryTime anyway).
-    HeapTs.recordStore(Addr, Cycle);
-    return 0;
-  }
-  HeapTs.recordStore(Addr, Cycle);
-  std::uint64_t OldLineTs = StoreLineTs.exchange(Addr, Cycle);
-  for (ComparatorBank &Bank : Active) {
-    if (!Bank.Traced)
-      continue;
-    if (OldLineTs == NoTimestamp || OldLineTs < Bank.CurThreadStart) {
-      ++Bank.NewStoreLines;
-      if (Bank.NewStoreLines > Cfg.SpecStoreLines)
-        Bank.Overflowed = true;
-    }
-  }
+  if (!Block.empty())
+    drainBlock();
+  handleHeapStore(Addr, Cycle);
   return 0;
 }
 
 std::uint32_t TraceEngine::onLocalLoad(std::uint64_t Activation,
                                        std::uint16_t Reg, std::uint64_t Cycle,
                                        std::int32_t Pc) {
-  ++Events.LocalLoads;
-  LastEventTime = Cycle;
-  // Resolve (activation, register) to the owning reservation, innermost
-  // first.
-  for (auto It = Active.rbegin(); It != Active.rend(); ++It) {
-    if (It->Activation != Activation)
-      continue;
-    for (const auto &[R, Slot] : It->RegSlots) {
-      if (R == Reg) {
-        checkLoadArc(LocalTs.read(Slot), Cycle, Pc);
-        return 0;
-      }
-    }
-  }
+  if (!Block.empty())
+    drainBlock();
+  handleLocalLoad(Activation, Reg, Cycle, Pc);
   return 0;
 }
 
@@ -167,68 +605,64 @@ std::uint32_t TraceEngine::onLocalStore(std::uint64_t Activation,
                                         std::uint16_t Reg, std::uint64_t Cycle,
                                         std::int32_t Pc) {
   (void)Pc;
-  ++Events.LocalStores;
-  LastEventTime = Cycle;
-  for (auto It = Active.rbegin(); It != Active.rend(); ++It) {
-    if (It->Activation != Activation)
-      continue;
-    for (const auto &[R, Slot] : It->RegSlots) {
-      if (R == Reg) {
-        LocalTs.write(Slot, Cycle);
-        return 0;
-      }
-    }
-  }
+  if (!Block.empty())
+    drainBlock();
+  handleLocalStore(Activation, Reg, Cycle);
   return 0;
 }
 
 std::uint32_t TraceEngine::onLoopStart(std::uint32_t LoopId,
                                        std::uint64_t Activation,
                                        std::uint64_t Cycle) {
+  if (!Block.empty())
+    drainBlock();
   ++Events.LoopStarts;
   LastEventTime = Cycle;
   assert(LoopId < Loops.size() && "unknown loop id");
   bool Disabled = isDisabled(LoopId);
   int Parent = Active.empty() ? -1 : static_cast<int>(Active.back().LoopId);
-  ++ParentVotes[LoopId][Parent];
+  std::vector<std::uint64_t> &Votes = ParentVotes[LoopId];
+  if (Votes.empty())
+    Votes.assign(Loops.size() + 1, 0);
+  ++Votes[static_cast<std::size_t>(Parent + 1)];
 
-  ComparatorBank Bank;
+  BankFrame Bank;
   Bank.LoopId = LoopId;
   Bank.Activation = Activation;
 
-  bool WantTrace = tracedCount() < Cfg.ComparatorBanks && !Disabled;
+  bool WantTrace = Traced.size() < Cfg.ComparatorBanks && !Disabled;
 
   if (WantTrace) {
     // Reserve slots for annotated locals not already tracked by an
-    // enclosing reservation of the same activation.
-    std::vector<std::uint16_t> NewLocals;
-    for (std::uint16_t Reg : Loops[LoopId].AnnotatedLocals) {
-      bool Covered = false;
-      for (const ComparatorBank &B : Active) {
-        if (B.Activation != Activation)
-          continue;
-        for (const auto &[R, Slot] : B.RegSlots)
-          Covered |= R == Reg;
-      }
-      if (!Covered)
-        NewLocals.push_back(Reg);
-    }
-    int Base = LocalTs.reserve(static_cast<std::uint32_t>(NewLocals.size()));
+    // enclosing reservation of the same activation — exactly the pairs
+    // absent from the slot index.
+    ScratchLocals.clear();
+    for (std::uint16_t Reg : Loops[LoopId].AnnotatedLocals)
+      if (SlotIndex.find(Activation, Reg) < 0)
+        ScratchLocals.push_back(Reg);
+    int Base =
+        LocalTs.reserve(static_cast<std::uint32_t>(ScratchLocals.size()));
     if (Base < 0) {
       WantTrace = false; // no room for local variable timestamps
     } else {
       Bank.SlotBase = Base;
-      Bank.SlotCount = static_cast<std::uint32_t>(NewLocals.size());
-      for (std::uint32_t S = 0; S < NewLocals.size(); ++S)
-        Bank.RegSlots.emplace_back(NewLocals[S],
-                                   static_cast<std::uint32_t>(Base) + S);
+      Bank.SlotCount = static_cast<std::uint32_t>(ScratchLocals.size());
+      RegStack.insert(RegStack.end(), ScratchLocals.begin(),
+                      ScratchLocals.end());
+      for (std::uint32_t K = 0; K < Bank.SlotCount; ++K)
+        SlotIndex.insert(Activation, ScratchLocals[K],
+                         static_cast<std::uint32_t>(Base) + K);
+      assert(RegStack.size() == LocalTs.used() &&
+             "register stack out of sync with the slot file");
       PeakSlots = std::max(PeakSlots, LocalTs.used());
     }
   }
 
   Bank.Traced = WantTrace;
   if (WantTrace) {
-    Bank.EntryTime = Bank.CurThreadStart = Bank.PrevThreadStart = Cycle;
+    Bank.TracedIdx = static_cast<int>(Traced.size());
+    Traced.push(Cycle);
+    recomputeWindow();
     ++Stats[LoopId].Entries;
     if (TL)
       TL->begin(Track, "bank#" + std::to_string(LoopId), Cycle);
@@ -236,87 +670,151 @@ std::uint32_t TraceEngine::onLoopStart(std::uint32_t LoopId,
     ++Stats[LoopId].UntracedEntries;
   }
   Active.push_back(std::move(Bank));
-  PeakBanks = std::max(PeakBanks, tracedCount());
+  PeakBanks = std::max(PeakBanks, static_cast<std::uint32_t>(Traced.size()));
   PeakNest = std::max(PeakNest, static_cast<std::uint32_t>(Active.size()));
   return Disabled ? 0 : extraCost(Cfg.SLoopCost);
 }
 
-void TraceEngine::finalizeThread(ComparatorBank &Bank) {
-  StlStats &S = Stats[Bank.LoopId];
-  if (Bank.MinArcPrev != ComparatorBank::NoArc) {
+PcBinStats &TraceEngine::pcBin(std::uint32_t LoopId, std::int32_t Pc) {
+  PcBinsDirty = true;
+  std::vector<std::pair<std::int32_t, PcBinStats>> &V = PcBinAcc[LoopId];
+  for (std::pair<std::int32_t, PcBinStats> &E : V)
+    if (E.first == Pc)
+      return E.second;
+  V.emplace_back(Pc, PcBinStats{});
+  return V.back().second;
+}
+
+void TraceEngine::flushPcBins() const {
+  if (!PcBinsDirty)
+    return;
+  PcBinsDirty = false;
+  for (std::size_t L = 0; L < PcBinAcc.size(); ++L) {
+    for (const std::pair<std::int32_t, PcBinStats> &E : PcBinAcc[L]) {
+      PcBinStats &Dst = Stats[L].PcBins[E.first];
+      Dst.CriticalArcs += E.second.CriticalArcs;
+      Dst.AccumulatedLength += E.second.AccumulatedLength;
+    }
+    PcBinAcc[L].clear();
+  }
+}
+
+void TraceEngine::foldThread(std::uint32_t LoopId, std::uint64_t MinPrev,
+                             std::uint64_t MinEarlier, std::int32_t PrevPc,
+                             std::int32_t EarlierPc, std::uint64_t NewLoad,
+                             std::uint64_t NewStore) {
+  StlStats &S = Stats[LoopId];
+  if (MinPrev != NoArc) {
     ++S.CritArcsPrev;
-    S.CritLenPrev += Bank.MinArcPrev;
+    S.CritLenPrev += MinPrev;
     if (ExtendedPcBinning) {
-      PcBinStats &Bin = S.PcBins[Bank.MinArcPrevPc];
+      PcBinStats &Bin = pcBin(LoopId, PrevPc);
       ++Bin.CriticalArcs;
-      Bin.AccumulatedLength += Bank.MinArcPrev;
+      Bin.AccumulatedLength += MinPrev;
     }
   }
-  if (Bank.MinArcEarlier != ComparatorBank::NoArc) {
+  if (MinEarlier != NoArc) {
     ++S.CritArcsEarlier;
-    S.CritLenEarlier += Bank.MinArcEarlier;
+    S.CritLenEarlier += MinEarlier;
     if (ExtendedPcBinning) {
-      PcBinStats &Bin = S.PcBins[Bank.MinArcEarlierPc];
+      PcBinStats &Bin = pcBin(LoopId, EarlierPc);
       ++Bin.CriticalArcs;
-      Bin.AccumulatedLength += Bank.MinArcEarlier;
+      Bin.AccumulatedLength += MinEarlier;
     }
   }
   ++S.Threads;
-  S.MaxLoadLines = std::max(S.MaxLoadLines, Bank.NewLoadLines);
-  S.MaxStoreLines = std::max(S.MaxStoreLines, Bank.NewStoreLines);
-  if (Bank.Overflowed)
+  S.MaxLoadLines = std::max(S.MaxLoadLines, NewLoad);
+  S.MaxStoreLines = std::max(S.MaxStoreLines, NewStore);
+  // A thread overflowed iff its tallies ever exceeded the speculative
+  // buffer capacities; the tallies only grow within a thread, so the final
+  // values decide it and the hot sweeps carry no sticky flag.
+  if (NewLoad > Cfg.SpecLoadLines || NewStore > Cfg.SpecStoreLines)
     ++S.OverflowThreads;
+}
 
-  Bank.MinArcPrev = Bank.MinArcEarlier = ComparatorBank::NoArc;
-  Bank.MinArcPrevPc = Bank.MinArcEarlierPc = -1;
-  Bank.NewLoadLines = Bank.NewStoreLines = 0;
-  Bank.Overflowed = false;
+void TraceEngine::finalizeThread(std::uint32_t LoopId, std::size_t Idx) {
+  foldThread(LoopId, Traced.MinArcPrev[Idx], Traced.MinArcEarlier[Idx],
+             Traced.MinArcPrevPc[Idx], Traced.MinArcEarlierPc[Idx],
+             Traced.NewLoadLines[Idx], Traced.NewStoreLines[Idx]);
+  Traced.resetThread(Idx);
+}
+
+void TraceEngine::iterateBank(std::uint32_t LoopId, std::size_t Idx,
+                              std::uint64_t Cycle) {
+  ThreadSizeCycles.record(Cycle - Traced.CurStart[Idx]);
+  finalizeThread(LoopId, Idx);
+  Traced.PrevStart[Idx] = Traced.CurStart[Idx];
+  Traced.CurStart[Idx] = Cycle;
+  recomputeWindow();
+}
+
+void TraceEngine::handleLoopIter(std::uint32_t LoopId, std::uint64_t Cycle) {
+  ++Events.LoopIters;
+  LastEventTime = Cycle;
+  BankFrame *Bank = findTraced(LoopId);
+  if (Bank)
+    iterateBank(LoopId, static_cast<std::size_t>(Bank->TracedIdx), Cycle);
 }
 
 std::uint32_t TraceEngine::onLoopIter(std::uint32_t LoopId,
                                       std::uint64_t Cycle) {
+  if (!Block.empty())
+    drainBlock();
   ++Events.LoopIters;
   LastEventTime = Cycle;
-  ComparatorBank *Bank = findTraced(LoopId);
+  BankFrame *Bank = findTraced(LoopId);
   if (!Bank)
     return isDisabled(LoopId) ? 0 : extraCost(Cfg.EoiCost);
-  ThreadSizeCycles.record(Cycle - Bank->CurThreadStart);
-  finalizeThread(*Bank);
-  Bank->PrevThreadStart = Bank->CurThreadStart;
-  Bank->CurThreadStart = Cycle;
+  iterateBank(LoopId, static_cast<std::size_t>(Bank->TracedIdx), Cycle);
   return extraCost(Cfg.EoiCost);
 }
 
-void TraceEngine::closeBank(ComparatorBank &Bank, std::uint64_t Cycle) {
+void TraceEngine::closeBank(BankFrame &Bank, std::uint64_t Cycle) {
   if (Bank.Traced) {
-    if (Cycle >= Bank.CurThreadStart)
-      ThreadSizeCycles.record(Cycle - Bank.CurThreadStart);
-    finalizeThread(Bank);
-    Stats[Bank.LoopId].Cycles += Cycle - Bank.EntryTime;
+    // Traced banks close strictly LIFO, so this bank's comparator state is
+    // the top of the SoA stack.
+    std::size_t Idx = static_cast<std::size_t>(Bank.TracedIdx);
+    assert(Idx + 1 == Traced.size() && "non-LIFO traced bank close");
+    if (Cycle >= Traced.CurStart[Idx])
+      ThreadSizeCycles.record(Cycle - Traced.CurStart[Idx]);
+    finalizeThread(Bank.LoopId, Idx);
+    Stats[Bank.LoopId].Cycles += Cycle - Traced.EntryTime[Idx];
+    Traced.pop();
+    recomputeWindow();
     if (TL)
       TL->end(Track, Cycle);
   }
-  if (Bank.SlotBase >= 0)
-    LocalTs.release(static_cast<std::uint32_t>(Bank.SlotBase),
-                    Bank.SlotCount);
+  if (Bank.SlotBase >= 0) {
+    if (LocalTs.release(static_cast<std::uint32_t>(Bank.SlotBase),
+                        Bank.SlotCount) == SlotReleaseResult::Ok) {
+      const std::uint32_t Base = static_cast<std::uint32_t>(Bank.SlotBase);
+      for (std::uint32_t K = 0; K < Bank.SlotCount; ++K)
+        SlotIndex.erase(Bank.Activation, RegStack[Base + K]);
+      RegStack.resize(static_cast<std::size_t>(Bank.SlotBase));
+    } else {
+      ++SlotReleaseErrors; // slot file and index untouched, RegStack too
+    }
+  }
 }
 
 std::uint32_t TraceEngine::onLoopEnd(std::uint32_t LoopId,
                                      std::uint64_t Cycle) {
+  if (!Block.empty())
+    drainBlock();
   ++Events.LoopEnds;
   LastEventTime = Cycle;
   // A matching sloop may never have fired (e.g. the loop was entered before
   // tracing was switched on); in that case the eloop is ignored rather than
   // tearing down enclosing banks.
   bool OnStack = false;
-  for (const ComparatorBank &B : Active)
+  for (const BankFrame &B : Active)
     OnStack |= B.LoopId == LoopId;
   if (!OnStack)
     return isDisabled(LoopId) ? 0 : extraCost(Cfg.ELoopCost);
   // Pop until this loop's entry is closed; any entries above it were left
   // open by non-structured exits and are closed as well.
   while (!Active.empty()) {
-    ComparatorBank Bank = std::move(Active.back());
+    BankFrame Bank = std::move(Active.back());
     Active.pop_back();
     closeBank(Bank, Cycle);
     if (Bank.LoopId == LoopId)
@@ -326,9 +824,11 @@ std::uint32_t TraceEngine::onLoopEnd(std::uint32_t LoopId,
 }
 
 void TraceEngine::onReturn(std::uint64_t Activation) {
+  if (!Block.empty())
+    drainBlock();
   ++Events.Returns;
   while (!Active.empty() && Active.back().Activation == Activation) {
-    ComparatorBank Bank = std::move(Active.back());
+    BankFrame Bank = std::move(Active.back());
     Active.pop_back();
     closeBank(Bank, LastEventTime);
   }
@@ -336,23 +836,31 @@ void TraceEngine::onReturn(std::uint64_t Activation) {
 
 std::uint32_t TraceEngine::onReadStats(std::uint32_t LoopId,
                                        std::uint64_t Cycle) {
+  if (!Block.empty())
+    drainBlock();
   ++Events.ReadStats;
   LastEventTime = Cycle;
   return isDisabled(LoopId) ? 0 : extraCost(Cfg.ReadStatsCost);
 }
 
 std::vector<int> TraceEngine::dynamicParents() const {
+  assert(Block.empty() && "reading results with undrained batched events");
   std::vector<int> Parents(Stats.size(), -1);
-  for (const auto &[LoopId, Votes] : ParentVotes) {
+  for (std::uint32_t L = 0; L < ParentVotes.size(); ++L) {
+    const std::vector<std::uint64_t> &Votes = ParentVotes[L];
+    if (Votes.empty())
+      continue; // never entered
+    // Ascending parent order with a strict max keeps the tie-break of the
+    // ordered-map implementation: the smallest parent id wins.
     int Best = -1;
     std::uint64_t BestVotes = 0;
-    for (const auto &[Parent, Count] : Votes) {
-      if (Count > BestVotes) {
-        Best = Parent;
-        BestVotes = Count;
+    for (std::size_t P = 0; P < Votes.size(); ++P) {
+      if (Votes[P] > BestVotes) {
+        Best = static_cast<int>(P) - 1;
+        BestVotes = Votes[P];
       }
     }
-    Parents[LoopId] = Best;
+    Parents[L] = Best;
   }
   // Discard any edges that would form a cycle (possible when a loop is
   // observed in several contexts): walk up from each node, cutting the edge

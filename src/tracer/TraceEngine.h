@@ -8,11 +8,21 @@
 // speculation store buffers, and per-thread critical-arc folding at each
 // `eoi`.
 //
+// The engine consumes events in blocks (interp/EventBlock.h): producers
+// append the zero-cost memory events to the engine's EventBlock and drain
+// it on overflow and before every control event, so the per-event virtual
+// dispatch disappears from the hot path while the observed event order —
+// and therefore every statistic — is bit-identical to per-event delivery.
+// Per-bank comparator state is kept as structure-of-arrays over the traced
+// banks only, making the load-arc comparison and the overflow tally
+// branch-light sweeps over contiguous timestamp arrays.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef JRPM_TRACER_TRACEENGINE_H
 #define JRPM_TRACER_TRACEENGINE_H
 
+#include "interp/EventBlock.h"
 #include "interp/TraceSink.h"
 #include "metrics/Metrics.h"
 #include "metrics/Timeline.h"
@@ -21,7 +31,6 @@
 #include "tracer/TimestampStores.h"
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 namespace jrpm {
@@ -33,38 +42,11 @@ struct LoopTraceInfo {
   std::vector<std::uint16_t> AnnotatedLocals;
 };
 
-/// One active comparator bank (Figure 7), tracking the progress of one STL
-/// currently being executed. Entries with Traced == false are placeholders
-/// for loops that could not get a bank (array exhausted, no local slots, or
-/// tracing dynamically disabled) and only keep the sloop/eloop stack
-/// balanced.
-struct ComparatorBank {
-  std::uint32_t LoopId = 0;
-  std::uint64_t Activation = 0;
-  bool Traced = false;
-
-  std::uint64_t EntryTime = 0;
-  std::uint64_t CurThreadStart = 0;
-  std::uint64_t PrevThreadStart = 0;
-
-  static constexpr std::uint64_t NoArc = ~std::uint64_t(0);
-  std::uint64_t MinArcPrev = NoArc;
-  std::uint64_t MinArcEarlier = NoArc;
-  std::int32_t MinArcPrevPc = -1;
-  std::int32_t MinArcEarlierPc = -1;
-
-  std::uint64_t NewLoadLines = 0;
-  std::uint64_t NewStoreLines = 0;
-  bool Overflowed = false;
-
-  int SlotBase = -1;
-  std::uint32_t SlotCount = 0;
-  /// Newly reserved (register -> absolute slot) pairs owned by this bank.
-  std::vector<std::pair<std::uint16_t, std::uint32_t>> RegSlots;
-};
-
 class TraceEngine : public interp::TraceSink {
 public:
+  /// Arc length meaning "no arc observed for this thread yet".
+  static constexpr std::uint64_t NoArc = ~std::uint64_t(0);
+
   /// \p Loops is indexed by module-global loop id.
   TraceEngine(const sim::HydraConfig &Cfg, std::vector<LoopTraceInfo> Loops,
               bool ExtendedPcBinning = false);
@@ -72,11 +54,28 @@ public:
   /// Dynamically stop tracing a loop once this many threads have been
   /// observed for it, freeing its bank for deeper loops (Section 5.2's
   /// annotation-disabling mechanism). 0 disables the feature.
+  ///
+  /// With the feature off (the default) every `eoi` charges the fixed
+  /// extraCost(Cfg.EoiCost), so the engine opts in to deferred `eoi`
+  /// batching; with it on, a disabled loop's `eoi` charges 0 and the
+  /// charge becomes state-dependent, so `eoi` reverts to the synchronous
+  /// drain-then-dispatch path.
   void setDisableLoopAfterThreads(std::uint64_t Threshold) {
     DisableAfterThreads = Threshold;
+    Block.setDeferredEoiCost(
+        Threshold == 0 ? static_cast<std::int32_t>(extraCost(Cfg.EoiCost))
+                       : -1);
   }
 
+  /// Resizes the event block (the batching window between forced drains).
+  /// Any batch size produces bit-identical results; this knob exists for
+  /// conformance tests and throughput tuning. Legal only between drains.
+  void setBatchCapacity(std::uint32_t Events) { Block.setCapacity(Events); }
+
   // --- TraceSink interface -------------------------------------------------
+  // The per-event virtual methods remain fully supported (tests and
+  // non-batching producers use them); each drains pending block events
+  // first so mixed use keeps stream order.
   std::uint32_t onHeapLoad(std::uint32_t Addr, std::uint64_t Cycle,
                            std::int32_t Pc) override;
   std::uint32_t onHeapStore(std::uint32_t Addr, std::uint64_t Cycle,
@@ -93,8 +92,14 @@ public:
   std::uint32_t onReadStats(std::uint32_t LoopId,
                             std::uint64_t Cycle) override;
 
+  interp::EventBlock *eventBlock() override { return &Block; }
+  void drainBlock() override;
+
   // --- Results -------------------------------------------------------------
-  const StlStats &stats(std::uint32_t LoopId) const { return Stats[LoopId]; }
+  const StlStats &stats(std::uint32_t LoopId) const {
+    flushPcBins();
+    return Stats[LoopId];
+  }
   std::uint32_t numLoops() const {
     return static_cast<std::uint32_t>(Stats.size());
   }
@@ -129,6 +134,53 @@ public:
   void exportMetrics(metrics::Registry &R) const;
 
 private:
+  /// One entry of the sloop/eloop stack. Hot comparator state for traced
+  /// entries lives in the Traced SoA arrays (indexed by TracedIdx); the
+  /// frame keeps only identity and slot ownership. Entries with
+  /// Traced == false are placeholders for loops that could not get a bank
+  /// (array exhausted, no local slots, or tracing dynamically disabled)
+  /// and only keep the stack balanced.
+  struct BankFrame {
+    std::uint32_t LoopId = 0;
+    std::uint64_t Activation = 0;
+    bool Traced = false;
+    int TracedIdx = -1;
+    /// This bank's slice of RegStack/LocalTs: slots
+    /// [SlotBase, SlotBase + SlotCount) hold the timestamps of the
+    /// registers RegStack[SlotBase .. SlotBase + SlotCount). -1 when the
+    /// bank owns no reservation. No per-frame heap state — pushing a frame
+    /// is a plain store.
+    int SlotBase = -1;
+    std::uint32_t SlotCount = 0;
+  };
+
+  /// Structure-of-arrays comparator state of the traced banks, a stack
+  /// parallel to the traced subsequence of Active. The per-event analyses
+  /// sweep these contiguous arrays directly (Figure 7's parallel
+  /// comparator banks).
+  struct TracedBanks {
+    std::vector<std::uint64_t> EntryTime;
+    std::vector<std::uint64_t> CurStart;
+    std::vector<std::uint64_t> PrevStart;
+    std::vector<std::uint64_t> MinArcPrev;
+    std::vector<std::uint64_t> MinArcEarlier;
+    std::vector<std::int32_t> MinArcPrevPc;
+    std::vector<std::int32_t> MinArcEarlierPc;
+    std::vector<std::uint64_t> NewLoadLines;
+    std::vector<std::uint64_t> NewStoreLines;
+    /// Live bank count. The arrays are sized once to the comparator-bank
+    /// capacity (init), so push/pop on the sloop/eloop path are plain
+    /// stores and a counter bump — no allocator, no capacity checks.
+    std::size_t Size = 0;
+
+    void init(std::size_t Capacity);
+    std::size_t size() const { return Size; }
+    void push(std::uint64_t Cycle);
+    void pop() { --Size; }
+    /// Resets the per-thread accumulators of bank \p Idx.
+    void resetThread(std::size_t Idx);
+  };
+
   /// True once the runtime has dynamically disabled this loop's
   /// annotations (they cost nothing from then on — the paper overwrites
   /// them with nops).
@@ -142,12 +194,65 @@ private:
     return Total > 0 ? Total - 1 : 0;
   }
 
-  ComparatorBank *findTraced(std::uint32_t LoopId);
-  void finalizeThread(ComparatorBank &Bank);
-  void closeBank(ComparatorBank &Bank, std::uint64_t Cycle);
+  // Specialized drain sweeps; drainBlock picks one per block based on the
+  // bank population, which control events cannot change mid-block.
+  void drainNoBanks(const interp::BatchedEvent *E, std::uint32_t N);
+  void drainOneBank(const interp::BatchedEvent *E, std::uint32_t N);
+  void drainManyBanks(const interp::BatchedEvent *E, std::uint32_t N);
+  void drainGeneric(const interp::BatchedEvent *E, std::uint32_t N);
+
+  // Batched handlers for the deferred event kinds.
+  void handleHeapLoad(std::uint32_t Addr, std::uint64_t Cycle,
+                      std::int32_t Pc);
+  void handleHeapStore(std::uint32_t Addr, std::uint64_t Cycle);
+  void handleLocalLoad(std::uint64_t Activation, std::uint16_t Reg,
+                       std::uint64_t Cycle, std::int32_t Pc);
+  void handleLocalStore(std::uint64_t Activation, std::uint16_t Reg,
+                        std::uint64_t Cycle);
+  void handleLoopIter(std::uint32_t LoopId, std::uint64_t Cycle);
+
+  BankFrame *findTraced(std::uint32_t LoopId);
+  /// The eoi thread boundary of traced bank \p Idx: records the thread
+  /// size, folds its accumulators, and starts the next thread at \p Cycle.
+  void iterateBank(std::uint32_t LoopId, std::size_t Idx, std::uint64_t Cycle);
+  /// Folds one finished thread's accumulator values into \p LoopId's
+  /// StlStats (shared by the SoA path and the register-hoisted drain).
+  void foldThread(std::uint32_t LoopId, std::uint64_t MinPrev,
+                  std::uint64_t MinEarlier, std::int32_t PrevPc,
+                  std::int32_t EarlierPc, std::uint64_t NewLoad,
+                  std::uint64_t NewStore);
+  /// Flat PC-bin accumulator lookup for \p LoopId (grows on first touch).
+  PcBinStats &pcBin(std::uint32_t LoopId, std::int32_t Pc);
+  /// Folds the flat per-loop PC-bin accumulators into the observable
+  /// ordered StlStats::PcBins maps. Lazy: called on every result read,
+  /// cheap no-op when nothing accumulated since the last flush.
+  void flushPcBins() const;
+  void finalizeThread(std::uint32_t LoopId, std::size_t Idx);
+  void closeBank(BankFrame &Bank, std::uint64_t Cycle);
+  /// Load dependency check: the inline front gate decides via the cached
+  /// window aggregates (one compare each) whether the store can matter to
+  /// any comparator at all; only survivors take the outlined bank sweep.
   void checkLoadArc(std::uint64_t StoreTs, std::uint64_t Cycle,
-                    std::int32_t Pc);
-  std::uint32_t tracedCount() const;
+                    std::int32_t Pc) {
+    if (StoreTs == NoTimestamp || StoreTs >= MaxCurStart ||
+        StoreTs < MinEntryTime)
+      return;
+    checkLoadArcSweep(StoreTs, Cycle, Pc);
+  }
+  void checkLoadArcSweep(std::uint64_t StoreTs, std::uint64_t Cycle,
+                         std::int32_t Pc);
+  /// Refreshes the cached comparison-window aggregates after any traced
+  /// bank's EntryTime/CurStart changes (loop start, iteration, close).
+  void recomputeWindow() {
+    std::uint64_t MaxCur = 0;
+    std::uint64_t MinEntry = ~std::uint64_t(0);
+    for (std::size_t I = 0; I < Traced.Size; ++I) {
+      MaxCur = std::max(MaxCur, Traced.CurStart[I]);
+      MinEntry = std::min(MinEntry, Traced.EntryTime[I]);
+    }
+    MaxCurStart = MaxCur;
+    MinEntryTime = MinEntry;
+  }
 
   /// Held by value (reentrancy audit): sweep jobs construct engines from
   /// per-job configs on their own stacks, and a reference member would
@@ -161,14 +266,53 @@ private:
   CacheLineTimestampTable LoadLineTs;
   CacheLineTimestampTable StoreLineTs;
   LocalVarTimestampFile LocalTs;
+  /// O(1) resolution of (activation, register) to its LocalTs slot —
+  /// mirrors the live reservations in RegStack exactly (insert on
+  /// reservation, erase on release), so local-variable events skip the
+  /// bank-stack walk entirely.
+  LocalSlotIndex SlotIndex;
 
-  std::vector<ComparatorBank> Active; // stack, bottom = outermost
-  std::vector<StlStats> Stats;        // indexed by loop id
-  std::map<std::uint32_t, std::map<int, std::uint64_t>> ParentVotes;
+  interp::EventBlock Block;
+
+  std::vector<BankFrame> Active; // stack, bottom = outermost
+  TracedBanks Traced;            // SoA state of the traced subsequence
+  /// Register number per reserved local slot, exactly parallel to the
+  /// LocalTs slot file (RegStack.size() == LocalTs.used() always): slot S
+  /// times the variable held in register RegStack[S]. Reservations are
+  /// stack-style, so a bank's registers are the contiguous slice named by
+  /// its SlotBase/SlotCount and release is a truncation.
+  std::vector<std::uint16_t> RegStack;
+  /// onLoopStart scratch for the not-yet-covered annotated locals; a
+  /// member so the hot path reuses its capacity instead of allocating.
+  std::vector<std::uint16_t> ScratchLocals;
+  /// Cached aggregates over the traced banks' comparison windows. A store
+  /// timestamp at or past every bank's current thread start (the
+  /// overwhelmingly common same-thread case) or before every bank's entry
+  /// cannot affect any comparator, so the per-event sweeps are skipped
+  /// with a single compare — the hardware analogue of the bank array's
+  /// shared window register.
+  std::uint64_t MaxCurStart = 0;
+  std::uint64_t MinEntryTime = ~std::uint64_t(0);
+  /// Indexed by loop id. Mutable with PcBinAcc/PcBinsDirty: the flat PC-bin
+  /// accumulators are folded into the observable ordered maps lazily on
+  /// the first result read (stats() is const, as results reads should be).
+  mutable std::vector<StlStats> Stats;
+  /// Flat per-loop (pc, bin) accumulators for the extended PC binning. A
+  /// thread contributes at most two critical arcs and a loop's arcs
+  /// concentrate on a handful of PCs, so an unsorted vector scan beats the
+  /// ordered map on the thread-boundary path by an order of magnitude.
+  mutable std::vector<std::vector<std::pair<std::int32_t, PcBinStats>>>
+      PcBinAcc;
+  mutable bool PcBinsDirty = false;
+  /// Flat parent-vote matrix: row = loop id, column = parent loop id + 1
+  /// (column 0 counts top-level entries). Rows are allocated on the first
+  /// vote so nests touch only the loops they actually contain.
+  std::vector<std::vector<std::uint64_t>> ParentVotes;
   std::uint32_t PeakBanks = 0;
   std::uint32_t PeakSlots = 0;
   std::uint32_t PeakNest = 0;
   std::uint64_t LastEventTime = 0;
+  std::uint64_t SlotReleaseErrors = 0;
 
   /// Event-stream counters: one plain increment per event, folded into a
   /// registry only by exportMetrics().

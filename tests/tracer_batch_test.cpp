@@ -1,0 +1,316 @@
+//===- tests/tracer_batch_test.cpp - Block-drain equivalence tests ---------==//
+//
+// The EventBlock contract says batching is a pure transport change: any
+// drain schedule must leave the TraceEngine byte-identical to the
+// per-event path. These tests sweep the block capacity from 1 upward —
+// which forces a drain at every possible event offset of a stream that
+// mixes heap, local, control, and deferred-eoi events — and pin the full
+// observable surface (StlStats, dynamic parents, peaks, exported
+// metrics) against an unbatched reference engine. A live pipeline test
+// does the same through PipelineConfig::TraceBatchEvents.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jrpm/Pipeline.h"
+#include "metrics/Metrics.h"
+#include "sim/Config.h"
+#include "trace/Reader.h"
+#include "tracer/TraceEngine.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace jrpm;
+using namespace jrpm::tracer;
+
+namespace {
+
+sim::HydraConfig smallConfig() {
+  sim::HydraConfig Cfg;
+  Cfg.ComparatorBanks = 2;
+  Cfg.LocalVarSlots = 4;
+  return Cfg;
+}
+
+std::vector<LoopTraceInfo> loops(std::size_t N,
+                                 std::vector<std::uint16_t> Locals = {}) {
+  std::vector<LoopTraceInfo> L(N);
+  for (auto &Info : L)
+    Info.AnnotatedLocals = Locals;
+  return L;
+}
+
+struct EventBuilder {
+  std::vector<trace::Event> Ev;
+
+  void heapLoad(std::uint32_t Addr, std::uint64_t Cycle, std::int32_t Pc) {
+    trace::Event E;
+    E.Kind = trace::EventKind::HeapLoad;
+    E.Addr = Addr;
+    E.Cycle = Cycle;
+    E.Pc = Pc;
+    Ev.push_back(E);
+  }
+  void heapStore(std::uint32_t Addr, std::uint64_t Cycle, std::int32_t Pc) {
+    trace::Event E;
+    E.Kind = trace::EventKind::HeapStore;
+    E.Addr = Addr;
+    E.Cycle = Cycle;
+    E.Pc = Pc;
+    Ev.push_back(E);
+  }
+  void localLoad(std::uint64_t Act, std::uint16_t Reg, std::uint64_t Cycle,
+                 std::int32_t Pc) {
+    trace::Event E;
+    E.Kind = trace::EventKind::LocalLoad;
+    E.Activation = Act;
+    E.Reg = Reg;
+    E.Cycle = Cycle;
+    E.Pc = Pc;
+    Ev.push_back(E);
+  }
+  void localStore(std::uint64_t Act, std::uint16_t Reg, std::uint64_t Cycle,
+                  std::int32_t Pc) {
+    trace::Event E;
+    E.Kind = trace::EventKind::LocalStore;
+    E.Activation = Act;
+    E.Reg = Reg;
+    E.Cycle = Cycle;
+    E.Pc = Pc;
+    Ev.push_back(E);
+  }
+  void loopStart(std::uint32_t LoopId, std::uint64_t Act,
+                 std::uint64_t Cycle) {
+    trace::Event E;
+    E.Kind = trace::EventKind::LoopStart;
+    E.LoopId = LoopId;
+    E.Activation = Act;
+    E.Cycle = Cycle;
+    Ev.push_back(E);
+  }
+  void loopIter(std::uint32_t LoopId, std::uint64_t Cycle) {
+    trace::Event E;
+    E.Kind = trace::EventKind::LoopIter;
+    E.LoopId = LoopId;
+    E.Cycle = Cycle;
+    Ev.push_back(E);
+  }
+  void loopEnd(std::uint32_t LoopId, std::uint64_t Cycle) {
+    trace::Event E;
+    E.Kind = trace::EventKind::LoopEnd;
+    E.LoopId = LoopId;
+    E.Cycle = Cycle;
+    Ev.push_back(E);
+  }
+  void ret(std::uint64_t Act) {
+    trace::Event E;
+    E.Kind = trace::EventKind::Return;
+    E.Activation = Act;
+    Ev.push_back(E);
+  }
+  void callSite(std::int32_t Pc, std::uint64_t Cycle) {
+    trace::Event E;
+    E.Kind = trace::EventKind::CallSite;
+    E.Pc = Pc;
+    E.Cycle = Cycle;
+    Ev.push_back(E);
+  }
+  void callReturn(std::uint64_t Cycle) {
+    trace::Event E;
+    E.Kind = trace::EventKind::CallReturn;
+    E.Cycle = Cycle;
+    Ev.push_back(E);
+  }
+  void readStats(std::uint32_t LoopId, std::uint64_t Cycle) {
+    trace::Event E;
+    E.Kind = trace::EventKind::ReadStats;
+    E.LoopId = LoopId;
+    E.Cycle = Cycle;
+    Ev.push_back(E);
+  }
+};
+
+/// A stream that drives every drain specialization: events outside any
+/// loop (no banks), a single traced loop (one bank), a nested traced pair
+/// (many banks), a third nest over the bank budget (untraced frames),
+/// local variables with shadowing reservations across two activations,
+/// deferred eois, unbalanced exits via return, and a readstats probe.
+std::vector<trace::Event> mixedStream() {
+  EventBuilder B;
+  std::uint64_t C = 0;
+  // Outside any loop: heap traffic only feeds the store history.
+  B.heapStore(100, ++C, 1);
+  B.heapLoad(100, ++C, 2);
+  B.localStore(7, 3, ++C, 3); // no reservation: ignored
+  // One traced bank.
+  B.loopStart(0, /*act*/ 7, ++C);
+  B.localStore(7, 3, ++C, 4);
+  B.heapStore(104, ++C, 5);
+  B.loopIter(0, ++C);
+  B.heapLoad(104, ++C, 6);   // prev-thread arc
+  B.localLoad(7, 3, ++C, 7); // prev-thread local arc
+  B.loopIter(0, ++C);
+  B.heapLoad(104, ++C, 19); // store predates the previous thread: earlier arc
+  // Nested traced bank with a shadowed register: reg 3 is already
+  // reserved by loop 0's frame of the same activation.
+  B.loopStart(1, 7, ++C);
+  B.localStore(7, 3, ++C, 8);  // resolves to loop 0's slot
+  B.localStore(7, 4, ++C, 9);  // loop 1's own slot
+  B.callSite(41, ++C);
+  B.callReturn(++C);
+  // Third nest: over the two-bank budget, so the frame is untraced.
+  B.loopStart(2, 9, ++C);
+  B.localLoad(9, 5, ++C, 10); // activation 9 has no reservations
+  B.loopIter(2, ++C);         // untraced frame: no bank iterates
+  B.loopIter(1, ++C);
+  B.localLoad(7, 4, ++C, 11); // prev-thread arc in the nested bank
+  B.heapStore(108, ++C, 12);
+  B.loopIter(1, ++C);
+  B.heapLoad(108, ++C, 13); // prev-thread arc
+  B.heapLoad(104, ++C, 14); // earlier-thread arc
+  B.loopEnd(2, ++C);
+  B.readStats(1, ++C);
+  B.loopIter(0, ++C);
+  B.loopEnd(1, ++C); // closes the nested bank
+  // Unbalanced exit: return pops activation 7's remaining frame.
+  B.ret(7);
+  // Re-enter with a fresh activation to recycle released slots.
+  B.loopStart(0, 11, ++C);
+  B.localStore(11, 3, ++C, 15);
+  B.loopIter(0, ++C);
+  B.localLoad(11, 3, ++C, 16);
+  B.heapStore(112, ++C, 17);
+  B.loopIter(0, ++C);
+  B.heapLoad(112, ++C, 18);
+  B.loopEnd(0, ++C);
+  return B.Ev;
+}
+
+/// Everything the engine exposes, captured for equality checks.
+struct Observed {
+  std::vector<StlStats> Stats;
+  std::vector<int> Parents;
+  std::uint32_t PeakBanks = 0;
+  std::uint32_t PeakSlots = 0;
+  std::uint32_t PeakNest = 0;
+  std::string MetricsJson;
+
+  bool operator==(const Observed &O) const = default;
+};
+
+Observed observe(const TraceEngine &E) {
+  Observed O;
+  for (std::uint32_t L = 0; L < E.numLoops(); ++L)
+    O.Stats.push_back(E.stats(L));
+  O.Parents = E.dynamicParents();
+  O.PeakBanks = E.peakBanksInUse();
+  O.PeakSlots = E.peakLocalSlots();
+  O.PeakNest = E.peakDynamicNest();
+  metrics::Registry R;
+  E.exportMetrics(R);
+  O.MetricsJson = R.toJson().dump();
+  return O;
+}
+
+} // namespace
+
+TEST(TracerBatch, CapacitySweepMatchesPerEventReference) {
+  const sim::HydraConfig Cfg = smallConfig();
+  const std::vector<LoopTraceInfo> Loops = loops(3, {3, 4});
+  const std::vector<trace::Event> Stream = mixedStream();
+
+  // Reference: the per-event virtual path, no block involved.
+  TraceEngine Ref(Cfg, Loops, /*ExtendedPcBinning=*/true);
+  for (const trace::Event &E : Stream)
+    trace::dispatchEvent(E, Ref);
+  const Observed Want = observe(Ref);
+  // The stream must actually exercise the analysis for the sweep to mean
+  // anything.
+  ASSERT_GT(Want.Stats[0].CritArcsPrev + Want.Stats[1].CritArcsPrev, 0u);
+  ASSERT_GT(Want.Stats[0].CritArcsEarlier, 0u);
+  ASSERT_EQ(Want.Stats[2].UntracedEntries, 1u);
+
+  // Capacities 1..N+8 drain at every event offset of the stream: capacity
+  // 1 drains after each batched event, and each larger capacity shifts
+  // every drain boundary by one position relative to the control events.
+  const std::uint32_t MaxCap =
+      static_cast<std::uint32_t>(Stream.size()) + 8;
+  for (std::uint32_t Cap = 1; Cap <= MaxCap; ++Cap) {
+    TraceEngine E(Cfg, Loops, /*ExtendedPcBinning=*/true);
+    E.setBatchCapacity(Cap);
+    interp::EventBlock *Blk = E.eventBlock();
+    ASSERT_NE(Blk, nullptr);
+    ASSERT_EQ(Blk->capacity(), Cap);
+    for (const trace::Event &Ev : Stream)
+      trace::dispatchEventBatched(Ev, E, Blk);
+    interp::drainPending(E, Blk);
+    EXPECT_EQ(observe(E), Want) << "capacity " << Cap;
+  }
+}
+
+TEST(TracerBatch, DisabledLoopsRevertEoiToSynchronousPath) {
+  // With a disable threshold the eoi charge becomes state-dependent, so
+  // the engine must not defer it — and the batched path must still agree
+  // with the per-event one.
+  const sim::HydraConfig Cfg = smallConfig();
+  const std::vector<LoopTraceInfo> Loops = loops(1);
+  const std::vector<trace::Event> Stream = [] {
+    EventBuilder B;
+    std::uint64_t C = 0;
+    B.loopStart(0, 7, ++C);
+    for (int I = 0; I < 6; ++I) {
+      B.heapStore(100, ++C, 1);
+      B.loopIter(0, ++C);
+      B.heapLoad(100, ++C, 2);
+    }
+    B.loopEnd(0, ++C);
+    return B.Ev;
+  }();
+
+  TraceEngine Ref(Cfg, Loops, /*ExtendedPcBinning=*/true);
+  Ref.setDisableLoopAfterThreads(3);
+  EXPECT_EQ(Ref.eventBlock()->deferredEoiCost(), -1);
+  for (const trace::Event &E : Stream)
+    trace::dispatchEvent(E, Ref);
+  const Observed Want = observe(Ref);
+
+  for (std::uint32_t Cap : {1u, 2u, 3u, 7u, 64u}) {
+    TraceEngine E(Cfg, Loops, /*ExtendedPcBinning=*/true);
+    E.setDisableLoopAfterThreads(3);
+    E.setBatchCapacity(Cap);
+    interp::EventBlock *Blk = E.eventBlock();
+    for (const trace::Event &Ev : Stream)
+      trace::dispatchEventBatched(Ev, E, Blk);
+    interp::drainPending(E, Blk);
+    EXPECT_EQ(observe(E), Want) << "capacity " << Cap;
+  }
+}
+
+TEST(TracerBatch, LivePipelineBatchOneMatchesDefault) {
+  // The same invariant through the live interpreter: a one-event block
+  // (drain after every batched event) must reproduce the default block's
+  // profile bit for bit.
+  const workloads::Workload *W = workloads::findWorkload("BitOps");
+  ASSERT_NE(W, nullptr);
+
+  pipeline::PipelineConfig Default;
+  pipeline::PipelineConfig BatchOne;
+  BatchOne.TraceBatchEvents = 1;
+
+  pipeline::Jrpm JD(W->Build(), Default);
+  pipeline::Jrpm JB(W->Build(), BatchOne);
+  auto PD = JD.profileAndSelect();
+  auto PB = JB.profileAndSelect();
+
+  EXPECT_EQ(PD.Run.Cycles, PB.Run.Cycles);
+  EXPECT_EQ(PD.PeakBanksInUse, PB.PeakBanksInUse);
+  EXPECT_EQ(PD.PeakLocalSlots, PB.PeakLocalSlots);
+  ASSERT_EQ(PD.Selection.Loops.size(), PB.Selection.Loops.size());
+  for (std::size_t I = 0; I < PD.Selection.Loops.size(); ++I) {
+    EXPECT_EQ(PD.Selection.Loops[I].Stats, PB.Selection.Loops[I].Stats);
+    EXPECT_EQ(PD.Selection.Loops[I].Selected, PB.Selection.Loops[I].Selected);
+  }
+}

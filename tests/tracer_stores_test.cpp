@@ -70,7 +70,7 @@ TEST(LocalVarTimestamps, StackDiscipline) {
   EXPECT_EQ(F.reserve(2), -1);
   F.write(4, 99);
   EXPECT_EQ(F.read(4), 99u);
-  F.release(3, 4);
+  EXPECT_EQ(F.release(3, 4), SlotReleaseResult::Ok);
   EXPECT_EQ(F.used(), 3u);
   // Slots are cleared on (re-)reservation.
   int C = F.reserve(4);
@@ -82,4 +82,49 @@ TEST(LocalVarTimestamps, ZeroSizedReservation) {
   LocalVarTimestampFile F(4);
   EXPECT_EQ(F.reserve(0), 0);
   EXPECT_EQ(F.used(), 0u);
+}
+
+#ifdef NDEBUG
+TEST(LocalVarTimestamps, NonStackReleaseReportsTypedError) {
+  LocalVarTimestampFile F(8);
+  ASSERT_EQ(F.reserve(4), 0);
+  // Releasing a range that is not the top of the stack is a caller bug;
+  // release builds report it without corrupting the file.
+  EXPECT_EQ(F.release(1, 4), SlotReleaseResult::NonStackRelease);
+  EXPECT_EQ(F.used(), 4u); // unchanged
+  EXPECT_EQ(F.release(0, 4), SlotReleaseResult::Ok);
+  EXPECT_EQ(F.used(), 0u);
+}
+#endif
+
+TEST(HeapStoreTimestamps, CountsEvictionsAndPeakOccupancy) {
+  HeapStoreTimestamps H(2, 4);
+  EXPECT_EQ(H.evictions(), 0u);
+  EXPECT_EQ(H.peakOccupancy(), 0u);
+  H.recordStore(0, 1);
+  H.recordStore(4, 2);
+  EXPECT_EQ(H.evictions(), 0u);
+  EXPECT_EQ(H.peakOccupancy(), 2u);
+  H.recordStore(8, 3); // full: rotates out the oldest line
+  EXPECT_EQ(H.evictions(), 1u);
+  EXPECT_EQ(H.peakOccupancy(), 2u); // capacity-bounded
+  H.clear();
+  // Counters are monotonic across clears (lifetime totals).
+  EXPECT_EQ(H.evictions(), 1u);
+  EXPECT_EQ(H.peakOccupancy(), 2u);
+  EXPECT_EQ(H.lookup(8), NoTimestamp);
+}
+
+TEST(CacheLineTimestamps, CountsEvictionsAndPeakOccupancy) {
+  CacheLineTimestampTable T(/*NumEntries=*/4, /*WordsPerLine=*/4);
+  EXPECT_EQ(T.evictions(), 0u);
+  T.exchange(0, 10);
+  T.exchange(64, 20); // conflict miss in the direct-mapped set
+  EXPECT_EQ(T.evictions(), 1u);
+  EXPECT_EQ(T.peakOccupancy(), 1u);
+  T.exchange(4, 30); // line 1 -> a second set fills
+  EXPECT_EQ(T.peakOccupancy(), 2u);
+  T.clear();
+  EXPECT_EQ(T.evictions(), 1u);
+  EXPECT_EQ(T.peakOccupancy(), 2u);
 }
